@@ -1,0 +1,95 @@
+// Command ltsp-bench regenerates the paper's evaluation: every table and
+// figure of the CGO 2008 paper "Latency-Tolerant Software Pipelining in a
+// Production Compiler" has a corresponding experiment that prints the
+// measured values next to the paper's reported ones.
+//
+// Usage:
+//
+//	ltsp-bench                 # run everything
+//	ltsp-bench -run fig7       # one experiment: fig5 fig7 fig8 fig9 fig10
+//	                           # casestudy regstats compiletime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ltsp/internal/experiments"
+)
+
+func main() {
+	var run = flag.String("run", "all", "experiment to run: all | fig5 | fig7 | fig8 | fig9 | fig10 | casestudy | regstats | compiletime | versioning | sampling | ablation")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	all := want["all"]
+
+	type experiment struct {
+		name string
+		fn   func() (fmt.Stringer, error)
+	}
+	exps := []experiment{
+		{"fig5", func() (fmt.Stringer, error) {
+			v, err := experiments.RunFig5Validation()
+			if err != nil {
+				return nil, err
+			}
+			return stringer(experiments.FormatFig5(experiments.AnalyticFig5(), v)), nil
+		}},
+		{"fig7", func() (fmt.Stringer, error) { return experiments.RunFig7() }},
+		{"fig8", func() (fmt.Stringer, error) { return experiments.RunFig8() }},
+		{"fig9", func() (fmt.Stringer, error) { return experiments.RunFig9() }},
+		{"fig10", func() (fmt.Stringer, error) { return experiments.RunFig10() }},
+		{"casestudy", func() (fmt.Stringer, error) { return experiments.RunCaseStudy() }},
+		{"regstats", func() (fmt.Stringer, error) { return experiments.RunRegStats() }},
+		{"compiletime", func() (fmt.Stringer, error) { return experiments.RunCompileTime() }},
+		{"versioning", func() (fmt.Stringer, error) { return experiments.RunVersioning() }},
+		{"sampling", func() (fmt.Stringer, error) { return experiments.RunMissSampling() }},
+		{"ablation", func() (fmt.Stringer, error) {
+			ozq, err := experiments.RunOzQAblation()
+			if err != nil {
+				return nil, err
+			}
+			rot, err := experiments.RunRotRegAblation()
+			if err != nil {
+				return nil, err
+			}
+			rvu, err := experiments.RunRotVsUnroll()
+			if err != nil {
+				return nil, err
+			}
+			return stringer(experiments.FormatAblations(ozq, rot) + "\n" +
+				experiments.FormatRotVsUnroll(rvu)), nil
+		}},
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if !all && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("──── %s (%.1fs) %s\n\n%s\n", e.name, time.Since(start).Seconds(),
+			strings.Repeat("─", 50), res)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -run=%s\n", *run)
+		os.Exit(1)
+	}
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }

@@ -1,0 +1,159 @@
+// Command ltsp-sim compiles a benchmark-model loop under a chosen compiler
+// configuration and simulates it on the cycle-accurate Itanium-2-class
+// model, printing cycle accounting (the paper's Fig. 10 states), cache
+// behaviour and OzQ statistics.
+//
+// Usage:
+//
+//	ltsp-sim -loop 429.mcf/refresh_potential -mode hlo -trip 3 -execs 5
+//	ltsp-sim -loop 481.wrf/physics -mode none -cold -trip 48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ltsp/internal/core"
+	"ltsp/internal/hlo"
+	"ltsp/internal/interp"
+	"ltsp/internal/machine"
+	"ltsp/internal/sim"
+	"ltsp/internal/workload"
+)
+
+func main() {
+	var (
+		loopName = flag.String("loop", "", "loop to simulate: <benchmark>/<loop>")
+		mode     = flag.String("mode", "hlo", "hint mode: none | all-l3 | all-fp-l2 | hlo")
+		tolerant = flag.Bool("tolerant", true, "enable latency-tolerant pipelining")
+		trip     = flag.Int64("trip", 0, "trip count per execution (0 = the loop's modeled average)")
+		execs    = flag.Int("execs", 3, "number of executions to simulate")
+		cold     = flag.Bool("cold", false, "drop caches between executions (default: the loop's modeled behaviour)")
+		seq      = flag.Bool("seq", false, "compile sequentially (no pipelining)")
+		trace    = flag.Bool("trace", false, "print a cycle-by-cycle issue trace of the first execution")
+	)
+	flag.Parse()
+
+	if *loopName == "" {
+		fmt.Fprintln(os.Stderr, "usage: ltsp-sim -loop <benchmark>/<loop> (see 'ltsp -list')")
+		os.Exit(1)
+	}
+	spec, err := findSpec(*loopName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dropCaches := spec.Cold || *cold
+
+	l := spec.Gen()
+	hintMode := map[string]hlo.HintMode{
+		"none": hlo.ModeNone, "all-l3": hlo.ModeAllL3,
+		"all-fp-l2": hlo.ModeAllFPL2, "hlo": hlo.ModeHLO,
+	}[*mode]
+	if _, err := hlo.Apply(l, hlo.Options{
+		Mode: hintMode, Prefetch: true, TripEstimate: spec.Ref.Avg(),
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "hlo:", err)
+		os.Exit(1)
+	}
+
+	var prog *interp.Program
+	if *seq {
+		p, err := core.GenSequential(machine.Itanium2(), l)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seq:", err)
+			os.Exit(1)
+		}
+		prog = p
+		fmt.Printf("compiled sequentially: %d cycles/iteration\n", len(p.Groups))
+	} else {
+		c, err := core.Pipeline(l, core.Options{
+			LatencyTolerant: *tolerant, BoostDelinquent: *tolerant,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pipeline:", err)
+			os.Exit(1)
+		}
+		prog = c.Program
+		fmt.Printf("pipelined: II=%d, stages=%d\n", c.FinalII, c.Stages)
+	}
+
+	tripCount := *trip
+	if tripCount <= 0 {
+		tripCount = int64(spec.Ref.Avg())
+		if tripCount < 1 {
+			tripCount = 1
+		}
+	}
+
+	simCfg := sim.DefaultConfig()
+	if *trace {
+		simCfg.Trace = os.Stdout
+		*execs = 1 // tracing multiple executions would flood the terminal
+	}
+	runner := sim.NewRunner(simCfg)
+	mem := interp.NewMemory()
+	spec.InitMem(mem)
+	var total sim.Accounting
+	var loads [5]int64
+	var ozqStalls int64
+	ozqPeak := 0
+	for i := 0; i < *execs; i++ {
+		if dropCaches {
+			runner.DropCaches()
+		}
+		r, err := runner.Run(prog, tripCount, mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sim:", err)
+			os.Exit(1)
+		}
+		total.Add(r.Acct)
+		for lv := range loads {
+			loads[lv] += r.LoadsByLevel[lv]
+		}
+		ozqStalls += r.OzQFullStalls
+		if r.OzQPeak > ozqPeak {
+			ozqPeak = r.OzQPeak
+		}
+	}
+
+	fmt.Printf("\n%d executions x trip %d (%s caches)\n", *execs, tripCount,
+		map[bool]string{true: "cold", false: "warm"}[dropCaches])
+	fmt.Printf("  total cycles        %10d  (%.1f per source iteration)\n",
+		total.Total, float64(total.Total)/float64(int64(*execs)*tripCount))
+	fmt.Printf("  unstalled execution %10d  (%4.1f%%)\n", total.Unstalled, pct(total.Unstalled, total.Total))
+	fmt.Printf("  BE_EXE_BUBBLE       %10d  (%4.1f%%)\n", total.ExeBubble, pct(total.ExeBubble, total.Total))
+	fmt.Printf("  BE_L1D_FPU_BUBBLE   %10d  (%4.1f%%)\n", total.L1DFPUBubble, pct(total.L1DFPUBubble, total.Total))
+	fmt.Printf("  BE_RSE_BUBBLE       %10d  (%4.1f%%)\n", total.RSEBubble, pct(total.RSEBubble, total.Total))
+	fmt.Printf("  BE_FLUSH_BUBBLE     %10d  (%4.1f%%)\n", total.FlushBubble, pct(total.FlushBubble, total.Total))
+	fmt.Printf("  BACK_END_BUBBLE.FE  %10d  (%4.1f%%)\n", total.FEBubble, pct(total.FEBubble, total.Total))
+	fmt.Printf("\n  demand loads by level: L1 %d, L2 %d, L3 %d, memory %d\n",
+		loads[1], loads[2], loads[3], loads[4])
+	fmt.Printf("  OzQ: peak occupancy %d, full-stall cycles %d\n", ozqPeak, ozqStalls)
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func findSpec(name string) (*workload.LoopSpec, error) {
+	parts := strings.SplitN(name, "/", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("loop %q: want <benchmark>/<loop>", name)
+	}
+	b := workload.ByName(parts[0])
+	if b == nil {
+		return nil, fmt.Errorf("no benchmark %q", parts[0])
+	}
+	for i := range b.Loops {
+		if b.Loops[i].Name == parts[1] {
+			return &b.Loops[i], nil
+		}
+	}
+	return nil, fmt.Errorf("benchmark %s has no loop %q", parts[0], parts[1])
+}

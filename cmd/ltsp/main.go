@@ -1,0 +1,172 @@
+// Command ltsp compiles one of the benchmark-model loops with the
+// latency-tolerant software pipeliner and prints the HLO prefetcher's
+// decisions, the II/stage structure, per-load scheduling reports and the
+// kernel listing (paper Figs. 3/6 style).
+//
+// Usage:
+//
+//	ltsp -list
+//	ltsp -loop 429.mcf/refresh_potential -mode hlo -tolerant
+//	ltsp -loop example -mode all-l3 -tolerant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ltsp/internal/core"
+	"ltsp/internal/hlo"
+	"ltsp/internal/ir"
+	"ltsp/internal/workload"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available loops")
+		loopName = flag.String("loop", "example", "loop to compile: 'example' or <benchmark>/<loop>")
+		mode     = flag.String("mode", "hlo", "hint mode: none | all-l3 | all-fp-l2 | hlo")
+		tolerant = flag.Bool("tolerant", true, "enable latency-tolerant pipelining")
+		prefetch = flag.Bool("prefetch", true, "enable the software prefetcher")
+		trip     = flag.Float64("trip", 100, "compile-time trip-count estimate")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("example                      (the paper's running example, Fig. 1)")
+		for _, b := range workload.All() {
+			for i := range b.Loops {
+				fmt.Printf("%s/%s\n", b.Name, b.Loops[i].Name)
+			}
+		}
+		return
+	}
+
+	l, err := findLoop(*loopName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== source loop ===")
+	fmt.Print(l.String())
+
+	hintMode, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := hlo.Apply(l, hlo.Options{
+		Mode: hintMode, Prefetch: *prefetch, TripEstimate: *trip,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hlo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n=== HLO prefetcher (mode %s, IIest=%d) ===\n", hintMode, rep.IIEst)
+	for _, r := range rep.Refs {
+		in := l.Body[r.ID]
+		fmt.Printf("  body[%2d] %-34s hint=%-4s heuristic=%-16s", r.ID, trunc(in.String(), 34), r.Hint, r.Heuristic)
+		if r.Distance > 0 {
+			fmt.Printf(" prefetch-distance=%d", r.Distance)
+			if r.L2Only {
+				fmt.Print(" (L2 only)")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  %d prefetches inserted, %d hints set\n", rep.PrefetchesAdded, rep.HintsSet)
+
+	c, err := core.Pipeline(l, core.Options{
+		LatencyTolerant: *tolerant,
+		BoostDelinquent: *tolerant,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n=== pipeliner ===\n")
+	fmt.Printf("  Resource II = %d, Recurrence II = %d, achieved II = %d, stages = %d\n",
+		c.ResII, c.BaseRecII, c.FinalII, c.Stages)
+	if c.LatencyReduced {
+		fmt.Println("  (fallback: non-critical latencies reduced to base for register allocation)")
+	}
+	for _, lr := range c.Loads {
+		class := "non-critical"
+		if lr.Critical {
+			class = "critical"
+		}
+		fmt.Printf("  load body[%2d]: %-12s base=%2d scheduled=%2d d=%2d k=%d hint=%s\n",
+			lr.ID, class, lr.BaseLat, lr.SchedLat, lr.ExtraD, lr.ClusterK, lr.Hint)
+	}
+	st := c.Assignment.Stats
+	fmt.Printf("  registers: GR %d (rot %d), FR %d (rot %d), PR %d (rot %d)\n",
+		st.TotalGR(), st.RotGR, st.TotalFR(), st.RotFR, st.TotalPR(), st.RotPR)
+
+	fmt.Printf("\n=== kernel ===\n")
+	fmt.Print(c.Program.Listing())
+	if c.Stages <= 8 {
+		fmt.Printf("\n=== conceptual pipeline (Figs. 2/4) ===\n")
+		fmt.Print(c.Diagram(5))
+	}
+}
+
+func findLoop(name string) (*ir.Loop, error) {
+	if name == "example" {
+		return exampleLoop(), nil
+	}
+	parts := strings.SplitN(name, "/", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("loop %q: want 'example' or <benchmark>/<loop>", name)
+	}
+	b := workload.ByName(parts[0])
+	if b == nil {
+		return nil, fmt.Errorf("no benchmark %q", parts[0])
+	}
+	for i := range b.Loops {
+		if b.Loops[i].Name == parts[1] {
+			return b.Loops[i].Gen(), nil
+		}
+	}
+	return nil, fmt.Errorf("benchmark %s has no loop %q", parts[0], parts[1])
+}
+
+func parseMode(s string) (hlo.HintMode, error) {
+	switch s {
+	case "none":
+		return hlo.ModeNone, nil
+	case "all-l3":
+		return hlo.ModeAllL3, nil
+	case "all-fp-l2":
+		return hlo.ModeAllFPL2, nil
+	case "hlo":
+		return hlo.ModeHLO, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+// exampleLoop is the paper's Fig. 1 running example with an L3 hint on the
+// load.
+func exampleLoop() *ir.Loop {
+	l := ir.NewLoop("L1")
+	r4, r5, r6, r7, r9 := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	ld := ir.Ld(r4, r5, 4, 4)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 4
+	ld.Mem.Hint = ir.HintL3
+	l.Append(ld)
+	l.Append(ir.Add(r7, r4, r9))
+	l.Append(ir.St(r6, r7, 4, 4))
+	l.Init(r5, 0x100000)
+	l.Init(r6, 0x200000)
+	l.Init(r9, 1)
+	l.LiveOut = []ir.Reg{r5, r6}
+	return l
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,152 @@
+// The Sec. 4.4 case study: 429.mcf's refresh_potential() loop.
+//
+//	while (node) {
+//	    if (node->orientation == UP)
+//	        node->potential = node->basic_arc->cost + node->pred->potential;
+//	    ...
+//	    node = node->child;
+//	}
+//
+// The indirect loads (node->basic_arc->cost, node->pred->potential) are
+// delinquent — they depend on the pointer chase and cannot be prefetched —
+// so HLO heuristic (1) marks them and the pipeliner schedules them with
+// the expected L2 latency, clustering instances from successive
+// iterations. Despite an average trip count of just 2.3 the loop speeds
+// up substantially (the paper measured +40%).
+//
+// Run with: go run ./examples/mcf
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ltsp"
+)
+
+const (
+	nodeArena = 0x0200_0000
+	arcArena  = 0x0400_0000
+	parArena  = 0x0600_0000
+	nodes     = 1 << 15
+	nodeSize  = 32
+	offArc    = 8
+	offPred   = 16
+	offPot    = 24
+)
+
+// buildLoop expresses the if-converted chase. The loop-carried node
+// pointer uses the mov/load idiom (rotating registers carry it between
+// stages); all four dereference loads are pointer-chase class.
+func buildLoop() *ltsp.Loop {
+	l := ltsp.NewLoop("refresh_potential")
+	pnext, pcur := l.NewGR(), l.NewGR()
+	t1, ba, cost := l.NewGR(), l.NewGR(), l.NewGR()
+	t2, pd, t3, pot := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	v, t4 := l.NewGR(), l.NewGR()
+
+	l.Append(ltsp.Mov(pcur, pnext))
+	chase := ltsp.Ld(pnext, pcur, 8, 0)
+	chase.Mem.Stride = ltsp.StridePointerChase
+	chase.Comment = "node = node->child"
+	l.Append(chase)
+	l.Append(ltsp.AddI(t1, pcur, offArc))
+	ldArc := ltsp.Ld(ba, t1, 8, 0)
+	ldArc.Mem.Stride = ltsp.StridePointerChase
+	ldArc.Comment = "node->basic_arc"
+	l.Append(ldArc)
+	ldCost := ltsp.Ld(cost, ba, 8, 0)
+	ldCost.Mem.Stride = ltsp.StridePointerChase
+	ldCost.Comment = "basic_arc->cost"
+	l.Append(ldCost)
+	l.Append(ltsp.AddI(t2, pcur, offPred))
+	ldPred := ltsp.Ld(pd, t2, 8, 0)
+	ldPred.Mem.Stride = ltsp.StridePointerChase
+	ldPred.Comment = "node->pred"
+	l.Append(ldPred)
+	l.Append(ltsp.AddI(t3, pd, offPot))
+	ldPot := ltsp.Ld(pot, t3, 8, 0)
+	ldPot.Mem.Stride = ltsp.StridePointerChase
+	ldPot.Comment = "pred->potential"
+	l.Append(ldPot)
+	l.Append(ltsp.Add(v, cost, pot))
+	l.Append(ltsp.AddI(t4, pcur, offPot))
+	st := ltsp.St(t4, v, 8, 0)
+	st.Comment = "node->potential ="
+	l.Append(st)
+	l.Init(pnext, nodeArena)
+	return l
+}
+
+// seed lays out the network: nodes in traversal order (mcf allocates them
+// sequentially), arcs and parents scattered so the dereferences miss.
+func seed(mem *ltsp.Memory) {
+	rng := rand.New(rand.NewSource(7))
+	for i := int64(0); i < nodes; i++ {
+		addr := int64(nodeArena) + i*nodeSize
+		mem.Store(addr+0, 8, int64(nodeArena)+((i+1)%nodes)*nodeSize)
+		mem.Store(addr+offArc, 8, int64(arcArena)+rng.Int63n(nodes)*64)
+		mem.Store(addr+offPred, 8, int64(parArena)+rng.Int63n(nodes)*64)
+	}
+	for i := int64(0); i < nodes; i++ {
+		mem.Store(int64(arcArena)+i*64, 8, 100+i%37)
+		mem.Store(int64(parArena)+i*64+offPot, 8, i%53)
+	}
+}
+
+func measure(name string, mode ltsp.HintMode, tolerant bool) float64 {
+	l := buildLoop()
+	c, err := ltsp.Compile(l, ltsp.Options{
+		Mode:            mode,
+		Prefetch:        true,
+		LatencyTolerant: tolerant,
+		BoostDelinquent: tolerant,
+		TripEstimate:    2.3,
+	})
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	fmt.Printf("── %s ──\n", name)
+	fmt.Printf("II = %d, stages = %d\n", c.II, c.Stages)
+	for _, lr := range c.Loads {
+		in := l.Body[lr.ID]
+		label := in.Comment
+		switch {
+		case lr.Critical:
+			fmt.Printf("  %-22s critical (pointer-chase recurrence), base latency %d\n", label, lr.BaseLat)
+		case lr.SchedLat > lr.BaseLat:
+			fmt.Printf("  %-22s boosted to %d cycles, clustering k = %d\n", label, lr.SchedLat, lr.ClusterK)
+		default:
+			fmt.Printf("  %-22s base latency %d\n", label, lr.BaseLat)
+		}
+	}
+
+	// Simulate executions with the paper's trip-count mix (avg 2.3), cold
+	// caches (the rest of mcf evicts the network between invocations).
+	runner := ltsp.NewRunner(nil)
+	mem := ltsp.NewMemory()
+	seed(mem)
+	var total int64
+	execs := 0
+	for _, trip := range []int64{2, 2, 2, 3, 2, 3, 2, 2, 3, 2} {
+		runner.DropCaches()
+		r, err := runner.Run(c.Program, trip, mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += r.Cycles
+		execs++
+	}
+	avg := float64(total) / float64(execs)
+	fmt.Printf("  %.0f cycles per loop execution (avg over %d executions, avg trip 2.3)\n\n", avg, execs)
+	return avg
+}
+
+func main() {
+	fmt.Println("429.mcf refresh_potential() — delinquent-load clustering (paper Sec. 4.4)")
+	fmt.Println()
+	base := measure("baseline compiler", ltsp.ModeNone, false)
+	hlo := measure("HLO hints + latency-tolerant pipelining", ltsp.ModeHLO, true)
+	fmt.Printf("loop speedup: %+.1f%% (paper: +40%%)\n", 100*(base/hlo-1))
+}

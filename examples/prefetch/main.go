@@ -1,0 +1,114 @@
+// Prefetcher interplay: indirect references a[b[i]] (HLO heuristic 2b).
+//
+// The index stream b is unit-stride and prefetched at the full distance
+// Lat/IIest; the indirect stream a can only be prefetched a few iterations
+// ahead (each outstanding indirect prefetch may touch a different page, so
+// the distance is capped to protect the TLB). Because that covers only
+// part of the miss latency, HLO marks the indirect load for
+// longer-latency scheduling — prefetching and latency tolerance working
+// together rather than as alternatives, the paper's main contribution.
+//
+// Run with: go run ./examples/prefetch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ltsp"
+)
+
+const (
+	idxArena   = 0x0100_0000
+	tableArena = 0x0300_0000
+	idxElems   = 1 << 13
+	tableElems = 1 << 19 // 4 MB table: gathers miss to L3/memory
+)
+
+func buildLoop() *ltsp.Loop {
+	l := ltsp.NewLoop("gather")
+	bi, ta, abase := l.NewGR(), l.NewGR(), l.NewGR()
+	idx, v, acc := l.NewGR(), l.NewGR(), l.NewGR()
+	ldi := ltsp.Ld(idx, bi, 4, 4)
+	ldi.Mem.Stride, ldi.Mem.StrideBytes = ltsp.StrideUnit, 4
+	ldi.Comment = "idx = b[i]"
+	l.Append(ldi)
+	l.Append(ltsp.Shladd(ta, idx, 3, abase))
+	ldv := ltsp.Ld(v, ta, 8, 0)
+	ldv.Mem.Stride = ltsp.StrideIndirect
+	ldv.Mem.IndexInit = idxArena
+	ldv.Mem.IndexStride = 4
+	ldv.Mem.IndexSize = 4
+	ldv.Mem.ScaleShift = 3
+	ldv.Mem.ArrayBase = abase
+	ldv.Comment = "v = a[idx]"
+	l.Append(ldv)
+	l.Append(ltsp.Add(acc, acc, v))
+	l.Init(bi, idxArena)
+	l.Init(abase, tableArena)
+	l.Init(acc, 0)
+	l.LiveOut = []ltsp.Reg{acc}
+	return l
+}
+
+func seed(mem *ltsp.Memory) {
+	rng := rand.New(rand.NewSource(42))
+	for i := int64(0); i < idxElems; i++ {
+		mem.Store(idxArena+4*i, 4, rng.Int63n(tableElems))
+	}
+	for i := int64(0); i < tableElems; i++ {
+		mem.Store(tableArena+8*i, 8, i%1009)
+	}
+}
+
+func run(name string, mode ltsp.HintMode, tolerant bool) int64 {
+	l := buildLoop()
+	c, err := ltsp.Compile(l, ltsp.Options{
+		Mode: mode, Prefetch: true, LatencyTolerant: tolerant, TripEstimate: 400,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("── %s ──\n", name)
+	fmt.Printf("HLO decisions (IIest = %d):\n", c.HLO.IIEst)
+	for _, r := range c.HLO.Refs {
+		in := l.Body[r.ID]
+		fmt.Printf("  body[%d] %-14s heuristic=%-16s hint=%-4s", r.ID, in.Comment, r.Heuristic, r.Hint)
+		if r.Distance > 0 {
+			fmt.Printf(" prefetch-distance=%d", r.Distance)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("kernel: II=%d stages=%d; ", c.II, c.Stages)
+	for _, lr := range c.Loads {
+		if lr.SchedLat > lr.BaseLat {
+			fmt.Printf("gather scheduled at %d cycles (k=%d); ", lr.SchedLat, lr.ClusterK)
+		}
+	}
+	fmt.Println()
+
+	runner := ltsp.NewRunner(nil)
+	mem := ltsp.NewMemory()
+	seed(mem)
+	var cycles int64
+	for e := 0; e < 3; e++ {
+		runner.DropCaches() // gathers over a 4 MB table stay cold
+		r, err := runner.Run(c.Program, 400, mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles += r.Cycles
+	}
+	fmt.Printf("3 executions x 400 iterations: %d cycles\n\n", cycles)
+	return cycles
+}
+
+func main() {
+	fmt.Println("Indirect references: reduced prefetch distance + latency hints (heuristic 2b)")
+	fmt.Println()
+	base := run("baseline (prefetching only)", ltsp.ModeNone, false)
+	hlo := run("HLO hints + latency tolerance", ltsp.ModeHLO, true)
+	fmt.Printf("speedup from marking the partially-covered gather: %+.1f%%\n",
+		100*(float64(base)/float64(hlo)-1))
+}

@@ -1,0 +1,108 @@
+// Quickstart: the paper's running example (Figs. 1-6).
+//
+// Builds the three-instruction copy-add loop of Fig. 1, software-pipelines
+// it with and without latency tolerance, prints both kernels, and
+// simulates them against a cold memory hierarchy to show the stall
+// reduction that latency coverage and load clustering buy.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltsp"
+)
+
+const (
+	srcBase = 0x0100_0000
+	dstBase = 0x0200_0000
+	elems   = 4096
+)
+
+// buildLoop constructs Fig. 1:
+//
+//	L1: ld4  r4 = [r5],4
+//	    add  r7 = r4,r9
+//	    st4  [r6] = r7,4
+//	    br.cloop L1
+//
+// The load walks a fresh cache line every iteration (stride 128) so that
+// every access misses a cold hierarchy — the scenario of Sec. 2.1.
+func buildLoop(hint ltsp.Hint) *ltsp.Loop {
+	l := ltsp.NewLoop("L1")
+	r4, r5, r6, r7, r9 := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	ld := ltsp.Ld(r4, r5, 4, 128)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ltsp.StrideConst, 128
+	ld.Mem.Hint = hint
+	l.Append(ld)
+	l.Append(ltsp.Add(r7, r4, r9))
+	st := ltsp.St(r6, r7, 4, 4)
+	st.Mem.Stride, st.Mem.StrideBytes = ltsp.StrideUnit, 4
+	l.Append(st)
+	l.Init(r5, srcBase)
+	l.Init(r6, dstBase)
+	l.Init(r9, 1000)
+	l.LiveOut = []ltsp.Reg{r5, r6}
+	return l
+}
+
+func seed(mem *ltsp.Memory) {
+	for i := int64(0); i < elems; i++ {
+		mem.Store(srcBase+128*i, 4, 10*i+3)
+	}
+}
+
+func compileAndRun(name string, hint ltsp.Hint, tolerant bool) int64 {
+	l := buildLoop(hint)
+	c, err := ltsp.Compile(l, ltsp.Options{
+		Mode:            ltsp.ModeNone, // hints set directly on the load above
+		Prefetch:        false,         // isolate the scheduling effect (Sec. 2.1)
+		LatencyTolerant: tolerant,
+	})
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+
+	fmt.Printf("── %s ──\n", name)
+	fmt.Printf("II = %d, stages = %d (Resource II %d, Recurrence II %d)\n",
+		c.II, c.Stages, c.ResII, c.RecII)
+	for _, lr := range c.Loads {
+		fmt.Printf("load: scheduled latency %d (base %d) -> additional d = %d, clustering k = d/II+1 = %d\n",
+			lr.SchedLat, lr.BaseLat, lr.ExtraD, lr.ClusterK)
+	}
+	fmt.Println(c.Program.Listing())
+	if c.Stages <= 6 {
+		fmt.Println(c.Diagram(5)) // the conceptual view of Figs. 2/4
+	}
+
+	mem := ltsp.NewMemory()
+	seed(mem)
+	res, err := ltsp.Simulate(c, elems-8, mem, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d iterations: %d cycles, %d stall cycles (BE_EXE_BUBBLE)\n",
+		elems-8, res.Cycles, res.Acct.ExeBubble)
+	// Verify the result while we are here.
+	if got := res.State.Mem.Load(dstBase, 4); got != 10*0+3+1000 {
+		log.Fatalf("wrong result: dst[0] = %d", got)
+	}
+	fmt.Println()
+	return res.Acct.ExeBubble
+}
+
+func main() {
+	fmt.Println("Latency-tolerant software pipelining — the paper's running example")
+	fmt.Println()
+
+	base := compileAndRun("baseline (loads at minimum latency)", ltsp.HintNone, false)
+	tol := compileAndRun("latency-tolerant (load hinted L3, typical latency 21)", ltsp.HintL3, true)
+
+	reduction := 100 * (1 - float64(tol)/float64(base))
+	fmt.Printf("stall reduction from latency tolerance: %.1f%%\n", reduction)
+	fmt.Println()
+	fmt.Println("Equ. 2 of the paper predicts 100*(1-(1-c)/k) with c = d/L and")
+	fmt.Println("k = d/II+1; with d = 20, L ~ 199 (memory) and k = 21 that is ~95%.")
+}

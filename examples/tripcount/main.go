@@ -1,0 +1,113 @@
+// The cost side: why the production compiler gates latency tolerance on a
+// trip-count threshold (paper Secs. 2.2, 4.2 and the 464.h264ref /
+// 177.mesa regressions).
+//
+// A cache-hot motion-search loop gains nothing from longer scheduled
+// latencies — its loads hit the L1 — but every added pipeline stage costs
+// one extra kernel iteration per loop execution. At trip count 10 that is
+// ruinous; at trip count 1000 it is noise. This example sweeps the trip
+// count and prints both compilations side by side, reproducing the
+// reasoning behind the paper's n = 32 threshold.
+//
+// Run with: go run ./examples/tripcount
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltsp"
+)
+
+const (
+	srcA  = 0x0100_0000
+	srcB  = 0x0200_0000
+	elems = 1 << 10
+)
+
+// buildLoop is the h264ref-style SAD kernel: two L1-resident unit-stride
+// loads and a difference accumulation.
+func buildLoop(hint ltsp.Hint) *ltsp.Loop {
+	l := ltsp.NewLoop("blockmotion")
+	ba, bb := l.NewGR(), l.NewGR()
+	a, b, d, acc := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	lda := ltsp.Ld(a, ba, 4, 4)
+	lda.Mem.Stride, lda.Mem.StrideBytes = ltsp.StrideUnit, 4
+	lda.Mem.Hint = hint
+	l.Append(lda)
+	ldb := ltsp.Ld(b, bb, 4, 4)
+	ldb.Mem.Stride, ldb.Mem.StrideBytes = ltsp.StrideUnit, 4
+	ldb.Mem.Hint = hint
+	l.Append(ldb)
+	l.Append(ltsp.Sub(d, a, b))
+	l.Append(ltsp.Add(acc, acc, d))
+	l.Init(ba, srcA)
+	l.Init(bb, srcB)
+	l.Init(acc, 0)
+	l.LiveOut = []ltsp.Reg{acc}
+	return l
+}
+
+func seed(mem *ltsp.Memory) {
+	for i := int64(0); i < elems; i++ {
+		mem.Store(srcA+4*i, 4, 200+i%64)
+		mem.Store(srcB+4*i, 4, i%64)
+	}
+}
+
+// measure returns warm steady-state cycles per execution at the given trip.
+func measure(c *ltsp.Compiled, trip int64) float64 {
+	runner := ltsp.NewRunner(nil)
+	mem := ltsp.NewMemory()
+	seed(mem)
+	// Warm up, then measure.
+	if _, err := runner.Run(c.Program, trip, mem); err != nil {
+		log.Fatal(err)
+	}
+	var total int64
+	const n = 5
+	for i := 0; i < n; i++ {
+		r, err := runner.Run(c.Program, trip, mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += r.Cycles
+	}
+	return float64(total) / n
+}
+
+func main() {
+	fmt.Println("Trip-count threshold: the cost of extra pipeline stages on cache-hot loops")
+	fmt.Println()
+
+	base, err := ltsp.Compile(buildLoop(ltsp.HintNone), ltsp.Options{Prefetch: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	boosted, err := ltsp.Compile(buildLoop(ltsp.HintL3), ltsp.Options{
+		Prefetch: true, LatencyTolerant: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline kernel: II=%d, %d stages -> %d fill/drain iterations per execution\n",
+		base.II, base.Stages, base.Stages-1)
+	fmt.Printf("boosted  kernel: II=%d, %d stages -> %d fill/drain iterations per execution\n",
+		boosted.II, boosted.Stages, boosted.Stages-1)
+	fmt.Println()
+	fmt.Println("The loads hit the L1 cache, so the boosted schedule has no stalls to")
+	fmt.Println("remove; the added stages are pure cost, amortized only by long trips:")
+	fmt.Println()
+
+	fmt.Printf("%8s %14s %14s %10s\n", "trip", "baseline cyc", "boosted cyc", "change")
+	for _, trip := range []int64{2, 4, 8, 10, 16, 32, 64, 128, 512} {
+		cb := measure(base, trip)
+		cv := measure(boosted, trip)
+		fmt.Printf("%8d %14.1f %14.1f %+9.1f%%\n", trip, cb, cv, 100*(cb/cv-1))
+	}
+	fmt.Println()
+	fmt.Println("Below the paper's n = 32 threshold the slowdown is substantial (the")
+	fmt.Println("Fig. 7 h264ref and mesa regressions); above it the cost vanishes,")
+	fmt.Println("which is why n = 32 'reduces the general regression risk but still")
+	fmt.Println("gives virtually the same gains'.")
+}

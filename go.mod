@@ -1,0 +1,3 @@
+module ltsp
+
+go 1.22

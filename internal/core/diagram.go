@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renders the conceptual view of the software pipeline in the
+// style of the paper's Figs. 2 and 4: rows are cycles, columns are source
+// iterations, and each cell shows the operations of that iteration issued
+// in that cycle (ignoring dynamic stalls). n selects how many source
+// iterations to draw.
+func (c *Compiled) Diagram(n int) string {
+	if c.Schedule == nil || n < 1 {
+		return ""
+	}
+	s := c.Schedule
+
+	// Mnemonics per body instruction, in schedule-time order.
+	type slotOp struct {
+		time int
+		name string
+	}
+	var ops []slotOp
+	loop := c.loop
+	for i, in := range loop.Body {
+		name := in.Op.String()
+		if in.Op.IsLoad() || in.Op.IsStore() {
+			name = fmt.Sprintf("%s%d", in.Op, in.Mem.Size)
+		}
+		ops = append(ops, slotOp{s.Time[i], name})
+	}
+
+	maxTime := 0
+	for _, o := range ops {
+		if o.time > maxTime {
+			maxTime = o.time
+		}
+	}
+	lastCycle := (n-1)*s.II + maxTime
+
+	colW := 9
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cycle | From Source Iteration ->\n")
+	fmt.Fprintf(&b, "%5s |", "")
+	for j := 1; j <= n; j++ {
+		fmt.Fprintf(&b, " %-*d", colW, j)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 7+n*(colW+1)))
+	for cyc := 0; cyc <= lastCycle; cyc++ {
+		fmt.Fprintf(&b, "%5d |", cyc)
+		for j := 0; j < n; j++ {
+			var cell []string
+			for _, o := range ops {
+				if o.time+j*s.II == cyc {
+					cell = append(cell, o.name)
+				}
+			}
+			text := strings.Join(cell, ",")
+			if len(text) > colW {
+				text = text[:colW-1] + "…"
+			}
+			fmt.Fprintf(&b, " %-*s", colW, text)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ltsp/internal/ir"
+)
+
+func TestDiagramRunningExample(t *testing.T) {
+	// Paper Fig. 2: II=1, three stages; iteration j's ld at cycle j-1,
+	// add at j, st at j+1.
+	l, _, _ := exampleLoop(ir.HintNone)
+	c, err := Pipeline(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Diagram(5)
+	if d == "" {
+		t.Fatal("empty diagram")
+	}
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	// Title + column header + separator + cycles 0..6 (Fig. 2 spans 7
+	// cycles for 5 iterations).
+	if len(lines) != 3+7 {
+		t.Fatalf("diagram rows = %d:\n%s", len(lines), d)
+	}
+	// Cycle 2 is the first steady-state row: st4 (iter 1), add (iter 2), ld4 (iter 3).
+	row := lines[3+2]
+	for _, want := range []string{"st4", "add", "ld4"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("steady-state row missing %q: %s", want, row)
+		}
+	}
+}
+
+func TestDiagramLatencyBuffer(t *testing.T) {
+	// Fig. 4: with d=2 the adds trail the loads by three cycles.
+	l, _, _ := exampleLoop(ir.HintNone)
+	c, err := Pipeline(l, Options{LatencyTolerant: true, ForceLoadLatency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Diagram(4)
+	lines := strings.Split(d, "\n")
+	// Row for cycle 3 must contain the first add (iteration 1).
+	if !strings.Contains(lines[3+3], "add") {
+		t.Errorf("add not at cycle 3 with d=2:\n%s", d)
+	}
+	if strings.Contains(lines[3+1], "add") || strings.Contains(lines[3+2], "add") {
+		t.Errorf("add appears before its buffered latency:\n%s", d)
+	}
+}
+
+func TestDiagramEmptyForSequential(t *testing.T) {
+	c := &Compiled{}
+	if c.Diagram(3) != "" {
+		t.Error("diagram for nil schedule")
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+)
+
+// genLoop builds a random well-formed loop together with a memory
+// initializer. The generator covers loads (integer and FP), ALU chains,
+// predicated updates, in-place accumulators, loop-carried values (the
+// mov/load chase idiom) and observable stores, while respecting the
+// pipeliner's structural rules (single definitions, in-place registers
+// read only by their definer).
+type genLoop struct {
+	l       *ir.Loop
+	memInit func(*interp.Memory)
+	rng     *rand.Rand
+	intVals []ir.Reg // rotating integer values available as operands
+	fpVals  []ir.Reg
+	arrays  int64
+	inits   []func(*interp.Memory)
+}
+
+func newGenLoop(seed int64, size int) *genLoop {
+	g := &genLoop{l: ir.NewLoop(fmt.Sprintf("rand%d", seed)), rng: rand.New(rand.NewSource(seed))}
+	// Seed values: a couple of invariants.
+	inv := g.l.NewGR()
+	g.l.Init(inv, 37)
+	g.intVals = append(g.intVals, inv)
+	finv := g.l.NewFR()
+	g.l.InitF(finv, 1.25)
+	g.fpVals = append(g.fpVals, finv)
+
+	for i := 0; i < size; i++ {
+		switch g.rng.Intn(10) {
+		case 0, 1:
+			g.addIntLoad()
+		case 2:
+			g.addFPLoad()
+		case 3, 4:
+			g.addALU()
+		case 5:
+			g.addFPALU()
+		case 6:
+			g.addStore()
+		case 7:
+			g.addAccumulator()
+		case 8:
+			g.addPredicated()
+		default:
+			g.addCarriedChain()
+		}
+	}
+	// Guarantee at least one observable effect.
+	g.addStore()
+	g.addAccumulator()
+	g.memInit = func(m *interp.Memory) {
+		for _, f := range g.inits {
+			f(m)
+		}
+	}
+	return g
+}
+
+func (g *genLoop) newArrayBase(elemSize int64) (ir.Reg, int64) {
+	base := 0x0100_0000 + g.arrays*0x0010_0000
+	g.arrays++
+	r := g.l.NewGR()
+	g.l.Init(r, base)
+	return r, base
+}
+
+func (g *genLoop) pickInt() ir.Reg { return g.intVals[g.rng.Intn(len(g.intVals))] }
+func (g *genLoop) pickFP() ir.Reg  { return g.fpVals[g.rng.Intn(len(g.fpVals))] }
+
+func (g *genLoop) addIntLoad() {
+	b, addr := g.newArrayBase(8)
+	d := g.l.NewGR()
+	ld := ir.Ld(d, b, 8, 8)
+	if g.rng.Intn(2) == 0 {
+		ld.Mem.Hint = ir.Hint(g.rng.Intn(3))
+	}
+	g.l.Append(ld)
+	g.intVals = append(g.intVals, d)
+	seed := g.rng.Int63n(1 << 30)
+	g.inits = append(g.inits, func(m *interp.Memory) {
+		for i := int64(0); i < 64; i++ {
+			m.Store(addr+8*i, 8, seed+i*13)
+		}
+	})
+}
+
+func (g *genLoop) addFPLoad() {
+	b, addr := g.newArrayBase(8)
+	d := g.l.NewFR()
+	ld := ir.LdF(d, b, 8)
+	if g.rng.Intn(2) == 0 {
+		ld.Mem.Hint = ir.Hint(g.rng.Intn(3))
+	}
+	g.l.Append(ld)
+	g.fpVals = append(g.fpVals, d)
+	seed := float64(g.rng.Intn(100))
+	g.inits = append(g.inits, func(m *interp.Memory) {
+		for i := int64(0); i < 64; i++ {
+			m.StoreF(addr+8*i, seed+float64(i)*0.5)
+		}
+	})
+}
+
+func (g *genLoop) addALU() {
+	d := g.l.NewGR()
+	switch g.rng.Intn(4) {
+	case 0:
+		g.l.Append(ir.Add(d, g.pickInt(), g.pickInt()))
+	case 1:
+		g.l.Append(ir.Sub(d, g.pickInt(), g.pickInt()))
+	case 2:
+		g.l.Append(ir.Shladd(d, g.pickInt(), int64(g.rng.Intn(4)+1), g.pickInt()))
+	default:
+		g.l.Append(ir.AddI(d, g.pickInt(), int64(g.rng.Intn(1000))))
+	}
+	g.intVals = append(g.intVals, d)
+}
+
+func (g *genLoop) addFPALU() {
+	d := g.l.NewFR()
+	switch g.rng.Intn(3) {
+	case 0:
+		g.l.Append(ir.FAdd(d, g.pickFP(), g.pickFP()))
+	case 1:
+		g.l.Append(ir.FMul(d, g.pickFP(), g.pickFP()))
+	default:
+		g.l.Append(ir.FMA(d, g.pickFP(), g.pickFP(), g.pickFP()))
+	}
+	g.fpVals = append(g.fpVals, d)
+}
+
+func (g *genLoop) addStore() {
+	b, _ := g.newArrayBase(8)
+	g.l.Append(ir.St(b, g.pickInt(), 8, 8))
+}
+
+func (g *genLoop) addAccumulator() {
+	acc := g.l.NewGR()
+	g.l.Init(acc, int64(g.rng.Intn(50)))
+	g.l.Append(ir.Add(acc, acc, g.pickInt()))
+	g.l.LiveOut = append(g.l.LiveOut, acc)
+	// In-place: never added to intVals (only its definer may read it).
+}
+
+func (g *genLoop) addPredicated() {
+	p := g.l.NewPR()
+	g.l.Append(ir.CmpLt(p, ir.None, g.pickInt(), g.pickInt()))
+	b, _ := g.newArrayBase(8)
+	st := ir.Predicated(p, ir.St(b, g.pickInt(), 8, 0))
+	g.l.Append(st)
+}
+
+func (g *genLoop) addCarriedChain() {
+	// next = f(cur): a loop-carried rotating value with an initial value.
+	cur, next := g.l.NewGR(), g.l.NewGR()
+	g.l.Append(ir.Mov(cur, next))
+	g.l.Append(ir.AddI(next, cur, int64(g.rng.Intn(16)+1)))
+	g.l.Init(next, int64(g.rng.Intn(100)))
+	g.intVals = append(g.intVals, cur)
+	// Make it observable.
+	b, _ := g.newArrayBase(8)
+	g.l.Append(ir.St(b, cur, 8, 8))
+}
+
+// runBoth compiles the loop both ways and compares final memory and
+// live-outs for the given trip count.
+func runBoth(t *testing.T, g *genLoop, opts Options, trip int64) error {
+	t.Helper()
+	m := machine.Itanium2()
+	seqLoop := g.l.Clone()
+	seq, err := GenSequential(m, seqLoop)
+	if err != nil {
+		return fmt.Errorf("seq: %w", err)
+	}
+	pipeLoop := g.l.Clone()
+	c, err := Pipeline(pipeLoop, opts)
+	if err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+
+	memA, memB := interp.NewMemory(), interp.NewMemory()
+	g.memInit(memA)
+	g.memInit(memB)
+	stA, err := interp.Run(seq, trip, memA)
+	if err != nil {
+		return fmt.Errorf("run seq: %w", err)
+	}
+	stB, err := interp.Run(c.Program, trip, memB)
+	if err != nil {
+		return fmt.Errorf("run pipelined: %w", err)
+	}
+
+	snapA, snapB := stA.Mem.Snapshot(), stB.Mem.Snapshot()
+	if len(snapA) != len(snapB) {
+		return fmt.Errorf("page counts differ: %d vs %d", len(snapA), len(snapB))
+	}
+	for pn, pa := range snapA {
+		pb, ok := snapB[pn]
+		if !ok {
+			return fmt.Errorf("page %#x missing in pipelined run", pn)
+		}
+		if pa != pb {
+			return fmt.Errorf("page %#x differs (II=%d stages=%d trip=%d)", pn, c.FinalII, c.Stages, trip)
+		}
+	}
+	for i := range seq.LiveOut {
+		va := stA.ReadReg(seq.LiveOut[i])
+		vb := stB.ReadReg(c.Program.LiveOut[i])
+		if va != vb {
+			return fmt.Errorf("live-out %d: seq=%d pipelined=%d (II=%d stages=%d trip=%d)",
+				i, va, vb, c.FinalII, c.Stages, trip)
+		}
+	}
+	return nil
+}
+
+// TestQuickPipelinedEquivalentToSequential is the strongest correctness
+// property in the repository: for random loops, hint settings and trip
+// counts, the software-pipelined kernel (modulo scheduling + rotating
+// register allocation + stage-predicated code generation) computes exactly
+// the same memory state and live-out values as the sequential loop.
+func TestQuickPipelinedEquivalentToSequential(t *testing.T) {
+	f := func(seed int64, sz, tripRaw uint8, tolerant bool) bool {
+		g := newGenLoop(seed, int(sz%12)+2)
+		if err := g.l.Verify(); err != nil {
+			t.Fatalf("seed %d: generator produced invalid loop: %v", seed, err)
+		}
+		trip := int64(tripRaw%40) + 1
+		opts := Options{LatencyTolerant: tolerant, BoostDelinquent: tolerant}
+		if err := runBoth(t, g, opts, trip); err != nil {
+			t.Errorf("seed=%d size=%d trip=%d tolerant=%v: %v", seed, int(sz%12)+2, trip, tolerant, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120}
+	if testing.Short() {
+		cfg.MaxCount = 20
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickForcedLatencyEquivalence stresses the deep-pipeline path:
+// arbitrary forced scheduling latencies must never change semantics.
+func TestQuickForcedLatencyEquivalence(t *testing.T) {
+	f := func(seed int64, latRaw uint8) bool {
+		g := newGenLoop(seed, 6)
+		opts := Options{LatencyTolerant: true, ForceLoadLatency: int(latRaw%25) + 1}
+		if err := runBoth(t, g, opts, 9); err != nil {
+			t.Errorf("seed=%d lat=%d: %v", seed, int(latRaw%25)+1, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

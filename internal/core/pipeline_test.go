@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+)
+
+// exampleLoop builds the paper's running example (Fig. 1):
+//
+//	ld4  r4 = [r5],4
+//	add  r7 = r4,r9
+//	st4  [r6] = r7,4
+//
+// with the load's hint settable by the caller.
+func exampleLoop(hint ir.Hint) (*ir.Loop, int64, int64) {
+	const src, dst = 0x10000, 0x20000
+	l := ir.NewLoop("copyadd")
+	r4, r5, r6, r7, r9 := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	ld := ir.Ld(r4, r5, 4, 4)
+	ld.Mem.Hint = hint
+	ld.Mem.Stride = ir.StrideUnit
+	ld.Mem.StrideBytes = 4
+	l.Append(ld)
+	l.Append(ir.Add(r7, r4, r9))
+	l.Append(ir.St(r6, r7, 4, 4))
+	l.Init(r5, src)
+	l.Init(r6, dst)
+	l.Init(r9, 1000)
+	l.LiveOut = []ir.Reg{r5, r6}
+	return l, src, dst
+}
+
+func seedMemory(mem *interp.Memory, src int64, n int) {
+	for i := 0; i < n; i++ {
+		mem.Store(src+int64(4*i), 4, int64(10*i+3))
+	}
+}
+
+func TestPipelineRunningExampleBaseline(t *testing.T) {
+	l, _, _ := exampleLoop(ir.HintNone)
+	c, err := Pipeline(l, Options{})
+	if err != nil {
+		t.Fatalf("Pipeline: %v", err)
+	}
+	if c.FinalII != 1 {
+		t.Errorf("II = %d, want 1 (paper Fig. 3)", c.FinalII)
+	}
+	if c.Stages != 3 {
+		t.Errorf("stages = %d, want 3 (paper Fig. 2)", c.Stages)
+	}
+	if c.ResII != 1 || c.BaseRecII != 1 {
+		t.Errorf("ResII=%d BaseRecII=%d, want 1/1", c.ResII, c.BaseRecII)
+	}
+}
+
+func TestPipelineRunningExampleLatencyTolerant(t *testing.T) {
+	l, _, _ := exampleLoop(ir.HintL3)
+	c, err := Pipeline(l, Options{LatencyTolerant: true})
+	if err != nil {
+		t.Fatalf("Pipeline: %v", err)
+	}
+	m := machine.Itanium2()
+	if c.FinalII != 1 {
+		t.Errorf("II = %d, want 1 (latency tolerance must not raise the II)", c.FinalII)
+	}
+	wantStages := m.Lat.L3Typ + 2 // load at L3Typ, add, store
+	if c.Stages != wantStages {
+		t.Errorf("stages = %d, want %d", c.Stages, wantStages)
+	}
+	if len(c.Loads) != 1 {
+		t.Fatalf("load reports: %d", len(c.Loads))
+	}
+	lr := c.Loads[0]
+	if lr.Critical {
+		t.Errorf("load classified critical; it has slack")
+	}
+	if lr.SchedLat != m.Lat.L3Typ {
+		t.Errorf("scheduled latency = %d, want %d", lr.SchedLat, m.Lat.L3Typ)
+	}
+	// Equ. 3: k = d/II + 1.
+	wantD := m.Lat.L3Typ - m.Lat.L1Best
+	if lr.ExtraD != wantD {
+		t.Errorf("d = %d, want %d", lr.ExtraD, wantD)
+	}
+	if lr.ClusterK != wantD/c.FinalII+1 {
+		t.Errorf("k = %d, want %d", lr.ClusterK, wantD/c.FinalII+1)
+	}
+}
+
+// TestPipelinedMatchesSequential is the keystone correctness check: the
+// pipelined kernel must compute exactly the same memory state and live-out
+// registers as the sequential loop, for several trip counts and hint
+// settings.
+func TestPipelinedMatchesSequential(t *testing.T) {
+	for _, hint := range []ir.Hint{ir.HintNone, ir.HintL2, ir.HintL3} {
+		for _, trip := range []int64{1, 2, 3, 5, 17, 100} {
+			l, src, dst := exampleLoop(hint)
+			seq, err := GenSequential(machine.Itanium2(), l)
+			if err != nil {
+				t.Fatalf("GenSequential: %v", err)
+			}
+			c, err := Pipeline(l, Options{LatencyTolerant: true})
+			if err != nil {
+				t.Fatalf("Pipeline: %v", err)
+			}
+
+			memA := interp.NewMemory()
+			seedMemory(memA, src, int(trip))
+			memB := interp.NewMemory()
+			seedMemory(memB, src, int(trip))
+
+			stA, err := interp.Run(seq, trip, memA)
+			if err != nil {
+				t.Fatalf("run seq: %v", err)
+			}
+			stB, err := interp.Run(c.Program, trip, memB)
+			if err != nil {
+				t.Fatalf("run pipelined: %v", err)
+			}
+
+			for i := int64(0); i < trip; i++ {
+				a := stA.Mem.Load(dst+4*i, 4)
+				b := stB.Mem.Load(dst+4*i, 4)
+				want := int64(10*i + 3 + 1000)
+				if a != want {
+					t.Fatalf("hint=%v trip=%d: seq dst[%d]=%d want %d", hint, trip, i, a, want)
+				}
+				if b != want {
+					t.Fatalf("hint=%v trip=%d: pipelined dst[%d]=%d want %d (II=%d stages=%d)",
+						hint, trip, i, b, want, c.FinalII, c.Stages)
+				}
+			}
+			for k := range seq.LiveOut {
+				va := stA.ReadReg(seq.LiveOut[k])
+				vb := stB.ReadReg(c.Program.LiveOut[k])
+				if va != vb {
+					t.Fatalf("hint=%v trip=%d: live-out %d: seq=%d pipelined=%d", hint, trip, k, va, vb)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelIterationCost(t *testing.T) {
+	// The pipelined loop needs exactly (stages - 1) extra kernel
+	// iterations per execution (paper Sec. 1.1).
+	l, src, _ := exampleLoop(ir.HintL3)
+	c, err := Pipeline(l, Options{LatencyTolerant: true})
+	if err != nil {
+		t.Fatalf("Pipeline: %v", err)
+	}
+	trip := int64(10)
+	mem := interp.NewMemory()
+	seedMemory(mem, src, int(trip))
+	if got, want := c.Program.KernelIterations(trip), trip+int64(c.Stages)-1; got != want {
+		t.Errorf("kernel iterations = %d, want %d", got, want)
+	}
+}

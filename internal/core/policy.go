@@ -1,0 +1,121 @@
+// Package core implements the paper's contribution: latency-tolerant
+// software pipelining. It classifies loads as critical or non-critical by
+// walking the recurrence cycles of the dependence graph (Sec. 3.3),
+// schedules non-critical loads at the hint-derived typical latency of the
+// next cache level, falls back (reduce latencies at the same II, then raise
+// the II) when rotating register allocation fails, and generates
+// kernel-only pipelined code with rotating registers and stage predicates.
+package core
+
+import (
+	"ltsp/internal/ddg"
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+)
+
+// Policy is the latency policy for one loop's loads: which loads are
+// eligible for boosting (per-load gating) and which were classified
+// critical (scheduled at base latency regardless).
+type Policy struct {
+	model *machine.Model
+	// Critical[id] marks body instruction id a critical load.
+	Critical map[int]bool
+	// LoopEnabled applies latency tolerance to every load in the loop (the
+	// loop passed the trip-count threshold).
+	LoopEnabled bool
+	// DelinquentOverride boosts HLO-flagged delinquent loads even when the
+	// loop did not pass the threshold (paper Sec. 3.1: long expected
+	// latencies can justify the cost at low trip counts).
+	DelinquentOverride bool
+}
+
+// eligible reports whether the policy would boost this load at all
+// (ignoring criticality).
+func (p *Policy) eligible(in *ir.Instr) bool {
+	if !in.Op.IsLoad() {
+		return false
+	}
+	if p.LoopEnabled {
+		return true
+	}
+	return p.DelinquentOverride && in.Mem != nil && in.Mem.Delinquent
+}
+
+// LatFn returns the ddg.LatencyFn implementing the policy: base latencies
+// for critical and ineligible loads, hint-derived expected latencies for
+// eligible non-critical loads.
+func (p *Policy) LatFn() ddg.LatencyFn {
+	return func(in *ir.Instr) int {
+		if !p.eligible(in) || p.Critical[in.ID] {
+			return p.model.LoadLatency(in, false)
+		}
+		return p.model.LoadLatency(in, true)
+	}
+}
+
+// BaseLatFn returns the all-base-latency policy used for Recurrence-II
+// computation and for the fallback ladder.
+func BaseLatFn(m *machine.Model) ddg.LatencyFn {
+	return func(in *ir.Instr) int { return m.LoadLatency(in, false) }
+}
+
+// Classify performs the paper's critical/non-critical load classification:
+// initially every load is non-critical; then every recurrence cycle is
+// checked — if raising the latencies of all eligible loads on the cycle to
+// their expected (hint-derived) values would push the cycle's II bound
+// beyond the loop's II floor (the larger of Resource II and the base
+// Recurrence II), all loads on that cycle are marked critical.
+func Classify(m *machine.Model, g *ddg.Graph, resII, baseRecII int, loopEnabled, delinquentOverride bool) *Policy {
+	p := &Policy{
+		model:              m,
+		Critical:           map[int]bool{},
+		LoopEnabled:        loopEnabled,
+		DelinquentOverride: delinquentOverride,
+	}
+	if !loopEnabled && !delinquentOverride {
+		return p
+	}
+	floor := resII
+	if baseRecII > floor {
+		floor = baseRecII
+	}
+	base := BaseLatFn(m)
+	for _, c := range g.Cycles() {
+		loads := c.Loads(g)
+		if len(loads) == 0 {
+			continue
+		}
+		onCycle := map[int]bool{}
+		for _, ld := range loads {
+			onCycle[ld.ID] = true
+		}
+		elevated := func(in *ir.Instr) int {
+			if onCycle[in.ID] && p.eligible(in) {
+				return m.LoadLatency(in, true)
+			}
+			return base(in)
+		}
+		if c.MinII(g, elevated) > floor {
+			for _, ld := range loads {
+				p.Critical[ld.ID] = true
+			}
+		}
+	}
+	return p
+}
+
+// BoostedLoads returns the IDs of loads that the policy schedules above
+// their base latency: eligible non-critical loads whose hint requests more
+// cycles.
+func (p *Policy) BoostedLoads(g *ddg.Graph) []int {
+	var out []int
+	for _, in := range g.Loop.Body {
+		if !in.Op.IsLoad() || p.Critical[in.ID] || !p.eligible(in) {
+			continue
+		}
+		if p.model.LoadLatency(in, true) > p.model.LoadLatency(in, false) {
+			out = append(out, in.ID)
+		}
+	}
+	return out
+}

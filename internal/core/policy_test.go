@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"ltsp/internal/ddg"
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+	"ltsp/internal/modsched"
+)
+
+// chaseWithPayload builds a pointer chase (load on the recurrence) plus a
+// payload load off the recurrence, both hinted.
+func chaseWithPayload(hint ir.Hint) *ir.Loop {
+	l := ir.NewLoop("chase")
+	pnext, pcur, t1, v := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	l.Append(ir.Mov(pcur, pnext))
+	chase := ir.Ld(pnext, pcur, 8, 0)
+	chase.Mem.Hint = hint
+	l.Append(chase)
+	l.Append(ir.AddI(t1, pcur, 8))
+	payload := ir.Ld(v, t1, 8, 0)
+	payload.Mem.Hint = hint
+	l.Append(payload)
+	st := ir.St(l.NewGR(), v, 8, 0)
+	l.Append(st)
+	l.Init(pnext, 0x10000)
+	l.Init(st.BaseReg(), 0x20000)
+	return l
+}
+
+func TestClassifyChaseLoadCritical(t *testing.T) {
+	m := machine.Itanium2()
+	l := chaseWithPayload(ir.HintL2)
+	g, err := ddg.Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resII := modsched.ResMII(m, l.Body)
+	baseRecII := g.RecMII(BaseLatFn(m))
+	p := Classify(m, g, resII, baseRecII, true, false)
+	// The chase load (body 1) sits on the mov->ld recurrence: boosting it
+	// to 11 would push the cycle to 12 >> ResII, so it must be critical.
+	if !p.Critical[1] {
+		t.Error("chase load not classified critical")
+	}
+	// The payload load (body 3) has slack: non-critical.
+	if p.Critical[3] {
+		t.Error("payload load classified critical")
+	}
+	lat := p.LatFn()
+	if got := lat(l.Body[1]); got != 1 {
+		t.Errorf("critical load latency = %d, want base 1", got)
+	}
+	if got := lat(l.Body[3]); got != 11 {
+		t.Errorf("non-critical load latency = %d, want 11", got)
+	}
+}
+
+func TestClassifyDisabled(t *testing.T) {
+	m := machine.Itanium2()
+	l := chaseWithPayload(ir.HintL3)
+	g, _ := ddg.Build(l)
+	p := Classify(m, g, 2, 2, false, false)
+	lat := p.LatFn()
+	for _, in := range l.Loads() {
+		if got := lat(in); got != 1 {
+			t.Errorf("disabled policy latency = %d", got)
+		}
+	}
+	if len(p.BoostedLoads(g)) != 0 {
+		t.Error("disabled policy boosts loads")
+	}
+}
+
+func TestDelinquentOverride(t *testing.T) {
+	m := machine.Itanium2()
+	l := chaseWithPayload(ir.HintL2)
+	// Only the payload is marked delinquent (as HLO heuristic 1 would).
+	l.Body[3].Mem.Delinquent = true
+	g, _ := ddg.Build(l)
+	resII := modsched.ResMII(m, l.Body)
+	baseRecII := g.RecMII(BaseLatFn(m))
+	// Loop below the trip threshold: LoopEnabled false, override true.
+	p := Classify(m, g, resII, baseRecII, false, true)
+	lat := p.LatFn()
+	if got := lat(l.Body[3]); got != 11 {
+		t.Errorf("delinquent payload latency = %d, want 11 (threshold override)", got)
+	}
+	if got := lat(l.Body[1]); got != 1 {
+		t.Errorf("non-delinquent chase latency = %d, want base", got)
+	}
+	boosted := p.BoostedLoads(g)
+	if len(boosted) != 1 || boosted[0] != 3 {
+		t.Errorf("boosted = %v, want [3]", boosted)
+	}
+}
+
+func TestClassifyRecurrenceFloorUsesBaseRecII(t *testing.T) {
+	// A loop whose base RecII already exceeds ResII: a load on the cycle
+	// may still be boosted as long as the cycle stays within the floor.
+	m := machine.Itanium2()
+	l := ir.NewLoop("slackcycle")
+	acc, x, bx := l.NewFR(), l.NewFR(), l.NewGR()
+	l.InitF(acc, 0)
+	l.Init(bx, 0x1000)
+	ld := ir.LdF(x, bx, 8)
+	ld.Mem.Hint = ir.HintL2 // 12 vs base 6
+	l.Append(ld)
+	l.Append(ir.FAdd(acc, acc, x)) // RecII = 4 (fadd in-place)
+	g, _ := ddg.Build(l)
+	resII := modsched.ResMII(m, l.Body) // 1
+	baseRecII := g.RecMII(BaseLatFn(m)) // 4
+	p := Classify(m, g, resII, baseRecII, true, false)
+	// The load is not on the fadd cycle, so it stays non-critical.
+	if p.Critical[0] {
+		t.Error("off-cycle load classified critical")
+	}
+}
+
+func TestPipelineFallbackLadder(t *testing.T) {
+	// Shrink the rotating GR file so boosting overflows it: the pipeliner
+	// must retry at the same II with base latencies (paper Sec. 3.3).
+	m := machine.Itanium2()
+	m.RotGR = 12
+	l := ir.NewLoop("tight")
+	v, bs, bd, r, k := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	ld := ir.Ld(v, bs, 4, 4)
+	ld.Mem.Hint = ir.HintL3
+	l.Append(ld)
+	l.Append(ir.Add(r, v, k))
+	l.Append(ir.St(bd, r, 4, 4))
+	l.Init(bs, 0x1000)
+	l.Init(bd, 0x2000)
+	l.Init(k, 1)
+	c, err := Pipeline(l, Options{Model: m, LatencyTolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.LatencyReduced {
+		t.Error("fallback ladder did not fire despite rotating overflow")
+	}
+	if c.FinalII != 1 {
+		t.Errorf("II = %d, want the original 1 after latency reduction", c.FinalII)
+	}
+	if c.Stages > 4 {
+		t.Errorf("stages = %d after reduction, want small", c.Stages)
+	}
+}
+
+func TestPipelineForcedLatency(t *testing.T) {
+	l, _, _ := exampleLoop(ir.HintNone)
+	c, err := Pipeline(l, Options{LatencyTolerant: true, ForceLoadLatency: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Loads[0].SchedLat != 9 {
+		t.Errorf("forced latency = %d, want 9", c.Loads[0].SchedLat)
+	}
+	if c.Loads[0].ExtraD != 8 {
+		t.Errorf("d = %d, want 8", c.Loads[0].ExtraD)
+	}
+}
+
+func TestPipelineAttemptsAndReports(t *testing.T) {
+	l, _, _ := exampleLoop(ir.HintL3)
+	c, err := Pipeline(l, Options{LatencyTolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Attempts <= 0 {
+		t.Error("no scheduling attempts recorded")
+	}
+	if len(c.Loads) != 1 || c.Loads[0].Hint != ir.HintL3 {
+		t.Errorf("load reports = %+v", c.Loads)
+	}
+}
+
+func TestPipelineRejectsInvalidLoop(t *testing.T) {
+	l := ir.NewLoop("bad")
+	a := l.NewGR()
+	l.Append(&ir.Instr{Op: ir.OpAdd, Dsts: []ir.Reg{a}, Srcs: []ir.Reg{a}})
+	if _, err := Pipeline(l, Options{}); err == nil {
+		t.Error("invalid loop accepted")
+	}
+}

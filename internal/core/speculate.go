@@ -1,0 +1,39 @@
+package core
+
+import "ltsp/internal/ir"
+
+// DataSpeculate breaks may-alias memory dependences that end at loads,
+// turning the loads into advanced loads (ld.a) validated by a chk.a —
+// one of the Recurrence-II-reducing transformations the paper lists in
+// Sec. 3.3 ("predicate promotion, riffling, and data speculation are done
+// to reduce the recurrence cycle lengths"). Recovery code is not modeled:
+// the check always succeeds, which is exact for workloads whose
+// "may-alias" references never actually overlap, and optimistic (like the
+// hardware fast path) otherwise.
+//
+// It returns the number of dependences broken. Each affected load gets
+// one chk.a appended; the check reads the load's destination, so it
+// naturally schedules after the data returns and charges the issue
+// bandwidth chk.a costs on real hardware.
+func DataSpeculate(l *ir.Loop) int {
+	kept := l.MemDeps[:0]
+	checked := map[int]bool{}
+	broken := 0
+	for _, d := range l.MemDeps {
+		to := l.Body[d.To]
+		if !d.MayAlias || !to.Op.IsLoad() {
+			kept = append(kept, d)
+			continue
+		}
+		broken++
+		if !checked[d.To] {
+			checked[d.To] = true
+			chk := ir.Chk(to.Dsts[0])
+			chk.Pred = to.Pred
+			chk.Comment = "validate advanced load"
+			l.Append(chk)
+		}
+	}
+	l.MemDeps = kept
+	return broken
+}

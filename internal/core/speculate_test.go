@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"ltsp/internal/ddg"
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+)
+
+// aliasedLoop builds a loop where a conservative (may-alias) store->load
+// dependence sits on a recurrence cycle: the compiler cannot prove the
+// stored and loaded locations are distinct, so without data speculation
+// the cycle's length is the load-use-store chain.
+func aliasedLoop() *ir.Loop {
+	l := ir.NewLoop("alias")
+	v, t := l.NewGR(), l.NewGR()
+	bl, bs := l.NewGR(), l.NewGR()
+	ld := ir.Ld(v, bl, 8, 8)
+	l.Append(ld)                 // 0: load
+	l.Append(ir.AddI(t, v, 3))   // 1
+	l.Append(ir.St(bs, t, 8, 8)) // 2: store that may alias next iteration's load
+	l.MemDeps = []ir.MemDep{{From: 2, To: 0, Distance: 1, Latency: 2, MayAlias: true}}
+	l.Init(bl, 0x10000)
+	l.Init(bs, 0x20000)
+	return l
+}
+
+func TestDataSpeculateReducesRecII(t *testing.T) {
+	m := machine.Itanium2()
+	l := aliasedLoop()
+	g, err := ddg.Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.RecMII(BaseLatFn(m))
+	if before < 4 {
+		t.Fatalf("conservative RecII = %d, expected the ld-add-st cycle to bind", before)
+	}
+
+	broken := DataSpeculate(l)
+	if broken != 1 {
+		t.Fatalf("broke %d deps, want 1", broken)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("loop invalid after speculation: %v", err)
+	}
+	// A chk.a now validates the advanced load.
+	last := l.Body[len(l.Body)-1]
+	if last.Op != ir.OpChk || last.Srcs[0] != l.Body[0].Dsts[0] {
+		t.Errorf("expected chk.a on the load target, got %v", last)
+	}
+	g2, err := ddg.Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := g2.RecMII(BaseLatFn(m))
+	if after >= before {
+		t.Errorf("RecII %d -> %d: speculation did not shorten the recurrence", before, after)
+	}
+}
+
+func TestDataSpeculateKeepsProvenDeps(t *testing.T) {
+	l := aliasedLoop()
+	l.MemDeps[0].MayAlias = false
+	if n := DataSpeculate(l); n != 0 {
+		t.Errorf("broke %d proven dependences", n)
+	}
+	if len(l.MemDeps) != 1 {
+		t.Error("proven dependence dropped")
+	}
+}
+
+func TestDataSpeculateOnlyLoads(t *testing.T) {
+	// A may-alias dependence ending at a store is not speculable.
+	l := aliasedLoop()
+	l.MemDeps = []ir.MemDep{{From: 0, To: 2, Distance: 1, MayAlias: true}}
+	if n := DataSpeculate(l); n != 0 {
+		t.Errorf("speculated a store-target dependence")
+	}
+}
+
+func TestDataSpeculatedLoopPipelinesAndMatches(t *testing.T) {
+	// End to end: speculate, pipeline with boosting, compare against the
+	// unspeculated sequential loop (the may-alias locations are disjoint,
+	// so results must be identical).
+	m := machine.Itanium2()
+	ref := aliasedLoop()
+	seq, err := GenSequential(m, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := aliasedLoop()
+	spec.Body[0].Mem.Hint = ir.HintL2
+	DataSpeculate(spec)
+	c, err := Pipeline(spec, Options{LatencyTolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the recurrence broken and the load boosted, the kernel must
+	// schedule the load well ahead of its use.
+	boosted := false
+	for _, lr := range c.Loads {
+		if lr.ExtraD > 0 {
+			boosted = true
+		}
+	}
+	if !boosted {
+		t.Error("speculated load not boosted")
+	}
+
+	const trip = 25
+	memA, memB := interp.NewMemory(), interp.NewMemory()
+	for i := int64(0); i < trip; i++ {
+		memA.Store(0x10000+8*i, 8, 100+i)
+		memB.Store(0x10000+8*i, 8, 100+i)
+	}
+	stA, err := interp.Run(seq, trip, memA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := interp.Run(c.Program, trip, memB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < trip; i++ {
+		a := stA.Mem.Load(0x20000+8*i, 8)
+		b := stB.Mem.Load(0x20000+8*i, 8)
+		if a != b || a != 103+i {
+			t.Fatalf("result[%d]: seq=%d speculated=%d want %d", i, a, b, 103+i)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ltsp/internal/core"
+	"ltsp/internal/hlo"
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+	"ltsp/internal/sim"
+	"ltsp/internal/workload"
+)
+
+// CaseStudyResult reproduces the paper's Sec. 4.4: the refresh_potential()
+// loop of 429.mcf. The delinquent indirect loads cannot be prefetched
+// (pointer-chasing recurrence), are marked by HLO heuristic (1), and get
+// clustered in the pipelined schedule; despite an average trip count of
+// only 2.3 the loop speeds up substantially (paper: k = 2, 40%).
+type CaseStudyResult struct {
+	// AvgTrip is the loop's average reference trip count.
+	AvgTrip float64
+	// DelinquentLoads lists the loads HLO marked by heuristic (1).
+	DelinquentLoads []string
+	// ClusterK is the realized clustering factor per delinquent load.
+	ClusterK map[string]int
+	// II / Stages of the latency-tolerant kernel.
+	II, Stages int
+	// SpeedupPct is the loop-level speedup of HLO hints over baseline
+	// (paper: 40%).
+	SpeedupPct float64
+	// WhileSpeedupPct is the same measurement on the faithful
+	// data-terminated form of the loop (while (node), pipelined with
+	// br.wtop on a software validity chain).
+	WhileSpeedupPct float64
+	// PaperK and PaperSpeedupPct are the paper's values.
+	PaperK          int
+	PaperSpeedupPct float64
+}
+
+// RunCaseStudy executes the Sec. 4.4 reproduction.
+func RunCaseStudy() (*CaseStudyResult, error) {
+	b := workload.ByName("429.mcf")
+	if b == nil {
+		return nil, fmt.Errorf("casestudy: no 429.mcf model")
+	}
+	var spec *workload.LoopSpec
+	for i := range b.Loops {
+		if b.Loops[i].Name == "refresh_potential" {
+			spec = &b.Loops[i]
+		}
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("casestudy: no refresh_potential loop")
+	}
+
+	res := &CaseStudyResult{
+		AvgTrip:         spec.Ref.Avg(),
+		ClusterK:        map[string]int{},
+		PaperK:          2,
+		PaperSpeedupPct: 40,
+	}
+
+	// Inspect the compiled kernel under HLO hints.
+	l := spec.Gen()
+	rep, err := hlo.Apply(l, hlo.Options{Mode: hlo.ModeHLO, Prefetch: true, TripEstimate: res.AvgTrip})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rep.Refs {
+		if r.Heuristic == hlo.HNotPrefetchable && l.Body[r.ID].Op.IsLoad() {
+			res.DelinquentLoads = append(res.DelinquentLoads, loadLabel(l.Body[r.ID]))
+		}
+	}
+	c, err := core.Pipeline(l, core.Options{BoostDelinquent: true})
+	if err != nil {
+		return nil, err
+	}
+	res.II, res.Stages = c.FinalII, c.Stages
+	for _, lr := range c.Loads {
+		in := l.Body[lr.ID]
+		if in.Mem != nil && in.Mem.Delinquent && !lr.Critical {
+			res.ClusterK[loadLabel(in)] = lr.ClusterK
+		}
+	}
+
+	// Loop-level speedup over the reference distribution.
+	base, err := EvalLoop(spec, Baseline(true))
+	if err != nil {
+		return nil, err
+	}
+	variant, err := EvalLoop(spec, WithHints(hlo.ModeHLO, true, 32))
+	if err != nil {
+		return nil, err
+	}
+	if variant.Cycles > 0 {
+		res.SpeedupPct = (base.Cycles/variant.Cycles - 1) * 100
+	}
+
+	// The data-terminated (br.wtop) form: chains of the same average
+	// length traversed to their NULL terminator.
+	whileSpeedup, err := measureWhileForm()
+	if err != nil {
+		return nil, err
+	}
+	res.WhileSpeedupPct = whileSpeedup
+	return res, nil
+}
+
+// measureWhileForm compiles and simulates the while-loop form of
+// refresh_potential under the baseline and HLO configurations, over the
+// paper's 2.3-average trip mix, cold caches.
+func measureWhileForm() (float64, error) {
+	run := func(mode hlo.HintMode, tolerant bool) (float64, error) {
+		gen, _ := workload.WhileChase(1<<15, 3, 7)
+		l := gen()
+		if _, err := hlo.Apply(l, hlo.Options{Mode: mode, Prefetch: true, TripEstimate: 2.3}); err != nil {
+			return 0, err
+		}
+		c, err := core.Pipeline(l, core.Options{LatencyTolerant: tolerant, BoostDelinquent: tolerant})
+		if err != nil {
+			return 0, err
+		}
+		runner := sim.NewRunner(sim.DefaultConfig())
+		var total float64
+		// Chain lengths 2 and 3 in a 7:3 mix (average 2.3), fresh cold
+		// caches per execution.
+		for i, chain := range []int64{2, 2, 2, 2, 2, 2, 2, 3, 3, 3} {
+			genC, initC := workload.WhileChase(1<<15, chain, int64(40+i))
+			_ = genC // same loop shape; only the data differs
+			mem := interp.NewMemory()
+			initC(mem)
+			runner.DropCaches()
+			r, err := runner.Run(c.Program, 64, mem)
+			if err != nil {
+				return 0, err
+			}
+			total += float64(r.Cycles)
+		}
+		return total, nil
+	}
+	base, err := run(hlo.ModeNone, false)
+	if err != nil {
+		return 0, err
+	}
+	boosted, err := run(hlo.ModeHLO, true)
+	if err != nil {
+		return 0, err
+	}
+	if boosted <= 0 {
+		return 0, nil
+	}
+	return (base/boosted - 1) * 100, nil
+}
+
+func loadLabel(in *ir.Instr) string {
+	if in.Comment != "" {
+		return in.Comment
+	}
+	return fmt.Sprintf("body[%d]", in.ID)
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"testing"
+
+	"ltsp/internal/hlo"
+	"ltsp/internal/profile"
+	"ltsp/internal/workload"
+)
+
+func TestConfigModelOverrides(t *testing.T) {
+	c := Baseline(true)
+	if m := c.model(); m.OzQCapacity != 48 || m.RotGR != 96 {
+		t.Errorf("default model overridden: %+v", m)
+	}
+	c.OzQCapacity, c.RotGR, c.RotFR = 16, 24, 32
+	m := c.model()
+	if m.OzQCapacity != 16 || m.RotGR != 24 || m.RotFR != 32 {
+		t.Errorf("overrides not applied: %+v", m)
+	}
+}
+
+func TestVersionedEvalUsesShortKernel(t *testing.T) {
+	// mesa: estimate 154 (train), actual trips 8. The non-versioned
+	// variant boosts (and loses); the versioned one dispatches every
+	// execution to the conservative kernel.
+	spec := &workload.ByName("177.mesa").Loops[0]
+	static := WithHints(hlo.ModeAllL3, true, 32)
+	versioned := static
+	versioned.Versioned = true
+
+	base, err := EvalLoop(spec, Baseline(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evStatic, err := EvalLoop(spec, static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evVersioned, err := EvalLoop(spec, versioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evStatic.Cycles < base.Cycles*1.5 {
+		t.Errorf("static boosting did not hurt mesa: %.0f vs %.0f", evStatic.Cycles, base.Cycles)
+	}
+	// Versioning dispatches every reference execution to the conservative
+	// kernel; the only residual cost is the versioned function's larger
+	// stacked register frame (both kernels live in it), charged by the
+	// RSE model.
+	if evVersioned.Cycles > base.Cycles*1.45 {
+		t.Errorf("versioned run not dispatching short executions: %.0f vs base %.0f",
+			evVersioned.Cycles, base.Cycles)
+	}
+	if evVersioned.Cycles > evStatic.Cycles*0.75 {
+		t.Errorf("versioning recovered too little: %.0f vs static %.0f",
+			evVersioned.Cycles, evStatic.Cycles)
+	}
+}
+
+func TestVersionedKeepsLongTripGains(t *testing.T) {
+	spec := &workload.ByName("481.wrf").Loops[0] // trip 48 >= gate 32
+	static := WithHints(hlo.ModeHLO, true, 32)
+	versioned := static
+	versioned.Versioned = true
+	evStatic, err := EvalLoop(spec, static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evVersioned, err := EvalLoop(spec, versioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := evVersioned.Cycles / evStatic.Cycles; diff > 1.02 || diff < 0.98 {
+		t.Errorf("long-trip loop changed under versioning: ratio %.3f", diff)
+	}
+}
+
+func TestSampleLoopHints(t *testing.T) {
+	cfg := WithHints(hlo.ModeHLO, false, 32)
+	cfg.HintSampling = true
+
+	// The mcf chase: delinquent loads average near memory latency.
+	var chase *workload.LoopSpec
+	for i := range workload.ByName("429.mcf").Loops {
+		if workload.ByName("429.mcf").Loops[i].Name == "refresh_potential" {
+			chase = &workload.ByName("429.mcf").Loops[i]
+		}
+	}
+	hints, err := sampleLoopHints(chase, cfg, profile.Static(chase.Facts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delinquent := 0
+	for _, h := range hints {
+		if h.delinquent {
+			delinquent++
+		}
+	}
+	if delinquent < 2 {
+		t.Errorf("sampling found %d delinquent loads in the chase, want >= 2 (hints: %v)",
+			delinquent, hints)
+	}
+
+	// h264ref: cache-hot loads must receive no hints at all.
+	sad := &workload.ByName("464.h264ref").Loops[0]
+	hints, err = sampleLoopHints(sad, cfg, profile.PGO(sad.Train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hints) != 0 {
+		t.Errorf("sampling hinted cache-hot loads: %v", hints)
+	}
+}
+
+func TestSampledHintsAppliedToCompilation(t *testing.T) {
+	spec := &workload.ByName("462.libquantum").Loops[0]
+	cfg := WithHints(hlo.ModeHLO, false, 32)
+	cfg.HintSampling = true
+	ev, err := EvalLoop(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Boosted == 0 {
+		t.Error("sampled hints produced no boosted loads on the streaming loop")
+	}
+}
+
+func TestSuiteResultStructure(t *testing.T) {
+	benches := []*workload.Benchmark{workload.ByName("464.h264ref")}
+	r, err := EvalSuite(benches, Baseline(true), []Config{
+		WithHints(hlo.ModeAllL3, true, 0),
+		WithHints(hlo.ModeAllL3, true, 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 1 || len(r.Gains) != 1 || len(r.Gains[0]) != 2 {
+		t.Fatalf("shape: %+v", r)
+	}
+	if len(r.Results) != 1 || len(r.Results[0]) != 2 {
+		t.Fatal("full results not recorded")
+	}
+	// h264ref: loses at n=0, protected at n=32.
+	if !(r.Gains[0][0] < -5 && r.Gains[0][1] > -1) {
+		t.Errorf("gains = %v", r.Gains[0])
+	}
+	if r.Geomean[0] >= r.Geomean[1] {
+		t.Error("geomeans inconsistent with gains")
+	}
+}
+
+func TestAcctFAggregation(t *testing.T) {
+	var a AcctF
+	a.addF(AcctF{Total: 1, Unstalled: 0.5, Exe: 0.3, L1DFPU: 0.1, RSE: 0.05, Flush: 0.03, FE: 0.02}, 2)
+	if a.Total != 2 || a.Unstalled != 1 || a.Exe != 0.6 {
+		t.Errorf("addF: %+v", a)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"ltsp/internal/hlo"
+	"ltsp/internal/workload"
+)
+
+// Fig10Result reproduces the paper's cycle-accounting comparison over
+// CPU2006 (HLO hints vs baseline, no PGO): total cycles decomposed into
+// the six microarchitectural states, plus the percentage change of each
+// component.
+type Fig10Result struct {
+	Baseline, Variant AcctF
+	// Changes are percentage changes variant-vs-baseline per component.
+	ExeChange, L1DFPUChange, RSEChange, UnstalledChange, TotalChange float64
+	// OzQ full-state share of total cycles (paper: 8.2% -> 9.4%).
+	OzQShareBase, OzQShareVar float64
+	// Paper's reported changes for side-by-side reporting.
+	PaperExeChange, PaperL1DFPUChange, PaperRSEChange, PaperUnstalledChange float64
+}
+
+// RunFig10 aggregates simulator cycle accounting over CPU2006 under the
+// baseline and the HLO-hints configuration (both without PGO, exactly the
+// last experiment of Fig. 9).
+func RunFig10() (*Fig10Result, error) {
+	base := Baseline(false)
+	variant := WithHints(hlo.ModeHLO, false, 32)
+	res := &Fig10Result{
+		PaperExeChange:       -12,
+		PaperL1DFPUChange:    8,
+		PaperRSEChange:       14,
+		PaperUnstalledChange: 1.2,
+	}
+	for _, b := range workload.CPU2006() {
+		r, err := EvalBenchmark(b, base, variant)
+		if err != nil {
+			return nil, err
+		}
+		res.Baseline.addF(r.BaseAcct, 1)
+		res.Variant.addF(r.VarAcct, 1)
+	}
+	pct := func(a, b float64) float64 {
+		if a == 0 {
+			return 0
+		}
+		return (b/a - 1) * 100
+	}
+	res.ExeChange = pct(res.Baseline.Exe, res.Variant.Exe)
+	res.L1DFPUChange = pct(res.Baseline.L1DFPU, res.Variant.L1DFPU)
+	res.RSEChange = pct(res.Baseline.RSE, res.Variant.RSE)
+	res.UnstalledChange = pct(res.Baseline.Unstalled, res.Variant.Unstalled)
+	res.TotalChange = pct(res.Baseline.Total, res.Variant.Total)
+	if res.Baseline.Total > 0 {
+		res.OzQShareBase = 100 * res.Baseline.L1DFPU / res.Baseline.Total
+	}
+	if res.Variant.Total > 0 {
+		res.OzQShareVar = 100 * res.Variant.L1DFPU / res.Variant.Total
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"ltsp/internal/hlo"
+	"ltsp/internal/stats"
+	"ltsp/internal/workload"
+)
+
+// Fig7Thresholds are the trip-count thresholds of the headroom experiment.
+var Fig7Thresholds = []float64{0, 8, 16, 32, 64}
+
+// Fig7Result reproduces the paper's Fig. 7: the headroom experiment. All
+// non-critical loads are scheduled for the typical L3 latency, with PGO
+// trip counts, under five trip-count thresholds.
+type Fig7Result struct {
+	CPU2006, CPU2000 *SuiteResult
+	// PrefetchOffGain is the combined-suite geomean gain at n=32 with
+	// software prefetching disabled in both compilers (paper: 4.6%).
+	PrefetchOffGain float64
+	// PaperGeomean2006 / PaperGeomean2000 are the paper's reported
+	// geomeans per threshold, for side-by-side reporting.
+	PaperGeomean2006, PaperGeomean2000 []float64
+}
+
+// RunFig7 executes the headroom experiment.
+func RunFig7() (*Fig7Result, error) {
+	base := Baseline(true)
+	var variants []Config
+	for _, n := range Fig7Thresholds {
+		variants = append(variants, WithHints(hlo.ModeAllL3, true, n))
+	}
+	r2006, err := EvalSuite(workload.CPU2006(), base, variants)
+	if err != nil {
+		return nil, err
+	}
+	r2000, err := EvalSuite(workload.CPU2000(), base, variants)
+	if err != nil {
+		return nil, err
+	}
+
+	// Prefetching disabled on both sides, n = 32, both suites combined.
+	baseNoPf := base
+	baseNoPf.Prefetch = false
+	baseNoPf.Name = "baseline,nopf"
+	varNoPf := WithHints(hlo.ModeAllL3, true, 32)
+	varNoPf.Prefetch = false
+	varNoPf.Name = "all-loads-L3,n=32,nopf"
+	var ratios []float64
+	for _, b := range workload.All() {
+		r, err := EvalBenchmark(b, baseNoPf, varNoPf)
+		if err != nil {
+			return nil, err
+		}
+		ratios = append(ratios, stats.RatioFromGain(r.GainPct))
+	}
+
+	return &Fig7Result{
+		CPU2006:          r2006,
+		CPU2000:          r2000,
+		PrefetchOffGain:  stats.GainFromRatios(ratios),
+		PaperGeomean2006: []float64{0.5, 1.3, 2.4, 2.3, 2.1},
+		PaperGeomean2000: []float64{-0.7, 0.8, 0.6, 0.6, 0.3},
+	}, nil
+}
+
+// Fig8Result reproduces Fig. 8: the moderate general FP-L2 hint setting
+// and the HLO-directed hints, with PGO and n = 32.
+type Fig8Result struct {
+	CPU2006, CPU2000 *SuiteResult
+	// Paper geomeans: [all-FP-L2, HLO].
+	PaperGeomean2006, PaperGeomean2000 []float64
+}
+
+// RunFig8 executes the prefetcher-hint experiment.
+func RunFig8() (*Fig8Result, error) {
+	base := Baseline(true)
+	variants := []Config{
+		WithHints(hlo.ModeAllFPL2, true, 32),
+		WithHints(hlo.ModeHLO, true, 32),
+	}
+	r2006, err := EvalSuite(workload.CPU2006(), base, variants)
+	if err != nil {
+		return nil, err
+	}
+	r2000, err := EvalSuite(workload.CPU2000(), base, variants)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{
+		CPU2006:          r2006,
+		CPU2000:          r2000,
+		PaperGeomean2006: []float64{1.1, 2.0},
+		PaperGeomean2000: []float64{0.6, 1.3},
+	}, nil
+}
+
+// Fig9Result reproduces Fig. 9: no PGO (static heuristic trip counts),
+// CPU2006 only, general L3 hints vs HLO-directed hints.
+type Fig9Result struct {
+	CPU2006 *SuiteResult
+	// Paper geomeans: [all-loads-L3, HLO].
+	PaperGeomean []float64
+}
+
+// RunFig9 executes the no-PGO experiment.
+func RunFig9() (*Fig9Result, error) {
+	base := Baseline(false)
+	variants := []Config{
+		WithHints(hlo.ModeAllL3, false, 32),
+		WithHints(hlo.ModeHLO, false, 32),
+	}
+	r2006, err := EvalSuite(workload.CPU2006(), base, variants)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{
+		CPU2006:      r2006,
+		PaperGeomean: []float64{-0.7, 2.2},
+	}, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ltsp/internal/hlo"
+	"ltsp/internal/workload"
+)
+
+// The paper's Sec. 6 outlook names three directions "to make this
+// information more precise and consequently increase the net gain":
+// dynamic cache-miss sampling, refined heuristics, and trip-count
+// versioning. Two of them are implemented here and evaluated on the same
+// benchmark models.
+
+// VersioningResult compares static trip-count thresholds against runtime
+// trip-count versioning (two compiled kernels dispatched on the actual
+// trip count).
+type VersioningResult struct {
+	// CPU2000PGO: the mesa case — the training/reference divergence that
+	// defeats every static threshold is fully repaired by versioning.
+	CPU2000PGO *SuiteResult
+	// CPU2006NoPGO: the gobmk/h264ref cases — static estimates that
+	// over-pipeline and over-boost are repaired at runtime.
+	CPU2006NoPGO *SuiteResult
+}
+
+// RunVersioning evaluates all-L3 boosting with the static n=32 threshold
+// against the same boosting dispatched by runtime trip counts.
+func RunVersioning() (*VersioningResult, error) {
+	mk := func(pgo bool) []Config {
+		static := WithHints(hlo.ModeAllL3, pgo, 32)
+		versioned := WithHints(hlo.ModeAllL3, pgo, 32)
+		versioned.Versioned = true
+		versioned.Name = "all-L3,versioned"
+		return []Config{static, versioned}
+	}
+	r2000, err := EvalSuite(workload.CPU2000(), Baseline(true), mk(true))
+	if err != nil {
+		return nil, err
+	}
+	r2006, err := EvalSuite(workload.CPU2006(), Baseline(false), mk(false))
+	if err != nil {
+		return nil, err
+	}
+	return &VersioningResult{CPU2000PGO: r2000, CPU2006NoPGO: r2006}, nil
+}
+
+// String renders the versioning comparison.
+func (r *VersioningResult) String() string {
+	var b strings.Builder
+	b.WriteString("Outlook A — trip-count versioning (paper Sec. 6)\n")
+	b.WriteString("Two kernels per loop; each execution dispatches on its actual trip count.\n\n")
+	b.WriteString("CPU2000 with PGO (the 177.mesa training/reference divergence):\n\n")
+	b.WriteString(r.CPU2000PGO.Table())
+	b.WriteString("\nCPU2006 without PGO (static estimates over-boost short loops):\n\n")
+	b.WriteString(r.CPU2006NoPGO.Table())
+	return b.String()
+}
+
+// SamplingResult compares the static HLO prefetch-efficiency heuristics
+// against hints derived from dynamic cache-miss sampling of a training
+// run.
+type SamplingResult struct {
+	CPU2006 *SuiteResult // no PGO, n = 32
+}
+
+// RunMissSampling evaluates sampled hints on CPU2006 without PGO — the
+// regime where the paper's static heuristics leave the gobmk worst case
+// on the table.
+func RunMissSampling() (*SamplingResult, error) {
+	static := WithHints(hlo.ModeHLO, false, 32)
+	sampled := WithHints(hlo.ModeHLO, false, 32)
+	sampled.HintSampling = true
+	sampled.Name = "miss-sampled"
+	r, err := EvalSuite(workload.CPU2006(), Baseline(false), []Config{static, sampled})
+	if err != nil {
+		return nil, err
+	}
+	return &SamplingResult{CPU2006: r}, nil
+}
+
+// String renders the sampling comparison.
+func (r *SamplingResult) String() string {
+	var b strings.Builder
+	b.WriteString("Outlook B — dynamic cache-miss sampling (paper Sec. 6)\n")
+	b.WriteString("Hints derived from observed per-load-site service latencies on a\n")
+	b.WriteString("training run, replacing the static prefetch-efficiency heuristics.\n\n")
+	b.WriteString(r.CPU2006.Table())
+	hloIdx, sampledIdx := 0, 1
+	fmt.Fprintf(&b, "\nheadline: static heuristics %+.1f%% vs sampled hints %+.1f%% (geomean)\n",
+		r.CPU2006.Geomean[hloIdx], r.CPU2006.Geomean[sampledIdx])
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table renders the suite result as a fixed-width table, one row per
+// benchmark and one column per configuration, with the geomean last —
+// the textual equivalent of the paper's bar charts.
+func (r *SuiteResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", r.Suite)
+	for _, c := range r.Configs {
+		fmt.Fprintf(&b, " %16s", c.Name)
+	}
+	b.WriteByte('\n')
+	for bi, name := range r.Benchmarks {
+		fmt.Fprintf(&b, "%-18s", name)
+		for ci := range r.Configs {
+			fmt.Fprintf(&b, " %15.1f%%", r.Gains[bi][ci])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-18s", "geomean")
+	for ci := range r.Configs {
+		fmt.Fprintf(&b, " %15.1f%%", r.Geomean[ci])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// String renders the Fig. 7 headroom experiment.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — headroom experiment (all non-critical loads at typical L3 latency, PGO)\n\n")
+	b.WriteString(r.CPU2006.Table())
+	fmt.Fprintf(&b, "%-18s", "paper geomean")
+	for _, g := range r.PaperGeomean2006 {
+		fmt.Fprintf(&b, " %15.1f%%", g)
+	}
+	b.WriteString("\n\n")
+	b.WriteString(r.CPU2000.Table())
+	fmt.Fprintf(&b, "%-18s", "paper geomean")
+	for _, g := range r.PaperGeomean2000 {
+		fmt.Fprintf(&b, " %15.1f%%", g)
+	}
+	fmt.Fprintf(&b, "\n\nprefetching disabled, n=32, both suites: %+.1f%% (paper: +4.6%%)\n", r.PrefetchOffGain)
+	return b.String()
+}
+
+// String renders the Fig. 8 experiment.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — general FP-L2 hints vs HLO-directed hints (PGO, n=32)\n\n")
+	b.WriteString(r.CPU2006.Table())
+	fmt.Fprintf(&b, "%-18s %15.1f%% %15.1f%%\n\n", "paper geomean",
+		r.PaperGeomean2006[0], r.PaperGeomean2006[1])
+	b.WriteString(r.CPU2000.Table())
+	fmt.Fprintf(&b, "%-18s %15.1f%% %15.1f%%\n", "paper geomean",
+		r.PaperGeomean2000[0], r.PaperGeomean2000[1])
+	return b.String()
+}
+
+// String renders the Fig. 9 experiment.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9 — without PGO (static trip-count estimates), CPU2006\n\n")
+	b.WriteString(r.CPU2006.Table())
+	fmt.Fprintf(&b, "%-18s %15.1f%% %15.1f%%\n", "paper geomean",
+		r.PaperGeomean[0], r.PaperGeomean[1])
+	return b.String()
+}
+
+// FormatFig5 renders the analytic curves (one row per clustering factor,
+// one column per coverage ratio) followed by the simulation validation.
+func FormatFig5(analytic []Fig5Point, validation []Fig5Validation) string {
+	var b strings.Builder
+	b.WriteString("Fig. 5 — stall reduction 100*(1-(1-c)/k)\n\n")
+	cs := []float64{1, 0.5, 0.1, 0.01}
+	b.WriteString("  k \\ c ")
+	for _, c := range cs {
+		fmt.Fprintf(&b, " %8.2f", c)
+	}
+	b.WriteByte('\n')
+	byKC := map[[2]float64]float64{}
+	ks := map[int]bool{}
+	for _, p := range analytic {
+		byKC[[2]float64{float64(p.K), p.C}] = p.Reduction
+		ks[p.K] = true
+	}
+	var kList []int
+	for k := range ks {
+		kList = append(kList, k)
+	}
+	sort.Ints(kList)
+	for _, k := range kList {
+		fmt.Fprintf(&b, "  %5d ", k)
+		for _, c := range cs {
+			fmt.Fprintf(&b, " %7.1f%%", byKC[[2]float64{float64(k), c}])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nsimulation validation (measured vs Equ. 2 with c = d/L_measured):\n")
+	fmt.Fprintf(&b, "  %-8s %3s %4s %10s %10s %10s\n", "level", "k", "d", "L", "measured", "predicted")
+	for _, v := range validation {
+		fmt.Fprintf(&b, "  %-8s %3d %4d %10.1f %9.1f%% %9.1f%%\n",
+			v.Level, v.K, v.D, v.MeasuredL, v.Measured, v.Predicted)
+	}
+	return b.String()
+}
+
+// String renders the Fig. 10 cycle accounting.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10 — CPU2006 cycle accounting, HLO hints vs baseline (no PGO)\n\n")
+	fmt.Fprintf(&b, "  %-22s %12s %12s %9s %9s\n", "component", "baseline", "HLO hints", "change", "paper")
+	row := func(name string, a, v, change, paper float64) {
+		fmt.Fprintf(&b, "  %-22s %12.3f %12.3f %+8.1f%% %+8.1f%%\n", name, a, v, change, paper)
+	}
+	row("unstalled execution", r.Baseline.Unstalled, r.Variant.Unstalled, r.UnstalledChange, r.PaperUnstalledChange)
+	row("BE_EXE_BUBBLE", r.Baseline.Exe, r.Variant.Exe, r.ExeChange, r.PaperExeChange)
+	row("BE_L1D_FPU_BUBBLE", r.Baseline.L1DFPU, r.Variant.L1DFPU, r.L1DFPUChange, r.PaperL1DFPUChange)
+	row("BE_RSE_BUBBLE", r.Baseline.RSE, r.Variant.RSE, r.RSEChange, r.PaperRSEChange)
+	fmt.Fprintf(&b, "  %-22s %12.3f %12.3f %+8.1f%%\n", "total", r.Baseline.Total, r.Variant.Total, r.TotalChange)
+	fmt.Fprintf(&b, "\n  OzQ-full share of cycles: %.1f%% -> %.1f%% (paper: 8.2%% -> 9.4%%)\n",
+		r.OzQShareBase, r.OzQShareVar)
+	return b.String()
+}
+
+// String renders the Sec. 4.4 case study.
+func (r *CaseStudyResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sec. 4.4 — 429.mcf refresh_potential case study\n\n")
+	fmt.Fprintf(&b, "  average trip count: %.1f (paper: 2.3)\n", r.AvgTrip)
+	fmt.Fprintf(&b, "  kernel II=%d, stages=%d\n", r.II, r.Stages)
+	b.WriteString("  delinquent loads (HLO heuristic 1):\n")
+	for _, n := range r.DelinquentLoads {
+		if k, boosted := r.ClusterK[n]; boosted {
+			fmt.Fprintf(&b, "    %-22s clustering k=%d\n", n, k)
+		} else {
+			fmt.Fprintf(&b, "    %-22s critical (on the pointer-chase recurrence), base latency\n", n)
+		}
+	}
+	fmt.Fprintf(&b, "  loop speedup: %+.1f%% (paper: +%.0f%%, k=%d)\n",
+		r.SpeedupPct, r.PaperSpeedupPct, r.PaperK)
+	fmt.Fprintf(&b, "  data-terminated (br.wtop) form speedup: %+.1f%%\n", r.WhileSpeedupPct)
+	return b.String()
+}
+
+// String renders the Sec. 4.5 register statistics.
+func (r *RegStatsResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sec. 4.5 — register statistics, CPU2006 pipelined loops (HLO vs baseline)\n\n")
+	fmt.Fprintf(&b, "  %-22s %10s %10s %9s %9s\n", "register file", "baseline", "HLO hints", "change", "paper")
+	fmt.Fprintf(&b, "  %-22s %10d %10d %+8.1f%% %+8.0f%%\n", "general (GR)", r.Base.GR, r.Variant.GR, r.GRChange, r.PaperGR)
+	fmt.Fprintf(&b, "  %-22s %10d %10d %+8.1f%% %+8.0f%%\n", "floating-point (FR)", r.Base.FR, r.Variant.FR, r.FRChange, r.PaperFR)
+	fmt.Fprintf(&b, "  %-22s %10d %10d %+8.1f%% %+8.0f%%\n", "predicate (PR)", r.Base.PR, r.Variant.PR, r.PRChange, r.PaperPR)
+	fmt.Fprintf(&b, "\n  average file share used: GR %.0f%%, FR %.0f%%, PR %.0f%% (paper: < 20%%)\n",
+		100*r.GRShare, 100*r.FRShare, 100*r.PRShare)
+	fmt.Fprintf(&b, "  spill pressure outside loops: %+.1f%% (paper: +1.8%%), spill fraction %.1f%% (paper: 1.1%%)\n",
+		r.SpillPressureChange, r.SpillFraction)
+	return b.String()
+}
+
+// String renders the compile-time result.
+func (r *CompileTimeResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sec. 3.3 — compile-time cost of latency-tolerant pipelining (CPU2006)\n\n")
+	fmt.Fprintf(&b, "  scheduler placements: %d -> %d (%+.1f%%)\n",
+		r.BaseAttempts, r.VariantAttempts, r.AttemptIncreasePct)
+	fmt.Fprintf(&b, "  projected whole-compiler increase: %+.2f%% (paper: ~+%.1f%%)\n",
+		r.EstCompileTimeIncreasePct, r.PaperIncreasePct)
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatFig5(t *testing.T) {
+	analytic := AnalyticFig5()
+	validation := []Fig5Validation{
+		{Level: "memory", K: 3, D: 2, MeasuredL: 199, Measured: 67.0, Predicted: 67.0},
+	}
+	s := FormatFig5(analytic, validation)
+	for _, want := range []string{"k \\ c", "memory", "67.0%", "simulation validation"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatFig5 missing %q", want)
+		}
+	}
+}
+
+func TestSuiteResultTable(t *testing.T) {
+	r := &SuiteResult{
+		Suite:      "CPU2006",
+		Configs:    []Config{{Name: "a"}, {Name: "b"}},
+		Benchmarks: []string{"429.mcf"},
+		Gains:      [][]float64{{1.5, -2.25}},
+		Geomean:    []float64{1.5, -2.25},
+	}
+	s := r.Table()
+	for _, want := range []string{"CPU2006", "429.mcf", "1.5%", "-2.2%", "geomean"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestResultStringers(t *testing.T) {
+	suite := &SuiteResult{
+		Suite:      "CPU2006",
+		Configs:    []Config{{Name: "x"}, {Name: "y"}},
+		Benchmarks: []string{"400.perlbench"},
+		Gains:      [][]float64{{0, 0}},
+		Geomean:    []float64{0, 0},
+	}
+	f7 := &Fig7Result{CPU2006: suite, CPU2000: suite,
+		PaperGeomean2006: []float64{1, 2, 3, 4, 5}, PaperGeomean2000: []float64{1, 2, 3, 4, 5}}
+	if s := f7.String(); !strings.Contains(s, "Fig. 7") || !strings.Contains(s, "paper geomean") {
+		t.Error("Fig7 string malformed")
+	}
+	f8 := &Fig8Result{CPU2006: suite, CPU2000: suite,
+		PaperGeomean2006: []float64{1, 2}, PaperGeomean2000: []float64{1, 2}}
+	if s := f8.String(); !strings.Contains(s, "Fig. 8") {
+		t.Error("Fig8 string malformed")
+	}
+	f9 := &Fig9Result{CPU2006: suite, PaperGeomean: []float64{1, 2}}
+	if s := f9.String(); !strings.Contains(s, "Fig. 9") {
+		t.Error("Fig9 string malformed")
+	}
+	f10 := &Fig10Result{}
+	if s := f10.String(); !strings.Contains(s, "BE_EXE_BUBBLE") {
+		t.Error("Fig10 string malformed")
+	}
+	cs := &CaseStudyResult{AvgTrip: 2.3, DelinquentLoads: []string{"a", "b"},
+		ClusterK: map[string]int{"a": 3}}
+	s := cs.String()
+	if !strings.Contains(s, "clustering k=3") || !strings.Contains(s, "critical") {
+		t.Errorf("case study string malformed:\n%s", s)
+	}
+	rs := &RegStatsResult{}
+	if s := rs.String(); !strings.Contains(s, "register file") {
+		t.Error("regstats string malformed")
+	}
+	ct := &CompileTimeResult{}
+	if s := ct.String(); !strings.Contains(s, "scheduler placements") {
+		t.Error("compiletime string malformed")
+	}
+}
+
+func TestFormatAblations(t *testing.T) {
+	s := FormatAblations(
+		[]OzQPoint{{Capacity: 48, Gain: 9.1, StallShare: 1.3}},
+		[]RotRegPoint{{RotRegs: 96, Gain: 9.3, Reduced: 0}},
+	)
+	for _, want := range []string{"OzQ capacity", "rotating register supply", "48", "96"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ablation format missing %q", want)
+		}
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	if Baseline(true).Name != "baseline" {
+		t.Error("baseline name")
+	}
+	c := WithHints(3, true, 32) // ModeHLO
+	if !strings.Contains(c.Name, "n=32") {
+		t.Errorf("config name %q", c.Name)
+	}
+	if WithHints(3, true, 0).Name == c.Name {
+		t.Error("threshold not reflected in the name")
+	}
+}

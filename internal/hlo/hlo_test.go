@@ -1,0 +1,372 @@
+package hlo
+
+import (
+	"testing"
+
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+)
+
+// streamLoop builds a unit-stride integer load + store loop.
+func streamLoop() *ir.Loop {
+	l := ir.NewLoop("stream")
+	v, bs, bd := l.NewGR(), l.NewGR(), l.NewGR()
+	ld := ir.Ld(v, bs, 4, 4)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(ld)
+	st := ir.St(bd, v, 4, 4)
+	st.Mem.Stride, st.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(st)
+	l.Init(bs, 0x10000)
+	l.Init(bd, 0x20000)
+	return l
+}
+
+func chaseLoop() *ir.Loop {
+	l := ir.NewLoop("chase")
+	pnext, pcur := l.NewGR(), l.NewGR()
+	l.Append(ir.Mov(pcur, pnext))
+	ld := ir.Ld(pnext, pcur, 8, 0)
+	ld.Mem.Stride = ir.StridePointerChase
+	l.Append(ld)
+	l.Init(pnext, 0x30000)
+	return l
+}
+
+func fpLoop() *ir.Loop {
+	l := ir.NewLoop("fp")
+	x, a := l.NewFR(), l.NewFR()
+	bx := l.NewGR()
+	ld := ir.LdF(x, bx, 8)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 8
+	l.Append(ld)
+	l.Append(ir.FMul(l.NewFR(), x, a))
+	l.Init(bx, 0x40000)
+	l.InitF(a, 2)
+	return l
+}
+
+func TestEstimateII(t *testing.T) {
+	m := machine.Itanium2()
+	if got := EstimateII(m, streamLoop()); got != 1 {
+		t.Errorf("IIest = %d, want 1", got)
+	}
+	// Memory-bound estimate: 9 refs / 4 M units -> 3.
+	l := ir.NewLoop("mem")
+	for i := 0; i < 9; i++ {
+		b := l.NewGR()
+		l.Init(b, int64(i*0x1000))
+		l.Append(ir.Ld(l.NewGR(), b, 8, 8))
+	}
+	if got := EstimateII(m, l); got != 3 {
+		t.Errorf("IIest = %d, want 3", got)
+	}
+}
+
+func TestStreamPrefetchInserted(t *testing.T) {
+	l := streamLoop()
+	rep, err := Apply(l, Options{Mode: ModeNone, Prefetch: true, TripEstimate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrefetchesAdded != 2 {
+		t.Errorf("prefetches = %d, want 2 (load and store streams)", rep.PrefetchesAdded)
+	}
+	// The lfetch runs D iterations ahead of the load base.
+	var pf *ir.Instr
+	for _, in := range l.Body {
+		if in.Op == ir.OpLfetch {
+			pf = in
+			break
+		}
+	}
+	if pf == nil {
+		t.Fatal("no lfetch in body")
+	}
+	init, ok := l.InitValue(pf.BaseReg())
+	if !ok {
+		t.Fatal("prefetch base has no init")
+	}
+	d := rep.Refs[0].Distance
+	if d <= 0 {
+		t.Fatal("no prefetch distance recorded")
+	}
+	if want := int64(0x10000) + int64(d)*4; init != want {
+		t.Errorf("prefetch base init = %#x, want %#x", init, want)
+	}
+	if !l.Body[0].Mem.Prefetched || l.Body[0].Mem.PrefetchDistance != d {
+		t.Error("load not marked prefetched")
+	}
+	if err := l.Verify(); err != nil {
+		t.Errorf("loop invalid after HLO: %v", err)
+	}
+}
+
+func TestPrefetchDistanceClampedByTrip(t *testing.T) {
+	// "at least half of the prefetches issued will be useful".
+	l := streamLoop()
+	rep, err := Apply(l, Options{Mode: ModeNone, Prefetch: true, TripEstimate: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rep.Refs[0].Distance; d > 10 {
+		t.Errorf("distance %d > trip/2", d)
+	}
+}
+
+func TestHeuristic1NotPrefetchable(t *testing.T) {
+	l := chaseLoop()
+	rep, err := Apply(l, Options{Mode: ModeHLO, Prefetch: true, TripEstimate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rep.Refs {
+		if l.Body[r.ID].Op.IsLoad() {
+			found = true
+			if r.Heuristic != HNotPrefetchable || r.Hint != ir.HintL2 {
+				t.Errorf("chase load: heuristic=%v hint=%v", r.Heuristic, r.Hint)
+			}
+			if !l.Body[r.ID].Mem.Delinquent {
+				t.Error("chase load not flagged delinquent")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no load report")
+	}
+	if rep.PrefetchesAdded != 0 {
+		t.Error("pointer chase got a prefetch")
+	}
+}
+
+func TestHeuristic2aSymbolicStride(t *testing.T) {
+	l := ir.NewLoop("sym")
+	x := l.NewFR()
+	bx := l.NewGR()
+	ld := ir.LdF(x, bx, 256)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideSymbolic, 256
+	l.Append(ld)
+	l.Append(ir.FMul(l.NewFR(), x, x))
+	l.Init(bx, 0x10000)
+	rep, err := Apply(l, Options{Mode: ModeHLO, Prefetch: true, TripEstimate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Refs[0]
+	if r.Heuristic != HSymbolicStride {
+		t.Errorf("heuristic = %v", r.Heuristic)
+	}
+	// Reduced distance to bound TLB pressure; FP load -> L3 hint.
+	if r.Distance != 2 {
+		t.Errorf("distance = %d, want the reduced default 2", r.Distance)
+	}
+	if r.Hint != ir.HintL3 {
+		t.Errorf("hint = %v, want L3 for FP loads", r.Hint)
+	}
+	if l.Body[0].Mem.Delinquent {
+		t.Error("symbolic-stride load flagged delinquent (only heuristic 1 is)")
+	}
+}
+
+func TestHeuristic2bIndirect(t *testing.T) {
+	l := ir.NewLoop("ind")
+	bi, ta, abase := l.NewGR(), l.NewGR(), l.NewGR()
+	idx := l.NewGR()
+	ldi := ir.Ld(idx, bi, 4, 4)
+	ldi.Mem.Stride, ldi.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(ldi)
+	l.Append(ir.Shladd(ta, idx, 3, abase))
+	ldv := ir.Ld(l.NewGR(), ta, 8, 0)
+	ldv.Mem.Stride = ir.StrideIndirect
+	ldv.Mem.IndexInit = 0x10000
+	ldv.Mem.IndexStride = 4
+	ldv.Mem.IndexSize = 4
+	ldv.Mem.ScaleShift = 3
+	ldv.Mem.ArrayBase = abase
+	l.Append(ldv)
+	l.Init(bi, 0x10000)
+	l.Init(abase, 0x20000)
+	nBefore := len(l.Body)
+	rep, err := Apply(l, Options{Mode: ModeHLO, Prefetch: true, TripEstimate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var indirect *RefReport
+	for i := range rep.Refs {
+		if rep.Refs[i].ID == 2 {
+			indirect = &rep.Refs[i]
+		}
+	}
+	if indirect == nil {
+		t.Fatal("no report for the indirect load")
+	}
+	if indirect.Heuristic != HIndirect || indirect.Hint != ir.HintL2 {
+		t.Errorf("indirect: heuristic=%v hint=%v", indirect.Heuristic, indirect.Hint)
+	}
+	// The indirect distance is TLB-capped and below the index distance.
+	var index *RefReport
+	for i := range rep.Refs {
+		if rep.Refs[i].ID == 0 {
+			index = &rep.Refs[i]
+		}
+	}
+	if indirect.Distance >= index.Distance {
+		t.Errorf("indirect distance %d >= index distance %d", indirect.Distance, index.Distance)
+	}
+	if indirect.Distance > 4 {
+		t.Errorf("indirect distance %d exceeds the TLB cap", indirect.Distance)
+	}
+	// The speculative sequence ld/shladd/lfetch was emitted.
+	added := len(l.Body) - nBefore
+	if added < 4 { // index lfetch + (ld, shladd, lfetch)
+		t.Errorf("only %d instructions added", added)
+	}
+	if err := l.Verify(); err != nil {
+		t.Errorf("loop invalid after 2b: %v", err)
+	}
+}
+
+func TestHeuristic3OzQPressure(t *testing.T) {
+	l := ir.NewLoop("many")
+	for i := 0; i < 7; i++ {
+		b := l.NewGR()
+		l.Init(b, int64(0x10000+i*0x10000))
+		ld := ir.Ld(l.NewGR(), b, 8, 8)
+		ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 8
+		l.Append(ld)
+	}
+	rep, err := Apply(l, Options{Mode: ModeHLO, Prefetch: true, TripEstimate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Refs {
+		if r.Heuristic != HOzQPressure || r.Hint != ir.HintL2 || !r.L2Only {
+			t.Errorf("ref %d: heuristic=%v hint=%v l2only=%v", r.ID, r.Heuristic, r.Hint, r.L2Only)
+		}
+	}
+	// The inserted prefetches must be L2-targeted.
+	for _, in := range l.Body {
+		if in.Op == ir.OpLfetch && in.Mem.Hint != ir.HintL2 {
+			t.Error("heuristic-3 lfetch not L2-targeted")
+		}
+	}
+}
+
+func TestModeAllL3(t *testing.T) {
+	l := streamLoop()
+	if _, err := Apply(l, Options{Mode: ModeAllL3, Prefetch: true, TripEstimate: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Body[0].Mem.Hint != ir.HintL3 {
+		t.Error("all-L3 mode did not hint the load")
+	}
+	// Stores carry no latency hints.
+	if l.Body[1].Mem.Hint != ir.HintNone {
+		t.Error("store hinted")
+	}
+}
+
+func TestModeAllFPL2(t *testing.T) {
+	li := streamLoop()
+	Apply(li, Options{Mode: ModeAllFPL2, Prefetch: true, TripEstimate: 100})
+	if li.Body[0].Mem.Hint != ir.HintNone {
+		t.Error("integer load hinted in all-FP-L2 mode")
+	}
+	lf := fpLoop()
+	Apply(lf, Options{Mode: ModeAllFPL2, Prefetch: true, TripEstimate: 100})
+	if lf.Body[0].Mem.Hint != ir.HintL2 {
+		t.Error("FP load not hinted in all-FP-L2 mode")
+	}
+}
+
+func TestModeHLOFPDefault(t *testing.T) {
+	// Unit-stride prefetchable FP loads get the moderate L2 default in
+	// HLO mode (paper Sec. 4.3).
+	l := fpLoop()
+	Apply(l, Options{Mode: ModeHLO, Prefetch: true, TripEstimate: 100})
+	if l.Body[0].Mem.Hint != ir.HintL2 {
+		t.Errorf("FP default hint = %v, want L2", l.Body[0].Mem.Hint)
+	}
+}
+
+func TestModeNoneSetsNothing(t *testing.T) {
+	l := chaseLoop()
+	rep, _ := Apply(l, Options{Mode: ModeNone, Prefetch: true, TripEstimate: 100})
+	if rep.HintsSet != 0 {
+		t.Error("baseline mode set hints")
+	}
+}
+
+func TestInvariantRefUntouched(t *testing.T) {
+	l := ir.NewLoop("inv")
+	v, b := l.NewGR(), l.NewGR()
+	ld := ir.Ld(v, b, 8, 0)
+	ld.Mem.Stride = ir.StrideInvariant
+	l.Append(ld)
+	l.Append(ir.Add(l.NewGR(), v, v))
+	l.Init(b, 0x1000)
+	rep, _ := Apply(l, Options{Mode: ModeHLO, Prefetch: true, TripEstimate: 100})
+	if rep.PrefetchesAdded != 0 || rep.Refs[0].Hint != ir.HintNone {
+		t.Error("invariant reference prefetched or hinted")
+	}
+}
+
+func TestLeadingReferenceDedup(t *testing.T) {
+	// Two references in the same cache-line group: only the leader is
+	// prefetched.
+	l := ir.NewLoop("grp")
+	v1, v2, b1, b2 := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	ld1 := ir.Ld(v1, b1, 4, 8)
+	ld1.Mem.Stride, ld1.Mem.StrideBytes = ir.StrideUnit, 8
+	ld1.Mem.Group = 1
+	l.Append(ld1)
+	ld2 := ir.Ld(v2, b2, 4, 8)
+	ld2.Mem.Stride, ld2.Mem.StrideBytes = ir.StrideUnit, 8
+	ld2.Mem.Group = 1
+	l.Append(ld2)
+	l.Append(ir.Add(l.NewGR(), v1, v2))
+	l.Init(b1, 0x10000)
+	l.Init(b2, 0x10004)
+	rep, _ := Apply(l, Options{Mode: ModeNone, Prefetch: true, TripEstimate: 100})
+	if rep.PrefetchesAdded != 1 {
+		t.Errorf("prefetches = %d, want 1 (leading reference only)", rep.PrefetchesAdded)
+	}
+	if !l.Body[0].Mem.LineLeader || l.Body[1].Mem.LineLeader {
+		t.Error("leader marking wrong")
+	}
+	if !l.Body[1].Mem.Prefetched {
+		t.Error("group member not marked as covered by the leader's prefetch")
+	}
+}
+
+func TestPrefetchDisabled(t *testing.T) {
+	l := streamLoop()
+	rep, _ := Apply(l, Options{Mode: ModeHLO, Prefetch: false, TripEstimate: 100})
+	if rep.PrefetchesAdded != 0 {
+		t.Error("prefetch inserted while disabled")
+	}
+	if len(l.Body) != 2 {
+		t.Error("body changed while prefetch disabled")
+	}
+}
+
+func TestHintModeString(t *testing.T) {
+	for m, want := range map[HintMode]string{
+		ModeNone: "baseline", ModeAllL3: "all-loads-L3",
+		ModeAllFPL2: "all-FP-L2", ModeHLO: "HLO-hints",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+	for h, want := range map[Heuristic]string{
+		HNone: "none", HNotPrefetchable: "not-prefetchable",
+		HSymbolicStride: "symbolic-stride", HIndirect: "indirect",
+		HOzQPressure: "ozq-pressure",
+	} {
+		if h.String() != want {
+			t.Errorf("heuristic %d = %q", h, h.String())
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package ifconv removes structured control flow from loop bodies before
+// software pipelining (paper Sec. 3.3: "The loop is first if-converted to
+// remove control flow"). Conditionals become predicated straight-line
+// code: the compare is emitted with .unc semantics under the enclosing
+// context predicate (so nested guards compose and pipeline fill/drain
+// shuts whole regions off), arm instructions are qualified by the arm
+// predicates, and values produced on both arms merge through a single
+// `sel` definition — keeping every virtual register singly defined, which
+// rotating register renaming requires.
+package ifconv
+
+import (
+	"fmt"
+
+	"ltsp/internal/ir"
+)
+
+// Stmt is one statement of a structured (pre-if-conversion) loop body:
+// either a plain instruction or a conditional region.
+type Stmt struct {
+	// Instr is a leaf statement; nil when If is set.
+	Instr *ir.Instr
+	// If is a conditional region; nil when Instr is set.
+	If *If
+}
+
+// If is a structured two-armed conditional.
+type If struct {
+	// Cmp is the controlling compare. Its predicate destinations may be
+	// left as ir.None; the converter allocates fresh predicate registers.
+	Cmp *ir.Instr
+	// Then and Else are the arms (either may be empty).
+	Then, Else []Stmt
+	// Merges are the values live out of the region that both arms
+	// produce; each becomes one sel/fsel after the arms.
+	Merges []Merge
+}
+
+// Merge declares that Dst receives ThenVal when the condition held and
+// ElseVal otherwise.
+type Merge struct {
+	Dst, ThenVal, ElseVal ir.Reg
+}
+
+// I wraps an instruction as a statement.
+func I(in *ir.Instr) Stmt { return Stmt{Instr: in} }
+
+// Cond wraps a conditional region as a statement.
+func Cond(ifStmt *If) Stmt { return Stmt{If: ifStmt} }
+
+// Convert lowers the structured body into the loop's straight-line
+// predicated body. The loop must be freshly built (its Body is appended
+// to); Setup/LiveOut handling stays with the caller.
+func Convert(l *ir.Loop, body []Stmt) error {
+	return convert(l, body, ir.None)
+}
+
+func convert(l *ir.Loop, body []Stmt, ctx ir.Reg) error {
+	for i := range body {
+		s := &body[i]
+		switch {
+		case s.Instr != nil && s.If != nil:
+			return fmt.Errorf("ifconv: statement %d is both leaf and region", i)
+		case s.Instr != nil:
+			in := s.Instr
+			if !in.Pred.IsNone() && in.Pred != ctx {
+				return fmt.Errorf("ifconv: instruction %v already predicated", in)
+			}
+			in.Pred = ctx
+			l.Append(in)
+		case s.If != nil:
+			if err := convertIf(l, s.If, ctx); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ifconv: empty statement %d", i)
+		}
+	}
+	return nil
+}
+
+func convertIf(l *ir.Loop, region *If, ctx ir.Reg) error {
+	cmp := region.Cmp
+	switch cmp.Op {
+	case ir.OpCmpEq, ir.OpCmpLt, ir.OpCmpEqI, ir.OpCmpLtI, ir.OpFCmpLt:
+	default:
+		return fmt.Errorf("ifconv: %v is not a compare", cmp.Op)
+	}
+	if len(cmp.Dsts) != 2 {
+		return fmt.Errorf("ifconv: compare %v has %d destinations", cmp.Op, len(cmp.Dsts))
+	}
+	pT, pF := cmp.Dsts[0], cmp.Dsts[1]
+	if pT.IsNone() {
+		pT = l.NewPR()
+	}
+	needElse := len(region.Else) > 0 || len(region.Merges) > 0
+	if pF.IsNone() && needElse {
+		pF = l.NewPR()
+	}
+	cmp.Dsts[0], cmp.Dsts[1] = pT, pF
+	cmp.Pred = ctx // .unc: both arms shut off when the context is off
+	l.Append(cmp)
+
+	if err := convert(l, region.Then, pT); err != nil {
+		return err
+	}
+	if err := convert(l, region.Else, pF); err != nil {
+		return err
+	}
+	for _, m := range region.Merges {
+		if m.Dst.Class != m.ThenVal.Class || m.Dst.Class != m.ElseVal.Class {
+			return fmt.Errorf("ifconv: merge of mixed classes %v/%v/%v",
+				m.Dst.Class, m.ThenVal.Class, m.ElseVal.Class)
+		}
+		var sel *ir.Instr
+		switch m.Dst.Class {
+		case ir.ClassGR:
+			sel = ir.Sel(m.Dst, pT, m.ThenVal, m.ElseVal)
+		case ir.ClassFR:
+			sel = ir.FSel(m.Dst, pT, m.ThenVal, m.ElseVal)
+		default:
+			return fmt.Errorf("ifconv: cannot merge class %v", m.Dst.Class)
+		}
+		// The merge itself executes only when the enclosing context holds;
+		// with the context off, pT and pF are both cleared and the value
+		// must not be written at all.
+		sel.Pred = ctx
+		l.Append(sel)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package ifconv
+
+import (
+	"testing"
+
+	"ltsp/internal/ir"
+)
+
+// simpleDiamond builds: if (x < k) v = a+b else v = a-b; store v.
+func simpleDiamond(t *testing.T) (*ir.Loop, ir.Reg) {
+	l := ir.NewLoop("diamond")
+	x, k, a, b := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	vT, vE, v, st := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	body := []Stmt{
+		I(ir.AddI(x, x, 1)), // x updated in place
+		Cond(&If{
+			Cmp:    ir.CmpLt(ir.None, ir.None, x, k),
+			Then:   []Stmt{I(ir.Add(vT, a, b))},
+			Else:   []Stmt{I(ir.Sub(vE, a, b))},
+			Merges: []Merge{{Dst: v, ThenVal: vT, ElseVal: vE}},
+		}),
+		I(ir.St(st, v, 8, 8)),
+	}
+	if err := Convert(l, body); err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	l.Init(x, 0)
+	l.Init(k, 5)
+	l.Init(a, 100)
+	l.Init(b, 7)
+	l.Init(st, 0x10000)
+	return l, v
+}
+
+func TestConvertStructure(t *testing.T) {
+	l, _ := simpleDiamond(t)
+	if err := l.Verify(); err != nil {
+		t.Fatalf("converted loop invalid: %v", err)
+	}
+	// addi, cmp, add(pT), sub(pF), sel, st
+	if len(l.Body) != 6 {
+		t.Fatalf("body = %d instructions:\n%s", len(l.Body), l)
+	}
+	cmp := l.Body[1]
+	if cmp.Op != ir.OpCmpLt {
+		t.Fatalf("body[1] = %v", cmp.Op)
+	}
+	pT, pF := cmp.Dsts[0], cmp.Dsts[1]
+	if pT.IsNone() || pF.IsNone() {
+		t.Fatal("converter did not allocate arm predicates")
+	}
+	if l.Body[2].Pred != pT {
+		t.Errorf("then-arm predicate = %v, want %v", l.Body[2].Pred, pT)
+	}
+	if l.Body[3].Pred != pF {
+		t.Errorf("else-arm predicate = %v, want %v", l.Body[3].Pred, pF)
+	}
+	sel := l.Body[4]
+	if sel.Op != ir.OpSel || sel.Srcs[0] != pT {
+		t.Errorf("merge = %v", sel)
+	}
+	if !sel.Pred.IsNone() {
+		t.Errorf("top-level merge predicated by %v", sel.Pred)
+	}
+	if !l.Body[5].Pred.IsNone() {
+		t.Error("post-region statement predicated")
+	}
+}
+
+func TestConvertNested(t *testing.T) {
+	l := ir.NewLoop("nested")
+	x, y := l.NewGR(), l.NewGR()
+	stA, stB := l.NewGR(), l.NewGR()
+	body := []Stmt{
+		Cond(&If{
+			Cmp: ir.CmpLtI(ir.None, ir.None, x, 10),
+			Then: []Stmt{
+				Cond(&If{
+					Cmp:  ir.CmpLtI(ir.None, ir.None, y, 5),
+					Then: []Stmt{I(ir.St(stA, x, 8, 0))},
+				}),
+			},
+			Else: []Stmt{I(ir.St(stB, y, 8, 0))},
+		}),
+	}
+	if err := Convert(l, body); err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	l.Init(x, 1)
+	l.Init(y, 1)
+	l.Init(stA, 0x1000)
+	l.Init(stB, 0x2000)
+	if err := l.Verify(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// The inner compare must be guarded by the outer then-predicate
+	// (cmp.unc chaining).
+	outer := l.Body[0]
+	inner := l.Body[1]
+	if inner.Pred != outer.Dsts[0] {
+		t.Errorf("inner compare predicate = %v, want outer pT %v", inner.Pred, outer.Dsts[0])
+	}
+	// The innermost store is guarded by the inner pT.
+	if l.Body[2].Pred != inner.Dsts[0] {
+		t.Errorf("inner store predicate = %v", l.Body[2].Pred)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	l := ir.NewLoop("bad")
+	a := l.NewGR()
+	if err := Convert(l, []Stmt{{}}); err == nil {
+		t.Error("empty statement accepted")
+	}
+	if err := Convert(l, []Stmt{Cond(&If{Cmp: ir.Add(a, a, a)})}); err == nil {
+		t.Error("non-compare condition accepted")
+	}
+	f := l.NewPR()
+	if err := Convert(l, []Stmt{Cond(&If{
+		Cmp:    ir.CmpLtI(ir.None, ir.None, a, 1),
+		Merges: []Merge{{Dst: f, ThenVal: a, ElseVal: a}},
+	})}); err == nil {
+		t.Error("predicate-class merge accepted")
+	}
+}
+
+func TestConvertMixedClassMergeRejected(t *testing.T) {
+	l := ir.NewLoop("mix")
+	a := l.NewGR()
+	fv := l.NewFR()
+	err := Convert(l, []Stmt{Cond(&If{
+		Cmp:    ir.CmpLtI(ir.None, ir.None, a, 1),
+		Merges: []Merge{{Dst: a, ThenVal: fv, ElseVal: a}},
+	})})
+	if err == nil {
+		t.Error("mixed-class merge accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package interp
+
+import (
+	"testing"
+
+	"ltsp/internal/ir"
+)
+
+func TestWtopTakenWhileValid(t *testing.T) {
+	s := NewState()
+	s.EC = 3
+	s.PR[20] = true // validity of the oldest in-flight iteration
+	if !s.Wtop(ir.PR(20)) {
+		t.Error("wtop not taken with qp set")
+	}
+	if s.EC != 3 {
+		t.Error("EC consumed while qp was set")
+	}
+}
+
+func TestWtopFillCountsEC(t *testing.T) {
+	// During fill the oldest slot is empty (qp = 0): EC keeps the kernel
+	// alive, exactly Stages-1 extra iterations.
+	s := NewState()
+	s.EC = 3
+	taken := 0
+	for s.Wtop(ir.PR(20)) {
+		taken++
+	}
+	// EC path: EC 3 -> 2 (taken), 2 -> 1 (taken), then exit.
+	if taken != 2 {
+		t.Errorf("EC-driven iterations = %d, want 2", taken)
+	}
+	if s.EC != 0 {
+		t.Errorf("EC = %d", s.EC)
+	}
+}
+
+func TestWtopRotates(t *testing.T) {
+	s := NewState()
+	s.EC = 5
+	s.Exec(ir.MovI(ir.GR(40), 7))
+	s.Wtop(ir.PR(20))
+	if got := s.ReadReg(ir.GR(41)); got != 7 {
+		t.Error("wtop did not rotate the data registers")
+	}
+	// p16 receives a 0 (no hardware stage predicate for while loops).
+	if s.PR[s.RenamePR(RotPRLo)] {
+		t.Error("wtop injected a stage predicate")
+	}
+}
+
+func TestWtopReadsBeforeRotation(t *testing.T) {
+	// The qp read must observe the pre-rotation mapping (the branch reads
+	// its predicate like any instruction of the same kernel iteration).
+	s := NewState()
+	s.EC = 1
+	s.PR[s.RenamePR(20)] = true
+	if !s.Wtop(ir.PR(20)) {
+		t.Error("wtop missed the predicate written under the current rotation")
+	}
+}
+
+func TestWhileProgramSequentialCap(t *testing.T) {
+	// A while program whose condition never clears must stop at the
+	// runaway cap instead of hanging.
+	p := &Program{
+		Name:    "spin",
+		Groups:  [][]*ir.Instr{{ir.Predicated(ir.PR(5), ir.AddI(ir.GR(4), ir.GR(4), 1))}},
+		Setup:   []ir.RegInit{{Reg: ir.PR(5), Val: 1}},
+		WhileQP: ir.PR(5),
+	}
+	st, err := Run(p, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.ReadReg(ir.GR(4)); got > 20 {
+		t.Errorf("runaway while loop executed %d iterations", got)
+	}
+}

@@ -1,0 +1,136 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllOpcodesNamed sweeps every opcode: each must have a distinct
+// non-placeholder mnemonic and a consistent classification.
+func TestAllOpcodesNamed(t *testing.T) {
+	seen := map[string]Op{}
+	for op := OpNop; op < opMax; op++ {
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("mnemonic %q shared by %d and %d", name, prev, op)
+		}
+		seen[name] = op
+		// Exclusive classes.
+		n := 0
+		if op.IsLoad() {
+			n++
+		}
+		if op.IsStore() {
+			n++
+		}
+		if op.IsBranch() {
+			n++
+		}
+		if n > 1 {
+			t.Errorf("%v is in multiple exclusive classes", op)
+		}
+		if (op.IsLoad() || op.IsStore()) && !op.IsMem() {
+			t.Errorf("%v loads/stores but is not memory", op)
+		}
+	}
+	if op := Op(200).String(); !strings.HasPrefix(op, "op(") {
+		t.Errorf("unknown opcode string = %q", op)
+	}
+}
+
+// TestAllShapedOpsHaveSemantics builds a minimal valid instruction for
+// every shaped opcode and checks the printer produces something sane.
+func TestAllShapedOpsPrint(t *testing.T) {
+	mk := func(class RegClass, n int) Reg { return Reg{Class: class, N: n} }
+	for op, sh := range shapes {
+		in := &Instr{Op: op}
+		for i := 0; i < sh.nDst; i++ {
+			c := ClassGR
+			if sh.dstClass != nil {
+				c = sh.dstClass[i]
+			}
+			in.Dsts = append(in.Dsts, mk(c, 10+i))
+		}
+		for i := 0; i < sh.nSrc; i++ {
+			c := ClassGR
+			if sh.srcClass != nil && sh.srcClass[i] != ClassNone {
+				c = sh.srcClass[i]
+			}
+			in.Srcs = append(in.Srcs, mk(c, 20+i))
+		}
+		if sh.needsMem {
+			in.Mem = &MemRef{Size: 8, PostInc: 8}
+		}
+		if s := in.String(); s == "" {
+			t.Errorf("%v prints empty", op)
+		}
+		if op.IsBranch() {
+			continue // implicit; never verified inside bodies
+		}
+		if err := in.verify(); err != nil {
+			t.Errorf("canonical %v does not verify: %v", op, err)
+		}
+	}
+}
+
+// TestSelChkBuilders covers the merge/check constructors.
+func TestSelChkBuilders(t *testing.T) {
+	s := Sel(VGR(0), VPR(1), VGR(2), VGR(3))
+	if s.Op != OpSel || len(s.Srcs) != 3 || s.Srcs[0].Class != ClassPR {
+		t.Errorf("Sel = %v", s)
+	}
+	f := FSel(VFR(0), VPR(1), VFR(2), VFR(3))
+	if f.Op != OpFSel || !f.Op.IsFP() {
+		t.Errorf("FSel = %v", f)
+	}
+	c := Chk(VGR(5))
+	if c.Op != OpChk || len(c.Srcs) != 1 {
+		t.Errorf("Chk = %v", c)
+	}
+	if !strings.Contains(c.String(), "chk.a") {
+		t.Errorf("Chk prints %q", c)
+	}
+}
+
+// TestWhileVerify covers the while-loop shape checks.
+func TestWhileVerify(t *testing.T) {
+	mkWhile := func(mutate func(*Loop)) error {
+		l := NewLoop("w")
+		pv := l.NewPR()
+		p := l.NewGR()
+		l.Append(Predicated(pv, Ld(p, p, 8, 0)))
+		l.Append(Predicated(pv, CmpEqI(None, pv, p, 0)))
+		l.While = &WhileInfo{Cond: pv}
+		l.Init(pv, 1)
+		l.Init(p, 0x1000)
+		if mutate != nil {
+			mutate(l)
+		}
+		return l.Verify()
+	}
+	if err := mkWhile(nil); err != nil {
+		t.Errorf("valid while loop rejected: %v", err)
+	}
+	if err := mkWhile(func(l *Loop) { l.While.Cond = l.NewGR() }); err == nil {
+		t.Error("GR while condition accepted")
+	}
+	if err := mkWhile(func(l *Loop) { l.Setup = nil }); err == nil {
+		t.Error("uninitialized while condition accepted")
+	}
+	if err := mkWhile(func(l *Loop) { l.Body[1].Dsts[1] = l.NewPR() }); err == nil {
+		t.Error("undefined while condition accepted")
+	}
+	if err := mkWhile(func(l *Loop) { l.Body[0].Pred = None }); err == nil {
+		t.Error("unqualified body instruction accepted")
+	}
+	if err := mkWhile(func(l *Loop) {
+		// Condition compare not last.
+		l.Body[0], l.Body[1] = l.Body[1], l.Body[0]
+		l.Body[0].ID, l.Body[1].ID = 0, 1
+	}); err == nil {
+		t.Error("non-trailing condition compare accepted")
+	}
+}

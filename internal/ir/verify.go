@@ -1,0 +1,173 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// opShape describes operand-count expectations for verification.
+type opShape struct {
+	nDst, nSrc int
+	dstClass   []RegClass // expected class per dst; ClassNone = any
+	srcClass   []RegClass
+	needsMem   bool
+}
+
+var shapes = map[Op]opShape{
+	OpNop:     {0, 0, nil, nil, false},
+	OpMovI:    {1, 0, []RegClass{ClassGR}, nil, false},
+	OpMov:     {1, 1, []RegClass{ClassGR}, []RegClass{ClassGR}, false},
+	OpAdd:     {1, 2, []RegClass{ClassGR}, []RegClass{ClassGR, ClassGR}, false},
+	OpSub:     {1, 2, []RegClass{ClassGR}, []RegClass{ClassGR, ClassGR}, false},
+	OpAddI:    {1, 1, []RegClass{ClassGR}, []RegClass{ClassGR}, false},
+	OpAnd:     {1, 2, []RegClass{ClassGR}, []RegClass{ClassGR, ClassGR}, false},
+	OpOr:      {1, 2, []RegClass{ClassGR}, []RegClass{ClassGR, ClassGR}, false},
+	OpXor:     {1, 2, []RegClass{ClassGR}, []RegClass{ClassGR, ClassGR}, false},
+	OpShlI:    {1, 1, []RegClass{ClassGR}, []RegClass{ClassGR}, false},
+	OpShrI:    {1, 1, []RegClass{ClassGR}, []RegClass{ClassGR}, false},
+	OpShladd:  {1, 2, []RegClass{ClassGR}, []RegClass{ClassGR, ClassGR}, false},
+	OpMul:     {1, 2, []RegClass{ClassGR}, []RegClass{ClassGR, ClassGR}, false},
+	OpCmpEq:   {2, 2, []RegClass{ClassPR, ClassPR}, []RegClass{ClassGR, ClassGR}, false},
+	OpCmpLt:   {2, 2, []RegClass{ClassPR, ClassPR}, []RegClass{ClassGR, ClassGR}, false},
+	OpCmpEqI:  {2, 1, []RegClass{ClassPR, ClassPR}, []RegClass{ClassGR}, false},
+	OpCmpLtI:  {2, 1, []RegClass{ClassPR, ClassPR}, []RegClass{ClassGR}, false},
+	OpFMovI:   {1, 0, []RegClass{ClassFR}, nil, false},
+	OpFMov:    {1, 1, []RegClass{ClassFR}, []RegClass{ClassFR}, false},
+	OpFAdd:    {1, 2, []RegClass{ClassFR}, []RegClass{ClassFR, ClassFR}, false},
+	OpFSub:    {1, 2, []RegClass{ClassFR}, []RegClass{ClassFR, ClassFR}, false},
+	OpFMul:    {1, 2, []RegClass{ClassFR}, []RegClass{ClassFR, ClassFR}, false},
+	OpFMA:     {1, 3, []RegClass{ClassFR}, []RegClass{ClassFR, ClassFR, ClassFR}, false},
+	OpFCmpLt:  {2, 2, []RegClass{ClassPR, ClassPR}, []RegClass{ClassFR, ClassFR}, false},
+	OpGetF:    {1, 1, []RegClass{ClassGR}, []RegClass{ClassFR}, false},
+	OpSetF:    {1, 1, []RegClass{ClassFR}, []RegClass{ClassGR}, false},
+	OpSel:     {1, 3, []RegClass{ClassGR}, []RegClass{ClassPR, ClassGR, ClassGR}, false},
+	OpFSel:    {1, 3, []RegClass{ClassFR}, []RegClass{ClassPR, ClassFR, ClassFR}, false},
+	OpChk:     {0, 1, nil, []RegClass{ClassNone}, false}, // target may be GR or FR
+	OpLd:      {1, 1, []RegClass{ClassGR}, []RegClass{ClassGR}, true},
+	OpLdF:     {1, 1, []RegClass{ClassFR}, []RegClass{ClassGR}, true},
+	OpSt:      {0, 2, nil, []RegClass{ClassGR, ClassGR}, true},
+	OpStF:     {0, 2, nil, []RegClass{ClassFR, ClassGR}, true},
+	OpLfetch:  {0, 1, nil, []RegClass{ClassGR}, true},
+	OpBrCloop: {0, 0, nil, nil, false},
+	OpBrCtop:  {0, 0, nil, nil, false},
+}
+
+// Verify checks structural wellformedness of the loop: opcode operand
+// shapes, register classes, memory descriptors, predicate classes, in-range
+// IDs in memory dependences, and that no instruction is a loop branch
+// (branches are implicit in Loop). It returns the first problem found.
+func (l *Loop) Verify() error {
+	if len(l.Body) == 0 {
+		return errors.New("ir: empty loop body")
+	}
+	for i, in := range l.Body {
+		if in.ID != i {
+			return fmt.Errorf("ir: %s body[%d] has ID %d", l.Name, i, in.ID)
+		}
+		if in.Op.IsBranch() {
+			return fmt.Errorf("ir: %s body[%d]: loop branches are implicit, found %s", l.Name, i, in.Op)
+		}
+		if err := in.verify(); err != nil {
+			return fmt.Errorf("ir: %s body[%d] (%s): %w", l.Name, i, in, err)
+		}
+	}
+	if l.While != nil {
+		if err := l.verifyWhile(); err != nil {
+			return err
+		}
+	}
+	for _, d := range l.MemDeps {
+		if d.From < 0 || d.From >= len(l.Body) || d.To < 0 || d.To >= len(l.Body) {
+			return fmt.Errorf("ir: %s memdep %d->%d out of range", l.Name, d.From, d.To)
+		}
+		if !l.Body[d.From].Op.IsMem() || !l.Body[d.To].Op.IsMem() {
+			return fmt.Errorf("ir: %s memdep %d->%d endpoints not memory ops", l.Name, d.From, d.To)
+		}
+		if d.Distance < 0 {
+			return fmt.Errorf("ir: %s memdep %d->%d negative distance", l.Name, d.From, d.To)
+		}
+	}
+	return nil
+}
+
+// verifyWhile checks the while-loop shape: the validity predicate is a
+// virtual PR defined by a compare, initialized on entry, and qualifies
+// every body instruction (so iterations past the exit shut off).
+func (l *Loop) verifyWhile() error {
+	cond := l.While.Cond
+	if cond.Class != ClassPR || !cond.Virtual {
+		return fmt.Errorf("ir: %s: while condition %s is not a virtual predicate", l.Name, cond)
+	}
+	if _, ok := l.InitValue(cond); !ok {
+		return fmt.Errorf("ir: %s: while condition %s has no initial value", l.Name, cond)
+	}
+	defBy := -1
+	for i, in := range l.Body {
+		for _, d := range in.Dsts {
+			if d == cond {
+				defBy = i
+			}
+		}
+	}
+	if defBy < 0 {
+		return fmt.Errorf("ir: %s: while condition %s never defined", l.Name, cond)
+	}
+	if defBy != len(l.Body)-1 {
+		return fmt.Errorf("ir: %s: the while condition must be computed by the last body instruction (found at %d)",
+			l.Name, defBy)
+	}
+	switch l.Body[defBy].Op {
+	case OpCmpEq, OpCmpLt, OpCmpEqI, OpCmpLtI, OpFCmpLt:
+	default:
+		return fmt.Errorf("ir: %s: while condition defined by %v, want a compare", l.Name, l.Body[defBy].Op)
+	}
+	for i, in := range l.Body {
+		if in.Pred != cond {
+			return fmt.Errorf("ir: %s: body[%d] not qualified by the while condition", l.Name, i)
+		}
+	}
+	return nil
+}
+
+func (in *Instr) verify() error {
+	sh, ok := shapes[in.Op]
+	if !ok {
+		return fmt.Errorf("unknown opcode %v", in.Op)
+	}
+	if len(in.Dsts) != sh.nDst {
+		return fmt.Errorf("want %d dsts, have %d", sh.nDst, len(in.Dsts))
+	}
+	if len(in.Srcs) != sh.nSrc {
+		return fmt.Errorf("want %d srcs, have %d", sh.nSrc, len(in.Srcs))
+	}
+	for i, d := range in.Dsts {
+		// Compares may leave one predicate destination unset.
+		if d.IsNone() && d.Class == ClassNone && (in.Op == OpCmpEq || in.Op == OpCmpLt || in.Op == OpCmpEqI || in.Op == OpCmpLtI || in.Op == OpFCmpLt) {
+			continue
+		}
+		if sh.dstClass[i] != ClassNone && d.Class != sh.dstClass[i] {
+			return fmt.Errorf("dst %d: want class %v, have %v", i, sh.dstClass[i], d.Class)
+		}
+	}
+	for i, s := range in.Srcs {
+		if sh.srcClass[i] != ClassNone && s.Class != sh.srcClass[i] {
+			return fmt.Errorf("src %d: want class %v, have %v", i, sh.srcClass[i], s.Class)
+		}
+	}
+	if sh.needsMem {
+		if in.Mem == nil {
+			return errors.New("memory op without MemRef")
+		}
+		switch in.Mem.Size {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("bad access size %d", in.Mem.Size)
+		}
+	} else if in.Mem != nil {
+		return errors.New("non-memory op with MemRef")
+	}
+	if !in.Pred.IsNone() && in.Pred.Class != ClassPR {
+		return fmt.Errorf("qualifying predicate has class %v", in.Pred.Class)
+	}
+	return nil
+}

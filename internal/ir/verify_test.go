@@ -1,0 +1,125 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func validLoop() *Loop {
+	l := NewLoop("v")
+	d, b := l.NewGR(), l.NewGR()
+	l.Init(b, 0x1000)
+	l.Append(Ld(d, b, 4, 4))
+	l.Append(Add(l.NewGR(), d, d))
+	return l
+}
+
+func TestVerifyOK(t *testing.T) {
+	if err := validLoop().Verify(); err != nil {
+		t.Fatalf("valid loop rejected: %v", err)
+	}
+}
+
+func TestVerifyEmptyLoop(t *testing.T) {
+	if err := NewLoop("e").Verify(); err == nil {
+		t.Error("empty loop accepted")
+	}
+}
+
+func TestVerifyRejectsBranchInBody(t *testing.T) {
+	l := validLoop()
+	l.Append(&Instr{Op: OpBrCtop})
+	if err := l.Verify(); err == nil || !strings.Contains(err.Error(), "implicit") {
+		t.Errorf("branch in body accepted: %v", err)
+	}
+}
+
+func TestVerifyOperandCounts(t *testing.T) {
+	l := NewLoop("t")
+	a := l.NewGR()
+	l.Append(&Instr{Op: OpAdd, Dsts: []Reg{a}, Srcs: []Reg{a}}) // one src missing
+	if err := l.Verify(); err == nil {
+		t.Error("short-operand add accepted")
+	}
+}
+
+func TestVerifyOperandClasses(t *testing.T) {
+	l := NewLoop("t")
+	f := l.NewFR()
+	g := l.NewGR()
+	l.Append(&Instr{Op: OpAdd, Dsts: []Reg{g}, Srcs: []Reg{f, g}})
+	if err := l.Verify(); err == nil {
+		t.Error("FP source on integer add accepted")
+	}
+}
+
+func TestVerifyMemShape(t *testing.T) {
+	l := NewLoop("t")
+	d, b := l.NewGR(), l.NewGR()
+	l.Append(&Instr{Op: OpLd, Dsts: []Reg{d}, Srcs: []Reg{b}}) // no MemRef
+	if err := l.Verify(); err == nil {
+		t.Error("load without MemRef accepted")
+	}
+
+	l2 := NewLoop("t2")
+	a := l2.NewGR()
+	in := Add(a, a, a)
+	in.Mem = &MemRef{Size: 4}
+	l2.Append(in)
+	if err := l2.Verify(); err == nil {
+		t.Error("ALU op with MemRef accepted")
+	}
+
+	l3 := NewLoop("t3")
+	d3, b3 := l3.NewGR(), l3.NewGR()
+	bad := Ld(d3, b3, 4, 0)
+	bad.Mem.Size = 3
+	l3.Append(bad)
+	if err := l3.Verify(); err == nil {
+		t.Error("3-byte access accepted")
+	}
+}
+
+func TestVerifyPredicateClass(t *testing.T) {
+	l := NewLoop("t")
+	a := l.NewGR()
+	l.Append(Predicated(a, Add(l.NewGR(), a, a))) // GR as predicate
+	if err := l.Verify(); err == nil {
+		t.Error("GR qualifying predicate accepted")
+	}
+}
+
+func TestVerifyCompareAllowsOneNoneDst(t *testing.T) {
+	l := NewLoop("t")
+	a := l.NewGR()
+	p := l.NewPR()
+	l.Init(a, 0)
+	l.Append(CmpEqI(p, None, a, 3))
+	if err := l.Verify(); err != nil {
+		t.Errorf("compare with one None destination rejected: %v", err)
+	}
+}
+
+func TestVerifyMemDeps(t *testing.T) {
+	l := validLoop()
+	l.MemDeps = []MemDep{{From: 0, To: 99, Distance: 0}}
+	if err := l.Verify(); err == nil {
+		t.Error("out-of-range memdep accepted")
+	}
+	l.MemDeps = []MemDep{{From: 0, To: 1, Distance: 0}}
+	if err := l.Verify(); err == nil {
+		t.Error("memdep to non-memory op accepted")
+	}
+	l.MemDeps = []MemDep{{From: 0, To: 0, Distance: -1}}
+	if err := l.Verify(); err == nil {
+		t.Error("negative-distance memdep accepted")
+	}
+}
+
+func TestVerifyIDMismatch(t *testing.T) {
+	l := validLoop()
+	l.Body[1].ID = 5
+	if err := l.Verify(); err == nil {
+		t.Error("ID mismatch accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package machine models an Itanium-2-class in-order EPIC target for the
+// software pipeliner and the timing simulator: dispersal ports, instruction
+// latencies, the cache hierarchy's best-case and typical load latencies,
+// register-file geometry (including the rotating regions), and the OzQ
+// memory-request queue capacity.
+//
+// The central API for the paper's technique is LoadLatency: the pipeliner
+// queries it with the load's HLO hint token and a flag saying whether the
+// load was classified critical. Critical loads (and Recurrence-II
+// computation) use base latencies; non-critical loads are scheduled at the
+// hint-derived typical latency of the next cache level (paper Sec. 3.3).
+package machine
+
+import (
+	"fmt"
+
+	"ltsp/internal/ir"
+)
+
+// Port is a dispersal port class of the processor.
+type Port uint8
+
+const (
+	// PortM executes memory operations (and can absorb A-type integer ALU
+	// operations).
+	PortM Port = iota
+	// PortI executes integer operations.
+	PortI
+	// PortF executes floating-point operations (including integer multiply,
+	// which runs as xma on the FP unit).
+	PortF
+	// PortB executes branches.
+	PortB
+	// NumPorts is the number of port classes.
+	NumPorts
+)
+
+// String names the port class.
+func (p Port) String() string {
+	switch p {
+	case PortM:
+		return "M"
+	case PortI:
+		return "I"
+	case PortF:
+		return "F"
+	case PortB:
+		return "B"
+	}
+	return "?"
+}
+
+// CacheLatencies lists load-to-use latencies of the memory hierarchy. Best
+// values are the manual's best-case latencies; Typ values are the "typical"
+// latencies the hint translation uses, which leave headroom for dynamic
+// hazards such as bank conflicts (paper Sec. 3.3: L2 5 -> 11, L3 14 -> 21).
+type CacheLatencies struct {
+	L1Best int
+	L2Best int
+	L2Typ  int
+	L3Best int
+	L3Typ  int
+	Memory int
+}
+
+// Model describes the target processor.
+type Model struct {
+	// Name of the model for diagnostics.
+	Name string
+	// IssueWidth is the maximum instructions issued per cycle.
+	IssueWidth int
+	// Units[p] is the number of functional units behind port class p.
+	Units [NumPorts]int
+	// Lat holds the cache-hierarchy latencies.
+	Lat CacheLatencies
+	// FPLoadExtra is added to FP load latencies (format conversion;
+	// paper Sec. 3.3: "FP loads require one additional cycle").
+	FPLoadExtra int
+	// RotGR / RotFR are the sizes of the rotating general and FP register
+	// regions (r32.., f32..). RotPR is the rotating predicate region size
+	// (p16-p63).
+	RotGR, RotFR, RotPR int
+	// StaticGR / StaticFR / StaticPR are registers available outside the
+	// rotating regions for loop-invariant values.
+	StaticGR, StaticFR, StaticPR int
+	// OzQCapacity is the number of outstanding memory requests the OzQ
+	// (the queue between L1 and L2) sustains before the execution pipeline
+	// stalls on the next memory operation.
+	OzQCapacity int
+	// L2Banks is the number of L2 cache banks, for the optional
+	// bank-conflict model. Zero disables it.
+	L2Banks int
+	// BankConflictPenalty is the extra latency a conflicting access pays.
+	BankConflictPenalty int
+}
+
+// Itanium2 returns the Dual-Core Itanium 2 ("Montecito"-class) model used
+// throughout the paper's evaluation: 6-wide issue; 4 M, 2 I, 2 F, 3 B
+// units; L1D/L2/L3 best-case integer-load latencies 1/5/14 with typical
+// values 11/21; 96 rotating GRs and FRs; 48 rotating predicates; a 48-entry
+// OzQ.
+func Itanium2() *Model {
+	return &Model{
+		Name:       "itanium2",
+		IssueWidth: 6,
+		Units:      [NumPorts]int{PortM: 4, PortI: 2, PortF: 2, PortB: 3},
+		Lat: CacheLatencies{
+			L1Best: 1, L2Best: 5, L2Typ: 11, L3Best: 14, L3Typ: 21,
+			Memory: 200,
+		},
+		FPLoadExtra:         1,
+		RotGR:               96,
+		RotFR:               96,
+		RotPR:               48,
+		StaticGR:            31, // r1-r31 (r0 is hardwired zero)
+		StaticFR:            30, // f2-f31 (f0=0.0, f1=1.0 are constants)
+		StaticPR:            14, // p1-p15 (p0 is hardwired true)
+		OzQCapacity:         48,
+		L2Banks:             16,
+		BankConflictPenalty: 2,
+	}
+}
+
+// PortOf returns the dispersal port class of the opcode and whether the
+// instruction is A-type (integer ALU that may issue on either an M or an I
+// unit).
+func (m *Model) PortOf(op ir.Op) (port Port, aType bool) {
+	switch {
+	case op.IsMem():
+		return PortM, false
+	case op.IsBranch():
+		return PortB, false
+	case op.IsFP():
+		return PortF, false
+	case op == ir.OpNop:
+		return PortI, true
+	default:
+		// Integer ALU, moves, compares: A-type.
+		return PortI, true
+	}
+}
+
+// Latency returns the def-to-use latency of a non-load instruction's
+// results. Loads must use LoadLatency. Stores, prefetches and branches
+// produce no register results; their post-incremented base register is
+// available after one cycle, which is the value returned for them.
+func (m *Model) Latency(op ir.Op) int {
+	switch op {
+	case ir.OpLd, ir.OpLdF:
+		panic("machine: use LoadLatency for loads")
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFMA, ir.OpMul, ir.OpSetF:
+		return 4
+	case ir.OpGetF:
+		return 2
+	case ir.OpFMovI, ir.OpFMov, ir.OpFCmpLt:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// BaseLoadLatency returns the best-case (minimum) latency of a load: L1
+// best case for integer loads, L2 best case plus the FP extra cycle for FP
+// loads (FP loads bypass L1 on Itanium 2).
+func (m *Model) BaseLoadLatency(fp bool) int {
+	if fp {
+		return m.Lat.L2Best + m.FPLoadExtra
+	}
+	return m.Lat.L1Best
+}
+
+// HintLatency returns the scheduled latency the given hint token requests:
+// the typical (not best-case) latency of the hinted cache level, plus the
+// FP extra cycle. HintNone returns the base latency.
+func (m *Model) HintLatency(hint ir.Hint, fp bool) int {
+	extra := 0
+	if fp {
+		extra = m.FPLoadExtra
+	}
+	switch hint {
+	case ir.HintL2:
+		return m.Lat.L2Typ + extra
+	case ir.HintL3:
+		return m.Lat.L3Typ + extra
+	default:
+		return m.BaseLoadLatency(fp)
+	}
+}
+
+// LoadLatency is the machine-model query the pipeliner issues while
+// scheduling (paper Sec. 3.3): when expected is false (the load is critical
+// or Recurrence-II is being computed) the base latency is returned; when
+// expected is true the hint-derived typical latency is returned.
+func (m *Model) LoadLatency(in *ir.Instr, expected bool) int {
+	if !in.Op.IsLoad() {
+		panic(fmt.Sprintf("machine: LoadLatency on non-load %v", in.Op))
+	}
+	fp := in.Op == ir.OpLdF
+	if !expected || in.Mem == nil {
+		return m.BaseLoadLatency(fp)
+	}
+	lat := m.HintLatency(in.Mem.Hint, fp)
+	if base := m.BaseLoadLatency(fp); lat < base {
+		return base
+	}
+	return lat
+}
+
+// ResultLatency returns the scheduling latency of any instruction given a
+// load-latency policy function; non-loads use the fixed table.
+func (m *Model) ResultLatency(in *ir.Instr, loadLat func(*ir.Instr) int) int {
+	if in.Op.IsLoad() {
+		return loadLat(in)
+	}
+	return m.Latency(in.Op)
+}

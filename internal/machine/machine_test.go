@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"testing"
+
+	"ltsp/internal/ir"
+)
+
+func TestItanium2Geometry(t *testing.T) {
+	m := Itanium2()
+	if m.IssueWidth != 6 {
+		t.Errorf("issue width = %d", m.IssueWidth)
+	}
+	if m.Units[PortM] != 4 || m.Units[PortI] != 2 || m.Units[PortF] != 2 || m.Units[PortB] != 3 {
+		t.Errorf("units = %v", m.Units)
+	}
+	if m.RotGR != 96 || m.RotFR != 96 || m.RotPR != 48 {
+		t.Errorf("rotating regions = %d/%d/%d", m.RotGR, m.RotFR, m.RotPR)
+	}
+	if m.OzQCapacity != 48 {
+		t.Errorf("OzQ capacity = %d, want 48 (paper Sec. 2)", m.OzQCapacity)
+	}
+	// The paper's latency table (Sec. 2 / 3.3).
+	if m.Lat.L1Best != 1 || m.Lat.L2Best != 5 || m.Lat.L3Best != 14 {
+		t.Errorf("best-case latencies = %+v", m.Lat)
+	}
+	if m.Lat.L2Typ != 11 || m.Lat.L3Typ != 21 {
+		t.Errorf("typical latencies = %+v, want 11/21 (paper Sec. 3.3)", m.Lat)
+	}
+}
+
+func TestPortOf(t *testing.T) {
+	m := Itanium2()
+	tests := []struct {
+		op    ir.Op
+		port  Port
+		aType bool
+	}{
+		{ir.OpLd, PortM, false},
+		{ir.OpStF, PortM, false},
+		{ir.OpLfetch, PortM, false},
+		{ir.OpAdd, PortI, true},
+		{ir.OpCmpEq, PortI, true},
+		{ir.OpFMA, PortF, false},
+		{ir.OpMul, PortF, false},
+		{ir.OpBrCtop, PortB, false},
+	}
+	for _, tt := range tests {
+		port, aType := m.PortOf(tt.op)
+		if port != tt.port || aType != tt.aType {
+			t.Errorf("PortOf(%v) = %v,%v want %v,%v", tt.op, port, aType, tt.port, tt.aType)
+		}
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	m := Itanium2()
+	if m.Latency(ir.OpAdd) != 1 || m.Latency(ir.OpFMA) != 4 || m.Latency(ir.OpMul) != 4 {
+		t.Error("ALU/FP latencies wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Latency(OpLd) did not panic")
+		}
+	}()
+	m.Latency(ir.OpLd)
+}
+
+func TestBaseLoadLatency(t *testing.T) {
+	m := Itanium2()
+	if m.BaseLoadLatency(false) != 1 {
+		t.Error("integer base load latency != L1 best")
+	}
+	// FP loads bypass L1: L2 best + 1 format-conversion cycle.
+	if m.BaseLoadLatency(true) != 6 {
+		t.Errorf("FP base load latency = %d, want 6", m.BaseLoadLatency(true))
+	}
+}
+
+func TestHintLatency(t *testing.T) {
+	m := Itanium2()
+	tests := []struct {
+		hint ir.Hint
+		fp   bool
+		want int
+	}{
+		{ir.HintNone, false, 1},
+		{ir.HintL2, false, 11},
+		{ir.HintL3, false, 21},
+		{ir.HintNone, true, 6},
+		{ir.HintL2, true, 12},
+		{ir.HintL3, true, 22},
+	}
+	for _, tt := range tests {
+		if got := m.HintLatency(tt.hint, tt.fp); got != tt.want {
+			t.Errorf("HintLatency(%v, fp=%v) = %d, want %d", tt.hint, tt.fp, got, tt.want)
+		}
+	}
+}
+
+func TestLoadLatencyQuery(t *testing.T) {
+	m := Itanium2()
+	ld := ir.Ld(ir.VGR(0), ir.VGR(1), 4, 0)
+	ld.Mem.Hint = ir.HintL3
+	// The critical/non-critical protocol of Sec. 3.3: base when expected is
+	// false, hint-derived typical value when true.
+	if got := m.LoadLatency(ld, false); got != 1 {
+		t.Errorf("base query = %d", got)
+	}
+	if got := m.LoadLatency(ld, true); got != 21 {
+		t.Errorf("expected query = %d", got)
+	}
+	ldf := ir.LdF(ir.VFR(0), ir.VGR(1), 0)
+	ldf.Mem.Hint = ir.HintL2
+	if got := m.LoadLatency(ldf, true); got != 12 {
+		t.Errorf("FP expected query = %d", got)
+	}
+	// Unhinted loads return base latency even when expected is requested.
+	plain := ir.Ld(ir.VGR(0), ir.VGR(1), 4, 0)
+	if got := m.LoadLatency(plain, true); got != 1 {
+		t.Errorf("unhinted expected query = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LoadLatency on non-load did not panic")
+		}
+	}()
+	m.LoadLatency(ir.Add(ir.VGR(0), ir.VGR(1), ir.VGR(2)), true)
+}
+
+func TestResultLatency(t *testing.T) {
+	m := Itanium2()
+	ld := ir.Ld(ir.VGR(0), ir.VGR(1), 4, 0)
+	ld.Mem.Hint = ir.HintL2
+	expected := func(in *ir.Instr) int { return m.LoadLatency(in, true) }
+	if got := m.ResultLatency(ld, expected); got != 11 {
+		t.Errorf("ResultLatency(load) = %d", got)
+	}
+	if got := m.ResultLatency(ir.FMA(ir.VFR(0), ir.VFR(1), ir.VFR(2), ir.VFR(3)), expected); got != 4 {
+		t.Errorf("ResultLatency(fma) = %d", got)
+	}
+}
+
+func TestPortString(t *testing.T) {
+	for p, want := range map[Port]string{PortM: "M", PortI: "I", PortF: "F", PortB: "B"} {
+		if p.String() != want {
+			t.Errorf("Port(%d).String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestPortOfNewOps(t *testing.T) {
+	m := Itanium2()
+	// sel is an A-type integer op; fsel runs on the FP units; chk.a
+	// occupies an integer slot.
+	if p, a := m.PortOf(ir.OpSel); p != PortI || !a {
+		t.Errorf("sel port = %v,%v", p, a)
+	}
+	if p, a := m.PortOf(ir.OpFSel); p != PortF || a {
+		t.Errorf("fsel port = %v,%v", p, a)
+	}
+	if p, a := m.PortOf(ir.OpChk); p != PortI || !a {
+		t.Errorf("chk port = %v,%v", p, a)
+	}
+	if m.Latency(ir.OpSel) != 1 || m.Latency(ir.OpChk) != 1 {
+		t.Error("sel/chk latency wrong")
+	}
+}

@@ -1,0 +1,403 @@
+// Package modsched implements iterative modulo scheduling (Rau, MICRO
+// 1994): height-based priorities, a modulo reservation table over the
+// machine model's dispersal ports, eviction-based backtracking with a
+// scheduling budget, and the MinII = max(ResMII, RecMII) search performed
+// by the caller (package core) so that the latency-reduction fallback
+// ladder of the paper can interleave with II exploration.
+package modsched
+
+import (
+	"fmt"
+	"sort"
+
+	"ltsp/internal/ddg"
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+)
+
+// Schedule is the result of modulo scheduling one loop at a fixed II.
+type Schedule struct {
+	// II is the initiation interval in cycles.
+	II int
+	// Time[i] is the absolute schedule time of body instruction i; its
+	// kernel slot is Time[i] % II and its stage Time[i] / II.
+	Time []int
+	// Port[i] is the dispersal port the instruction was assigned.
+	Port []machine.Port
+	// Stages is the number of pipeline stages (max stage + 1).
+	Stages int
+	// Attempts counts individual placement operations performed, the
+	// compile-time currency of the paper's Sec. 3.3 discussion.
+	Attempts int
+}
+
+// Slot returns instruction i's cycle within the kernel.
+func (s *Schedule) Slot(i int) int { return s.Time[i] % s.II }
+
+// Stage returns instruction i's pipeline stage.
+func (s *Schedule) Stage(i int) int { return s.Time[i] / s.II }
+
+// ResMII computes the resource-constrained lower bound on the II for the
+// loop body (plus the implicit loop-closing branch): per-port unit counts,
+// A-type integer operations allowed on either I or M units, and total issue
+// width.
+func ResMII(m *machine.Model, body []*ir.Instr) int {
+	var mem, aType, fp, br int
+	for _, in := range body {
+		port, a := m.PortOf(in.Op)
+		switch {
+		case a:
+			aType++
+		case port == machine.PortM:
+			mem++
+		case port == machine.PortF:
+			fp++
+		case port == machine.PortB:
+			br++
+		}
+	}
+	br++ // the implicit br.ctop/br.cloop
+	total := len(body) + 1
+	res := ceilDiv(mem, m.Units[machine.PortM])
+	if v := ceilDiv(fp, m.Units[machine.PortF]); v > res {
+		res = v
+	}
+	if v := ceilDiv(br, m.Units[machine.PortB]); v > res {
+		res = v
+	}
+	// A-type ops fill I units first, then spill into spare M capacity.
+	if v := ceilDiv(mem+aType, m.Units[machine.PortM]+m.Units[machine.PortI]); v > res {
+		res = v
+	}
+	if v := ceilDiv(total, m.IssueWidth); v > res {
+		res = v
+	}
+	if res < 1 {
+		res = 1
+	}
+	return res
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// mrt is the modulo reservation table: per kernel row, which instructions
+// occupy which ports.
+type mrt struct {
+	m    *machine.Model
+	ii   int
+	rows [][]mrtEntry
+}
+
+type mrtEntry struct {
+	op   int // body index; -1 for the implicit branch
+	port machine.Port
+}
+
+func newMRT(m *machine.Model, ii int) *mrt {
+	t := &mrt{m: m, ii: ii, rows: make([][]mrtEntry, ii)}
+	// Reserve the loop-closing branch in the last kernel row.
+	t.rows[ii-1] = append(t.rows[ii-1], mrtEntry{op: -1, port: machine.PortB})
+	return t
+}
+
+func (t *mrt) usage(row int) (perPort [machine.NumPorts]int, total int) {
+	for _, e := range t.rows[row] {
+		perPort[e.port]++
+		total++
+	}
+	return
+}
+
+// fits reports whether op could be placed in the row, and which port it
+// would take. A-type operations prefer an I unit and fall back to M.
+func (t *mrt) fits(row int, op ir.Op) (machine.Port, bool) {
+	perPort, total := t.usage(row)
+	if total >= t.m.IssueWidth {
+		return 0, false
+	}
+	port, aType := t.m.PortOf(op)
+	if aType {
+		if perPort[machine.PortI] < t.m.Units[machine.PortI] {
+			return machine.PortI, true
+		}
+		if perPort[machine.PortM] < t.m.Units[machine.PortM] {
+			return machine.PortM, true
+		}
+		return 0, false
+	}
+	if perPort[port] < t.m.Units[port] {
+		return port, true
+	}
+	return 0, false
+}
+
+func (t *mrt) place(row int, opIdx int, port machine.Port) {
+	t.rows[row] = append(t.rows[row], mrtEntry{op: opIdx, port: port})
+}
+
+func (t *mrt) remove(opIdx int) {
+	for r := range t.rows {
+		for i, e := range t.rows[r] {
+			if e.op == opIdx {
+				t.rows[r] = append(t.rows[r][:i], t.rows[r][i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// conflicts returns body indices in the row that must be evicted to make
+// space for op: every occupant of the needed port class (or, if the row is
+// only issue-width-bound, one arbitrary occupant). The implicit branch is
+// never evicted.
+func (t *mrt) conflicts(row int, op ir.Op) []int {
+	var out []int
+	port, aType := t.m.PortOf(op)
+	perPort, total := t.usage(row)
+	needPortSpace := false
+	if aType {
+		needPortSpace = perPort[machine.PortI] >= t.m.Units[machine.PortI] &&
+			perPort[machine.PortM] >= t.m.Units[machine.PortM]
+	} else {
+		needPortSpace = perPort[port] >= t.m.Units[port]
+	}
+	for _, e := range t.rows[row] {
+		if e.op < 0 {
+			continue
+		}
+		if needPortSpace {
+			if aType && (e.port == machine.PortI || e.port == machine.PortM) {
+				out = append(out, e.op)
+			}
+			if !aType && e.port == port {
+				out = append(out, e.op)
+			}
+		}
+	}
+	if len(out) == 0 && total >= t.m.IssueWidth {
+		for _, e := range t.rows[row] {
+			if e.op >= 0 {
+				out = append(out, e.op)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Options tunes the scheduler.
+type Options struct {
+	// BudgetRatio bounds total placements at BudgetRatio * len(body);
+	// exceeding it fails the attempt at this II. Default 12.
+	BudgetRatio int
+}
+
+// ScheduleAtII tries to find a modulo schedule for the loop at the given
+// II under the load-latency policy latf. It returns nil, false when the
+// budget is exhausted without a complete schedule.
+func ScheduleAtII(m *machine.Model, g *ddg.Graph, ii int, latf ddg.LatencyFn, opts Options) (*Schedule, bool) {
+	if ii < 1 {
+		panic(fmt.Sprintf("modsched: non-positive II %d", ii))
+	}
+	body := g.Loop.Body
+	n := len(body)
+	budgetRatio := opts.BudgetRatio
+	if budgetRatio <= 0 {
+		budgetRatio = 60
+	}
+	budget := budgetRatio * n
+	if budget < 32 {
+		budget = 32
+	}
+
+	heights := g.Heights(ii, latf)
+	time := make([]int, n)
+	scheduled := make([]bool, n)
+	port := make([]machine.Port, n)
+	// lastTried[i] remembers the last slot at which i was placed, so a
+	// re-placement after eviction is forced to move forward (Rau's rule).
+	lastTried := make([]int, n)
+	for i := range lastTried {
+		lastTried[i] = -1
+	}
+	table := newMRT(m, ii)
+
+	// Priority order: height desc, then program order for determinism.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if heights[order[a]] != heights[order[b]] {
+			return heights[order[a]] > heights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	pick := func() int {
+		for _, i := range order {
+			if !scheduled[i] {
+				return i
+			}
+		}
+		return -1
+	}
+
+	attempts := 0
+	for {
+		op := pick()
+		if op < 0 {
+			break
+		}
+		if attempts >= budget {
+			return nil, false
+		}
+		attempts++
+
+		// Earliest start from scheduled predecessors.
+		estart := 0
+		for _, ei := range g.Pred[op] {
+			e := &g.Edges[ei]
+			if !scheduled[e.From] {
+				continue
+			}
+			v := time[e.From] + g.Latency(e, latf) - ii*e.Distance
+			if v > estart {
+				estart = v
+			}
+		}
+		minT := estart
+		if lastTried[op] >= 0 && lastTried[op]+1 > minT {
+			minT = lastTried[op] + 1
+		}
+
+		placedAt, placedPort, found := -1, machine.Port(0), false
+		for t := minT; t < estart+ii; t++ {
+			if p, ok := table.fits(t%ii, body[op].Op); ok {
+				placedAt, placedPort, found = t, p, true
+				break
+			}
+		}
+		if !found {
+			// Force placement, evicting the lowest-priority conflicting
+			// occupants one at a time until the operation fits (Rau's
+			// displacement rule).
+			placedAt = minT
+			placed := false
+			for !placed {
+				if p, ok := table.fits(placedAt%ii, body[op].Op); ok {
+					placedPort, placed = p, true
+					break
+				}
+				cands := table.conflicts(placedAt%ii, body[op].Op)
+				if len(cands) == 0 {
+					break
+				}
+				victim := cands[0]
+				for _, cand := range cands[1:] {
+					if heights[cand] < heights[victim] {
+						victim = cand
+					}
+				}
+				scheduled[victim] = false
+				table.remove(victim)
+			}
+			if !placed {
+				// Row saturated by the branch reservation or other
+				// unevictable pressure; slide forward next time.
+				lastTried[op] = placedAt
+				continue
+			}
+		}
+
+		time[op] = placedAt
+		port[op] = placedPort
+		lastTried[op] = placedAt
+		scheduled[op] = true
+		table.place(placedAt%ii, op, placedPort)
+
+		// Evict scheduled successors whose dependence is now violated.
+		for _, ei := range g.Succ[op] {
+			e := &g.Edges[ei]
+			if e.To == op || !scheduled[e.To] {
+				continue
+			}
+			if time[e.To] < placedAt+g.Latency(e, latf)-ii*e.Distance {
+				scheduled[e.To] = false
+				table.remove(e.To)
+			}
+		}
+		// Self-edges (post-increment) are satisfiable at any II >= 1 since
+		// their latency is 1; verify to catch malformed graphs.
+		for _, ei := range g.Succ[op] {
+			e := &g.Edges[ei]
+			if e.To == op && g.Latency(e, latf) > ii*e.Distance {
+				return nil, false // irrecoverable at this II
+			}
+		}
+	}
+
+	s := &Schedule{II: ii, Time: time, Port: port, Attempts: attempts}
+	for i := range time {
+		if st := time[i]/ii + 1; st > s.Stages {
+			s.Stages = st
+		}
+	}
+	return s, true
+}
+
+// Validate checks that the schedule respects every dependence of the graph
+// under latf: Time[to] >= Time[from] + latency - II*distance. It returns a
+// descriptive error for the first violation, and also re-checks resource
+// legality of each kernel row. Tests use it as the scheduler's oracle.
+func (s *Schedule) Validate(m *machine.Model, g *ddg.Graph, latf ddg.LatencyFn) error {
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		need := s.Time[e.From] + g.Latency(e, latf) - s.II*e.Distance
+		if s.Time[e.To] < need {
+			return fmt.Errorf("modsched: dep %d->%d (%s, dist %d, lat %d) violated: t[%d]=%d < %d",
+				e.From, e.To, e.Kind, e.Distance, g.Latency(e, latf), e.To, s.Time[e.To], need)
+		}
+	}
+	// Resource recheck.
+	type rowUse struct {
+		perPort [machine.NumPorts]int
+		total   int
+	}
+	rows := make([]rowUse, s.II)
+	rows[s.II-1].perPort[machine.PortB]++ // implicit branch
+	rows[s.II-1].total++
+	for i, in := range g.Loop.Body {
+		r := s.Time[i] % s.II
+		rows[r].perPort[s.Port[i]]++
+		rows[r].total++
+		wantPort, aType := m.PortOf(in.Op)
+		if !aType && s.Port[i] != wantPort {
+			return fmt.Errorf("modsched: body[%d] %s on wrong port %s", i, in.Op, s.Port[i])
+		}
+		if aType && s.Port[i] != machine.PortI && s.Port[i] != machine.PortM {
+			return fmt.Errorf("modsched: A-type body[%d] on port %s", i, s.Port[i])
+		}
+	}
+	for r, u := range rows {
+		if u.total > m.IssueWidth {
+			return fmt.Errorf("modsched: row %d issues %d > width %d", r, u.total, m.IssueWidth)
+		}
+		for p := machine.Port(0); p < machine.NumPorts; p++ {
+			if u.perPort[p] > m.Units[p] {
+				return fmt.Errorf("modsched: row %d uses %d %s units > %d", r, u.perPort[p], p, m.Units[p])
+			}
+		}
+	}
+	for i := range s.Time {
+		if s.Time[i] < 0 {
+			return fmt.Errorf("modsched: negative time for body[%d]", i)
+		}
+	}
+	return nil
+}

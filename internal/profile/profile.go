@@ -1,0 +1,98 @@
+// Package profile supplies trip-count information to the compiler driver:
+// exact averages from PGO block-count profiles (computed on the *training*
+// input, which is how the paper's 177.mesa train/reference divergence
+// arises) and heuristic static estimates used when PGO is off, whose
+// accuracy is deliberately low (paper Sec. 4.3: "the accuracy of this
+// static profile, and in particular of the trip count estimates, is
+// naturally low").
+package profile
+
+import "fmt"
+
+// TripSample is one observed (or modeled) loop execution class: the loop
+// ran Count times with trip-count Trip.
+type TripSample struct {
+	Trip  int64
+	Count int64
+}
+
+// Distribution is a trip-count distribution over loop executions.
+type Distribution []TripSample
+
+// Executions returns the total number of loop executions.
+func (d Distribution) Executions() int64 {
+	var n int64
+	for _, s := range d {
+		n += s.Count
+	}
+	return n
+}
+
+// Iterations returns the total number of loop iterations.
+func (d Distribution) Iterations() int64 {
+	var n int64
+	for _, s := range d {
+		n += s.Trip * s.Count
+	}
+	return n
+}
+
+// Avg returns the average trip count over executions, the quantity a
+// block-count profile yields (total iterations / total entries).
+func (d Distribution) Avg() float64 {
+	ex := d.Executions()
+	if ex == 0 {
+		return 0
+	}
+	return float64(d.Iterations()) / float64(ex)
+}
+
+// Uniform returns a distribution where every execution has the same trip.
+func Uniform(trip, count int64) Distribution {
+	return Distribution{{Trip: trip, Count: count}}
+}
+
+// Estimate is the compiler's belief about a loop's trip count.
+type Estimate struct {
+	// Avg is the estimated average trip count; 0 when nothing is known.
+	Avg float64
+	// Known reports whether the estimate is backed by a profile or a
+	// provable bound (rather than a bare guess).
+	Known bool
+	// Source describes where the estimate came from.
+	Source string
+}
+
+// StaticFacts are the compile-time facts static estimation can use
+// (paper Sec. 3.2): provable array bounds and outer-loop contiguity.
+type StaticFacts struct {
+	// ArrayBound is a provable maximum trip count from static array
+	// sizes; 0 when unknown.
+	ArrayBound int64
+	// AssumedTrip is the front end's default guess for loops with no
+	// information (the usual compiler heuristic of "loops iterate ~100
+	// times"). Zero means 100.
+	AssumedTrip float64
+}
+
+// DefaultAssumedTrip is the static profile's guess for unknown loops.
+const DefaultAssumedTrip = 100
+
+// PGO returns the estimate a dynamic profile of the training input gives:
+// the exact training average.
+func PGO(train Distribution) Estimate {
+	return Estimate{Avg: train.Avg(), Known: true, Source: "pgo(train)"}
+}
+
+// Static returns the heuristic estimate used without PGO.
+func Static(f StaticFacts) Estimate {
+	assumed := f.AssumedTrip
+	if assumed <= 0 {
+		assumed = DefaultAssumedTrip
+	}
+	if f.ArrayBound > 0 && float64(f.ArrayBound) < assumed {
+		return Estimate{Avg: float64(f.ArrayBound), Known: true,
+			Source: fmt.Sprintf("static(array-bound %d)", f.ArrayBound)}
+	}
+	return Estimate{Avg: assumed, Known: false, Source: "static(assumed)"}
+}

@@ -1,0 +1,85 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDistributionBasics(t *testing.T) {
+	d := Distribution{{Trip: 10, Count: 3}, {Trip: 20, Count: 1}}
+	if d.Executions() != 4 {
+		t.Errorf("executions = %d", d.Executions())
+	}
+	if d.Iterations() != 50 {
+		t.Errorf("iterations = %d", d.Iterations())
+	}
+	if d.Avg() != 12.5 {
+		t.Errorf("avg = %f", d.Avg())
+	}
+	if (Distribution{}).Avg() != 0 {
+		t.Error("empty distribution avg != 0")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform(7, 100)
+	if d.Avg() != 7 || d.Executions() != 100 {
+		t.Errorf("uniform: %+v", d)
+	}
+}
+
+func TestPGOEstimate(t *testing.T) {
+	e := PGO(Uniform(154, 300))
+	if !e.Known || e.Avg != 154 {
+		t.Errorf("PGO = %+v", e)
+	}
+	if e.Source == "" {
+		t.Error("no source")
+	}
+}
+
+func TestStaticEstimate(t *testing.T) {
+	// No facts: the default assumption.
+	e := Static(StaticFacts{})
+	if e.Known || e.Avg != DefaultAssumedTrip {
+		t.Errorf("default static = %+v", e)
+	}
+	// A provable array bound caps the estimate.
+	e = Static(StaticFacts{ArrayBound: 12})
+	if !e.Known || e.Avg != 12 {
+		t.Errorf("bounded static = %+v", e)
+	}
+	// A bound above the assumption does not raise it.
+	e = Static(StaticFacts{ArrayBound: 5000})
+	if e.Avg != DefaultAssumedTrip {
+		t.Errorf("huge bound static = %+v", e)
+	}
+	// Custom assumption.
+	e = Static(StaticFacts{AssumedTrip: 64})
+	if e.Avg != 64 {
+		t.Errorf("custom assumption = %+v", e)
+	}
+}
+
+func TestQuickAvgBetweenMinMax(t *testing.T) {
+	f := func(trips [4]uint16, counts [4]uint8) bool {
+		var d Distribution
+		min, max := int64(1<<30), int64(0)
+		for i := range trips {
+			trip := int64(trips[i]%1000) + 1
+			count := int64(counts[i]%50) + 1
+			d = append(d, TripSample{Trip: trip, Count: count})
+			if trip < min {
+				min = trip
+			}
+			if trip > max {
+				max = trip
+			}
+		}
+		avg := d.Avg()
+		return avg >= float64(min) && avg <= float64(max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses: geometric means of performance ratios, percentage-gain formatting,
+// and aggregate register statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geomean returns the geometric mean of the values; zero or negative
+// entries are skipped (they would be meaningless performance ratios).
+func Geomean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v <= 0 {
+			continue
+		}
+		sum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// GainPct converts a base/variant cycle pair into the paper's "% gain over
+// baseline": positive when the variant is faster.
+func GainPct(baseCycles, variantCycles float64) float64 {
+	if variantCycles <= 0 {
+		return 0
+	}
+	return (baseCycles/variantCycles - 1) * 100
+}
+
+// RatioFromGain converts a percentage gain back into a speedup ratio.
+func RatioFromGain(gainPct float64) float64 { return 1 + gainPct/100 }
+
+// GainFromRatios returns the percentage gain corresponding to the geomean
+// of the given speedup ratios (how the paper aggregates per-benchmark
+// gains).
+func GainFromRatios(ratios []float64) float64 {
+	return (Geomean(ratios) - 1) * 100
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%+.1f%%", x) }
+
+// RegCounts aggregates register allocation statistics across loops
+// (paper Sec. 4.5).
+type RegCounts struct {
+	GR, FR, PR int64
+	Loops      int64
+	Spills     int64
+	Instrs     int64
+}
+
+// Add accumulates another loop's counts.
+func (r *RegCounts) Add(gr, fr, pr, spills, instrs int) {
+	r.GR += int64(gr)
+	r.FR += int64(fr)
+	r.PR += int64(pr)
+	r.Spills += int64(spills)
+	r.Instrs += int64(instrs)
+	r.Loops++
+}
+
+// PctChange returns the percentage change from a to b.
+func PctChange(a, b int64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (float64(b)/float64(a) - 1) * 100
+}
+
+// PctChangeF returns the percentage change from a to b for floats.
+func PctChangeF(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b/a - 1) * 100
+}

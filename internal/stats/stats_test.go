@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %f", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); g != 1 {
+		t.Errorf("geomean(1,1,1) = %f", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %f", g)
+	}
+	// Non-positive entries are skipped.
+	if g := Geomean([]float64{-1, 0, 4}); g != 4 {
+		t.Errorf("geomean with junk = %f", g)
+	}
+}
+
+func TestGainPct(t *testing.T) {
+	if g := GainPct(110, 100); math.Abs(g-10) > 1e-9 {
+		t.Errorf("gain = %f", g)
+	}
+	if g := GainPct(90, 100); math.Abs(g+10) > 1e-9 {
+		t.Errorf("loss = %f", g)
+	}
+	if GainPct(1, 0) != 0 {
+		t.Error("division by zero not guarded")
+	}
+}
+
+func TestRatioRoundTrip(t *testing.T) {
+	f := func(gRaw int16) bool {
+		g := float64(gRaw % 80) // -79..79 percent
+		r := RatioFromGain(g)
+		return math.Abs(GainFromRatios([]float64{r})-g) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPctChange(t *testing.T) {
+	if c := PctChange(100, 114); math.Abs(c-14) > 1e-9 {
+		t.Errorf("change = %f", c)
+	}
+	if PctChange(0, 5) != 0 {
+		t.Error("zero base not guarded")
+	}
+	if c := PctChangeF(2.0, 1.0); math.Abs(c+50) > 1e-9 {
+		t.Errorf("changeF = %f", c)
+	}
+}
+
+func TestRegCounts(t *testing.T) {
+	var r RegCounts
+	r.Add(10, 5, 3, 1, 20)
+	r.Add(4, 2, 1, 0, 10)
+	if r.GR != 14 || r.FR != 7 || r.PR != 4 || r.Spills != 1 || r.Instrs != 30 || r.Loops != 2 {
+		t.Errorf("counts = %+v", r)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(2.25) != "+2.2%" && Pct(2.25) != "+2.3%" {
+		t.Errorf("Pct = %q", Pct(2.25))
+	}
+}
+
+func TestQuickGeomeanBounds(t *testing.T) {
+	f := func(vals [5]uint16) bool {
+		var vs []float64
+		min, max := math.Inf(1), 0.0
+		for _, v := range vals {
+			x := float64(v%100)/50 + 0.1
+			vs = append(vs, x)
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+		}
+		g := Geomean(vs)
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,472 @@
+package workload
+
+import (
+	"math/rand"
+
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+)
+
+// Arena base addresses. Each loop owns its memory image, so overlap across
+// loops is impossible; distinct bases just keep dumps readable.
+const (
+	arenaA = 0x0100_0000
+	arenaB = 0x0200_0000
+	arenaC = 0x0300_0000
+	arenaD = 0x0400_0000
+	arenaE = 0x0500_0000
+)
+
+// IntCopyAdd is the paper's running example (Fig. 1): dst[i] = src[i] + K.
+// Unit-stride integer load and store; with elems small enough the data is
+// L1/L2-resident and latency hints only add pipeline stages (the
+// h264ref-style regression); with elems large it streams.
+func IntCopyAdd(elems int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("copyadd")
+		v, bs, bd, r, k := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+		ld := ir.Ld(v, bs, 4, 4)
+		ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 4
+		l.Append(ld)
+		l.Append(ir.Add(r, v, k))
+		st := ir.St(bd, r, 4, 4)
+		st.Mem.Stride, st.Mem.StrideBytes = ir.StrideUnit, 4
+		l.Append(st)
+		l.Init(bs, arenaA)
+		l.Init(bd, arenaB)
+		l.Init(k, 12345)
+		l.LiveOut = []ir.Reg{bs, bd}
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		for i := int64(0); i < elems; i++ {
+			m.Store(arenaA+4*i, 4, 7*i+1)
+		}
+	}
+	return gen, initMem
+}
+
+// FPDaxpy models dense FP streaming (z[i] = a*x[i] + y[i]): the
+// well-prefetchable numeric kernels of benchmarks like 410.bwaves or
+// 470.lbm. With FP-L2 default hints the loads are scheduled at nearly
+// twice the base latency, covering L2/L3 hits.
+func FPDaxpy(elems int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("daxpy")
+		x, y, t, a := l.NewFR(), l.NewFR(), l.NewFR(), l.NewFR()
+		bx, by, bz := l.NewGR(), l.NewGR(), l.NewGR()
+		ldx := ir.LdF(x, bx, 8)
+		ldx.Mem.Stride, ldx.Mem.StrideBytes = ir.StrideUnit, 8
+		l.Append(ldx)
+		ldy := ir.LdF(y, by, 8)
+		ldy.Mem.Stride, ldy.Mem.StrideBytes = ir.StrideUnit, 8
+		l.Append(ldy)
+		l.Append(ir.FMA(t, x, a, y))
+		st := ir.StF(bz, t, 8)
+		st.Mem.Stride, st.Mem.StrideBytes = ir.StrideUnit, 8
+		l.Append(st)
+		l.Init(bx, arenaA)
+		l.Init(by, arenaB)
+		l.Init(bz, arenaC)
+		l.InitF(a, 1.5)
+		l.LiveOut = []ir.Reg{bx, by, bz}
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		for i := int64(0); i < elems; i++ {
+			m.StoreF(arenaA+8*i, float64(i)*0.5)
+			m.StoreF(arenaB+8*i, float64(i)*0.25)
+		}
+	}
+	return gen, initMem
+}
+
+// FPReduction models a dependence-bound FP sum (acc += x[i]): the fadd
+// recurrence fixes the II at the FP latency, and the load — off the
+// recurrence — is a classic non-critical boost candidate.
+func FPReduction(elems int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("fpsum")
+		x, acc := l.NewFR(), l.NewFR()
+		bx := l.NewGR()
+		ld := ir.LdF(x, bx, 8)
+		ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 8
+		l.Append(ld)
+		l.Append(ir.FAdd(acc, acc, x))
+		l.Init(bx, arenaA)
+		l.InitF(acc, 0)
+		l.LiveOut = []ir.Reg{acc, bx}
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		for i := int64(0); i < elems; i++ {
+			m.StoreF(arenaA+8*i, float64(i%97)*0.125)
+		}
+	}
+	return gen, initMem
+}
+
+// Node layout of the PointerChase arena (paper Sec. 4.4, the
+// refresh_potential() loop of 429.mcf):
+//
+//	node+0  : child pointer (the pointer-chasing recurrence)
+//	node+8  : basic_arc pointer (scattered)
+//	node+16 : pred pointer (into a separate, read-only parent region)
+//	node+24 : potential (written by the loop)
+//
+// The delinquent indirect loads (node->basic_arc->cost,
+// node->pred->potential) cannot be prefetched — they depend on the chase —
+// and are marked by HLO heuristic (1).
+const (
+	nodeSize  = 32
+	offChild  = 0
+	offArc    = 8
+	offPred   = 16
+	offPot    = 24
+	arcStride = 64
+	parStride = 64
+)
+
+// PointerChase models the 429.mcf refresh_potential loop. nodes is the
+// arena population (the chain wraps within it); scattered node placement
+// defeats spatial locality so the chase and the payload dereferences miss.
+func PointerChase(nodes int64, seed int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("refresh_potential")
+		pnext, pcur := l.NewGR(), l.NewGR()
+		t1, ba, cost := l.NewGR(), l.NewGR(), l.NewGR()
+		t2, pd, t3, pot := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+		v, t4 := l.NewGR(), l.NewGR()
+
+		l.Append(ir.Mov(pcur, pnext)) // carried: this iteration's node
+		chase := ir.Ld(pnext, pcur, 8, 0)
+		chase.Mem.Stride = ir.StridePointerChase
+		chase.Comment = "node = node->child"
+		l.Append(chase)
+		l.Append(ir.AddI(t1, pcur, offArc))
+		ldArc := ir.Ld(ba, t1, 8, 0)
+		ldArc.Mem.Stride = ir.StridePointerChase
+		ldArc.Comment = "node->basic_arc"
+		l.Append(ldArc)
+		ldCost := ir.Ld(cost, ba, 8, 0)
+		ldCost.Mem.Stride = ir.StridePointerChase
+		ldCost.Comment = "basic_arc->cost"
+		l.Append(ldCost)
+		l.Append(ir.AddI(t2, pcur, offPred))
+		ldPred := ir.Ld(pd, t2, 8, 0)
+		ldPred.Mem.Stride = ir.StridePointerChase
+		ldPred.Comment = "node->pred"
+		l.Append(ldPred)
+		l.Append(ir.AddI(t3, pd, offPot))
+		ldPot := ir.Ld(pot, t3, 8, 0)
+		ldPot.Mem.Stride = ir.StridePointerChase
+		ldPot.Comment = "pred->potential"
+		l.Append(ldPot)
+		l.Append(ir.Add(v, cost, pot))
+		l.Append(ir.AddI(t4, pcur, offPot))
+		st := ir.St(t4, v, 8, 0)
+		st.Comment = "node->potential ="
+		l.Append(st)
+
+		l.Init(pnext, chainHead(nodes, seed))
+		// The observable result is the chain of node->potential stores; the
+		// final chase pointer lives in a rotating register and is not a
+		// live-out.
+		return l
+	}
+	initMem := func(m *interp.Memory) { initChase(m, nodes, seed) }
+	return gen, initMem
+}
+
+func chainHead(nodes, seed int64) int64 { return arenaB }
+
+// initChase lays the node chain out in traversal order — like mcf's
+// sequentially allocated node array, so the chase itself streams well —
+// while basic_arc and pred targets scatter over large regions and miss.
+// This is what lets successive iterations' delinquent loads overlap once
+// the pipeliner clusters them (the chase would otherwise serialize the
+// loop).
+func initChase(m *interp.Memory, nodes, seed int64) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := int64(0); i < nodes; i++ {
+		addr := arenaB + i*nodeSize
+		next := arenaB + ((i+1)%nodes)*nodeSize
+		arc := arenaC + rng.Int63n(nodes)*arcStride
+		par := arenaD + rng.Int63n(nodes)*parStride
+		m.Store(addr+offChild, 8, next)
+		m.Store(addr+offArc, 8, arc)
+		m.Store(addr+offPred, 8, par)
+	}
+	for i := int64(0); i < nodes; i++ {
+		m.Store(arenaC+i*arcStride, 8, 100+i%37)    // arc costs
+		m.Store(arenaD+i*parStride+offPot, 8, i%53) // parent potentials
+	}
+}
+
+// WhileChase is the fully faithful refresh_potential: a *data-terminated*
+// while loop (`while (node) { ...; node = node->child; }`) pipelined with
+// br.wtop. The loop's validity predicate pv is a rotating loop-carried
+// predicate computed by the trailing compare (pv' = pv && node != NULL,
+// via cmp.unc); every instruction is qualified by pv, so iterations past
+// the NULL terminator shut off, and the kernel branches on the validity
+// of the oldest in-flight iteration. chainLen is the list length (>= 1).
+func WhileChase(nodes, chainLen, seed int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("refresh_potential_while")
+		pv := l.NewPR()
+		pnext, pcur := l.NewGR(), l.NewGR()
+		t1, ba, cost := l.NewGR(), l.NewGR(), l.NewGR()
+		t2, pd, t3, pot := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+		v, t4 := l.NewGR(), l.NewGR()
+
+		q := func(in *ir.Instr) *ir.Instr { return ir.Predicated(pv, in) }
+		l.Append(q(ir.Mov(pcur, pnext)))
+		chase := ir.Ld(pnext, pcur, 8, 0)
+		chase.Mem.Stride = ir.StridePointerChase
+		chase.Comment = "node = node->child"
+		l.Append(q(chase))
+		l.Append(q(ir.AddI(t1, pcur, offArc)))
+		ldArc := ir.Ld(ba, t1, 8, 0)
+		ldArc.Mem.Stride = ir.StridePointerChase
+		ldArc.Comment = "node->basic_arc"
+		l.Append(q(ldArc))
+		ldCost := ir.Ld(cost, ba, 8, 0)
+		ldCost.Mem.Stride = ir.StridePointerChase
+		ldCost.Comment = "basic_arc->cost"
+		l.Append(q(ldCost))
+		l.Append(q(ir.AddI(t2, pcur, offPred)))
+		ldPred := ir.Ld(pd, t2, 8, 0)
+		ldPred.Mem.Stride = ir.StridePointerChase
+		ldPred.Comment = "node->pred"
+		l.Append(q(ldPred))
+		l.Append(q(ir.AddI(t3, pd, offPot)))
+		ldPot := ir.Ld(pot, t3, 8, 0)
+		ldPot.Mem.Stride = ir.StridePointerChase
+		ldPot.Comment = "pred->potential"
+		l.Append(q(ldPot))
+		l.Append(q(ir.Add(v, cost, pot)))
+		l.Append(q(ir.AddI(t4, pcur, offPot)))
+		st := ir.St(t4, v, 8, 0)
+		st.Comment = "node->potential ="
+		l.Append(q(st))
+		// pv' = pv && (node->child != NULL): the trailing cmp.unc chain.
+		l.Append(q(ir.CmpEqI(ir.None, pv, pnext, 0)))
+
+		l.While = &ir.WhileInfo{Cond: pv}
+		l.Init(pv, 1)
+		l.Init(pnext, arenaB)
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		initChase(m, nodes, seed)
+		// NULL-terminate the chain after chainLen nodes.
+		m.Store(arenaB+(chainLen-1)*nodeSize+offChild, 8, 0)
+	}
+	return gen, initMem
+}
+
+// IndirectGather models a[b[i]] traversals (445.gobmk board lookups,
+// 444.namd pair lists when fp is true): a unit-stride index stream and an
+// indirect gather that HLO prefetches only at reduced distance (heuristic
+// 2b) and therefore marks for longer-latency scheduling.
+func IndirectGather(idxElems, tableElems int64, fp bool, seed int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("gather")
+		bi, ta, abase := l.NewGR(), l.NewGR(), l.NewGR()
+		idx := l.NewGR()
+		ldi := ir.Ld(idx, bi, 4, 4)
+		ldi.Mem.Stride, ldi.Mem.StrideBytes = ir.StrideUnit, 4
+		l.Append(ldi)
+		l.Append(ir.Shladd(ta, idx, 3, abase))
+		if fp {
+			v, acc := l.NewFR(), l.NewFR()
+			ldv := ir.LdF(v, ta, 0)
+			markIndirect(ldv, abase)
+			l.Append(ldv)
+			l.Append(ir.FAdd(acc, acc, v))
+			l.InitF(acc, 0)
+			l.LiveOut = []ir.Reg{acc, bi}
+		} else {
+			v, acc := l.NewGR(), l.NewGR()
+			ldv := ir.Ld(v, ta, 8, 0)
+			markIndirect(ldv, abase)
+			l.Append(ldv)
+			l.Append(ir.Add(acc, acc, v))
+			l.Init(acc, 0)
+			l.LiveOut = []ir.Reg{acc, bi}
+		}
+		l.Init(bi, arenaA)
+		l.Init(abase, arenaB)
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := int64(0); i < idxElems; i++ {
+			m.Store(arenaA+4*i, 4, rng.Int63n(tableElems))
+		}
+		for i := int64(0); i < tableElems; i++ {
+			if fp {
+				m.StoreF(arenaB+8*i, float64(i%101)*0.5)
+			} else {
+				m.Store(arenaB+8*i, 8, i%103)
+			}
+		}
+	}
+	return gen, initMem
+}
+
+func markIndirect(ld *ir.Instr, abase ir.Reg) {
+	ld.Mem.Stride = ir.StrideIndirect
+	ld.Mem.IndexInit = arenaA
+	ld.Mem.IndexStride = 4
+	ld.Mem.IndexSize = 4
+	ld.Mem.ScaleShift = 3
+	ld.Mem.ArrayBase = abase
+}
+
+// LowTripSAD models the 464.h264ref FastFullPelBlockMotionSearch loop: a
+// short (trip ~10) integer difference-accumulation over small, cache-hot
+// arrays. Latency hints give nothing here — the loads hit L1 — but each
+// added stage costs one kernel iteration per execution, the paper's
+// regression case for low trip-count thresholds.
+func LowTripSAD(elems int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("sad")
+		ba, bb := l.NewGR(), l.NewGR()
+		a, b, d, acc := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+		lda := ir.Ld(a, ba, 4, 4)
+		lda.Mem.Stride, lda.Mem.StrideBytes = ir.StrideUnit, 4
+		l.Append(lda)
+		ldb := ir.Ld(b, bb, 4, 4)
+		ldb.Mem.Stride, ldb.Mem.StrideBytes = ir.StrideUnit, 4
+		l.Append(ldb)
+		l.Append(ir.Sub(d, a, b))
+		l.Append(ir.Add(acc, acc, d))
+		l.Init(ba, arenaA)
+		l.Init(bb, arenaB)
+		l.Init(acc, 0)
+		l.LiveOut = []ir.Reg{acc}
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		for i := int64(0); i < elems; i++ {
+			m.Store(arenaA+4*i, 4, 200+i%64)
+			m.Store(arenaB+4*i, 4, i%64)
+		}
+	}
+	return gen, initMem
+}
+
+// MultiStreamXor models 462.libquantum-style gate application: several
+// parallel integer streams (load, transform, store) over 16-byte records
+// like libquantum's quantum_reg_node. The many integer reference groups
+// trigger HLO heuristic (3): prefetching into L2 only plus an L2 hint, so
+// the pipeliner covers the L2 latency every load now pays — and the
+// resulting request rate pushes the OzQ towards its capacity (the Fig. 10
+// BE_L1D_FPU_BUBBLE increase).
+func MultiStreamXor(streams int, elems int64) (func() *ir.Loop, func(*interp.Memory)) {
+	const rec = 16 // record stride in bytes
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("gatexor")
+		mask := l.NewGR()
+		l.Init(mask, 0x5a5a5a5a)
+		outs := []ir.Reg{}
+		for s := 0; s < streams; s++ {
+			in, out := l.NewGR(), l.NewGR()
+			v, w := l.NewGR(), l.NewGR()
+			ld := ir.Ld(v, in, 8, rec)
+			ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideConst, rec
+			l.Append(ld)
+			l.Append(&ir.Instr{Op: ir.OpXor, Dsts: []ir.Reg{w}, Srcs: []ir.Reg{v, mask}})
+			st := ir.St(out, w, 8, rec)
+			st.Mem.Stride, st.Mem.StrideBytes = ir.StrideConst, rec
+			l.Append(st)
+			// Stagger stream bases so they do not all map to the same
+			// cache sets (0x40_0000 apart would alias in every level).
+			l.Init(in, arenaA+int64(s)*0x40_0000+int64(s)*8320)
+			l.Init(out, arenaC+int64(s)*0x40_0000+int64(s)*12416)
+			outs = append(outs, in, out)
+		}
+		l.LiveOut = outs
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		for s := 0; s < streams; s++ {
+			base := int64(arenaA) + int64(s)*0x40_0000 + int64(s)*8320
+			for i := int64(0); i < elems; i++ {
+				m.Store(base+16*i, 8, i*31+int64(s))
+			}
+		}
+	}
+	return gen, initMem
+}
+
+// RegPressureFP models a register-hungry FP kernel: several independent
+// FP load -> FMA chains folded into one accumulator at a tight II. With
+// every load boosted to the typical L3 latency the blade widths exceed the
+// 96 rotating FP registers, forcing the pipeliner's fallback ladder
+// (reduce non-critical latencies at the same II, then retry) — the
+// register-allocation-failure path of paper Sec. 3.3.
+func RegPressureFP(lanes int, elems int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("regpressure")
+		var accs []ir.Reg
+		for s := 0; s < lanes; s++ {
+			b := l.NewGR()
+			l.Init(b, arenaA+int64(s)*0x20_0000)
+			x, t, c, acc := l.NewFR(), l.NewFR(), l.NewFR(), l.NewFR()
+			l.InitF(c, 1.0+float64(s)*0.25)
+			l.InitF(acc, 0)
+			ld := ir.LdF(x, b, 8)
+			// Non-prefetchable so no lfetch competes for M slots and the
+			// II stays minimal, maximizing blade widths under boosting.
+			ld.Mem.Stride = ir.StrideUnknown
+			l.Append(ld)
+			l.Append(ir.FMul(t, x, c))
+			l.Append(ir.FAdd(acc, acc, t)) // in-place per-lane accumulator
+			accs = append(accs, acc)
+		}
+		l.LiveOut = accs
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		for s := 0; s < lanes; s++ {
+			base := int64(arenaA) + int64(s)*0x20_0000
+			for i := int64(0); i < elems; i++ {
+				m.StoreF(base+8*i, float64(i%61)*0.5)
+			}
+		}
+	}
+	return gen, initMem
+}
+
+// SymbolicStrideFP models 481.wrf / 200.sixtrack-style strided FP access:
+// the stride is constant per execution but unknown at compile time, so the
+// prefetcher limits the distance to bound TLB pressure (heuristic 2a) and
+// marks the load. A unit-stride FP store accompanies it.
+func SymbolicStrideFP(elems, strideBytes int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("strided")
+		x, t, c, d := l.NewFR(), l.NewFR(), l.NewFR(), l.NewFR()
+		bx, by := l.NewGR(), l.NewGR()
+		ld := ir.LdF(x, bx, strideBytes)
+		ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideSymbolic, strideBytes
+		l.Append(ld)
+		l.Append(ir.FMA(t, x, c, d))
+		st := ir.StF(by, t, 8)
+		st.Mem.Stride, st.Mem.StrideBytes = ir.StrideUnit, 8
+		l.Append(st)
+		l.Init(bx, arenaA)
+		l.Init(by, arenaC)
+		l.InitF(c, 2.0)
+		l.InitF(d, 0.5)
+		l.LiveOut = []ir.Reg{bx, by}
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		for i := int64(0); i < elems; i++ {
+			m.StoreF(arenaA+strideBytes*i, float64(i%89)*0.25)
+		}
+	}
+	return gen, initMem
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"math/rand"
+
+	"ltsp/internal/ifconv"
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+)
+
+// Branchy node layout (the full refresh_potential shape with the
+// orientation test of the paper's Sec. 4.4 source excerpt):
+//
+//	node+0  : child pointer
+//	node+8  : basic_arc pointer
+//	node+16 : pred pointer
+//	node+24 : potential (written)
+//	node+32 : orientation (UP = 1)
+const (
+	bNodeSize = 40
+	bOffArc   = 8
+	bOffPred  = 16
+	bOffPot   = 24
+	bOffOr    = 32
+)
+
+// PointerChaseBranchy models refresh_potential() with its orientation
+// conditional, built as a structured body and lowered by the if-converter:
+//
+//	while (node) {
+//	    if (node->orientation == UP)
+//	        node->potential = node->basic_arc->cost + node->pred->potential;
+//	    else
+//	        node->potential = node->pred->potential - node->basic_arc->cost;
+//	    node = node->child;
+//	}
+//
+// The dereference loads are hoisted above the diamond (they execute on
+// both paths); the arms differ only in the combine, merged through a
+// single sel.
+func PointerChaseBranchy(nodes int64, seed int64) (func() *ir.Loop, func(*interp.Memory)) {
+	gen := func() *ir.Loop {
+		l := ir.NewLoop("refresh_potential_branchy")
+		pnext, pcur := l.NewGR(), l.NewGR()
+		tOr, orient := l.NewGR(), l.NewGR()
+		t1, ba, cost := l.NewGR(), l.NewGR(), l.NewGR()
+		t2, pd, t3, pot := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+		vUp, vDn, v, t4 := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+
+		chase := ir.Ld(pnext, pcur, 8, 0)
+		chase.Mem.Stride = ir.StridePointerChase
+		chase.Comment = "node = node->child"
+		ldOr := ir.Ld(orient, tOr, 4, 0)
+		ldOr.Mem.Stride = ir.StridePointerChase
+		ldOr.Comment = "node->orientation"
+		ldArc := ir.Ld(ba, t1, 8, 0)
+		ldArc.Mem.Stride = ir.StridePointerChase
+		ldArc.Comment = "node->basic_arc"
+		ldCost := ir.Ld(cost, ba, 8, 0)
+		ldCost.Mem.Stride = ir.StridePointerChase
+		ldCost.Comment = "basic_arc->cost"
+		ldPred := ir.Ld(pd, t2, 8, 0)
+		ldPred.Mem.Stride = ir.StridePointerChase
+		ldPred.Comment = "node->pred"
+		ldPot := ir.Ld(pot, t3, 8, 0)
+		ldPot.Mem.Stride = ir.StridePointerChase
+		ldPot.Comment = "pred->potential"
+		st := ir.St(t4, v, 8, 0)
+		st.Comment = "node->potential ="
+
+		body := []ifconv.Stmt{
+			ifconv.I(ir.Mov(pcur, pnext)),
+			ifconv.I(chase),
+			ifconv.I(ir.AddI(tOr, pcur, bOffOr)),
+			ifconv.I(ldOr),
+			ifconv.I(ir.AddI(t1, pcur, bOffArc)),
+			ifconv.I(ldArc),
+			ifconv.I(ldCost),
+			ifconv.I(ir.AddI(t2, pcur, bOffPred)),
+			ifconv.I(ldPred),
+			ifconv.I(ir.AddI(t3, pd, bOffPot)),
+			ifconv.I(ldPot),
+			ifconv.Cond(&ifconv.If{
+				Cmp: ir.CmpEqI(ir.None, ir.None, orient, 1),
+				Then: []ifconv.Stmt{
+					ifconv.I(ir.Add(vUp, cost, pot)),
+				},
+				Else: []ifconv.Stmt{
+					ifconv.I(ir.Sub(vDn, pot, cost)),
+				},
+				Merges: []ifconv.Merge{{Dst: v, ThenVal: vUp, ElseVal: vDn}},
+			}),
+			ifconv.I(ir.AddI(t4, pcur, bOffPot)),
+			ifconv.I(st),
+		}
+		if err := ifconv.Convert(l, body); err != nil {
+			panic("workload: if-conversion failed: " + err.Error())
+		}
+		l.Init(pnext, arenaB)
+		return l
+	}
+	initMem := func(m *interp.Memory) {
+		rng := rand.New(rand.NewSource(seed + 1))
+		for i := int64(0); i < nodes; i++ {
+			addr := arenaB + i*bNodeSize
+			m.Store(addr+0, 8, arenaB+((i+1)%nodes)*bNodeSize)
+			m.Store(addr+bOffArc, 8, arenaC+rng.Int63n(nodes)*arcStride)
+			m.Store(addr+bOffPred, 8, arenaD+rng.Int63n(nodes)*parStride)
+			m.Store(addr+bOffOr, 4, rng.Int63n(2)) // UP or DOWN
+		}
+		for i := int64(0); i < nodes; i++ {
+			m.Store(arenaC+i*arcStride, 8, 100+i%37)
+			m.Store(arenaD+i*parStride+bOffPot, 8, i%53)
+		}
+	}
+	return gen, initMem
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"ltsp/internal/core"
+	"ltsp/internal/hlo"
+	"ltsp/internal/interp"
+	"ltsp/internal/machine"
+)
+
+func TestBranchyChaseMatchesReference(t *testing.T) {
+	// Execute the if-converted loop and compare node potentials against a
+	// direct Go re-implementation of the C source.
+	const nodes, seed, trip = 128, 9, 60
+	gen, initMem := PointerChaseBranchy(nodes, seed)
+	l := gen()
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.GenSequential(machine.Itanium2(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := interp.NewMemory()
+	initMem(mem)
+	st, err := interp.Run(seq, trip, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: walk the same chain in Go.
+	ref := interp.NewMemory()
+	initMem(ref)
+	node := int64(arenaB)
+	for i := 0; i < trip; i++ {
+		arc := ref.Load(node+bOffArc, 8)
+		pred := ref.Load(node+bOffPred, 8)
+		cost := ref.Load(arc, 8)
+		pot := ref.Load(pred+bOffPot, 8)
+		var v int64
+		if ref.Load(node+bOffOr, 4) == 1 {
+			v = cost + pot
+		} else {
+			v = pot - cost
+		}
+		ref.Store(node+bOffPot, 8, v)
+		node = ref.Load(node, 8)
+	}
+	walked := int64(arenaB)
+	for i := 0; i < trip; i++ {
+		want := ref.Load(walked+bOffPot, 8)
+		got := st.Mem.Load(walked+bOffPot, 8)
+		if got != want {
+			t.Fatalf("node %d potential = %d, want %d", i, got, want)
+		}
+		walked = ref.Load(walked, 8)
+	}
+}
+
+func TestBranchyChasePipelinedEquivalence(t *testing.T) {
+	const nodes, seed = 256, 11
+	gen, initMem := PointerChaseBranchy(nodes, seed)
+	m := machine.Itanium2()
+	for _, trip := range []int64{1, 2, 3, 17, 80} {
+		for _, mode := range []hlo.HintMode{hlo.ModeNone, hlo.ModeHLO} {
+			seqLoop := gen()
+			if _, err := hlo.Apply(seqLoop, hlo.Options{Mode: mode, Prefetch: true, TripEstimate: 2.3}); err != nil {
+				t.Fatal(err)
+			}
+			seq, err := core.GenSequential(m, seqLoop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipeLoop := gen()
+			if _, err := hlo.Apply(pipeLoop, hlo.Options{Mode: mode, Prefetch: true, TripEstimate: 2.3}); err != nil {
+				t.Fatal(err)
+			}
+			c, err := core.Pipeline(pipeLoop, core.Options{LatencyTolerant: true, BoostDelinquent: true})
+			if err != nil {
+				t.Fatalf("trip=%d mode=%v: %v", trip, mode, err)
+			}
+			memA, memB := interp.NewMemory(), interp.NewMemory()
+			initMem(memA)
+			initMem(memB)
+			stA, err := interp.Run(seq, trip, memA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stB, err := interp.Run(c.Program, trip, memB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa, sb := stA.Mem.Snapshot(), stB.Mem.Snapshot()
+			if len(sa) != len(sb) {
+				t.Fatalf("trip=%d mode=%v: page counts differ", trip, mode)
+			}
+			for pn, pa := range sa {
+				if pb := sb[pn]; pa != pb {
+					t.Fatalf("trip=%d mode=%v: page %#x differs (II=%d SC=%d)",
+						trip, mode, pn, c.FinalII, c.Stages)
+				}
+			}
+		}
+	}
+}
+
+func TestBranchyChaseBoostingStillHelps(t *testing.T) {
+	// The predicated diamond must not defeat the optimization: HLO hints
+	// still speed the loop up on cold caches.
+	gen, initMem := PointerChaseBranchy(1<<14, 13)
+	m := machine.Itanium2()
+	measure := func(mode hlo.HintMode, tolerant bool) int64 {
+		l := gen()
+		if _, err := hlo.Apply(l, hlo.Options{Mode: mode, Prefetch: true, TripEstimate: 2.3}); err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.Pipeline(l, core.Options{Model: m, LatencyTolerant: tolerant, BoostDelinquent: tolerant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := newTestRunner()
+		mem := interp.NewMemory()
+		initMem(mem)
+		var total int64
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 8; i++ {
+			runner.DropCaches()
+			r, err := runner.Run(c.Program, 2+rng.Int63n(2), mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.Cycles
+		}
+		return total
+	}
+	base := measure(hlo.ModeNone, false)
+	boosted := measure(hlo.ModeHLO, true)
+	if boosted >= base {
+		t.Errorf("boosting did not help the branchy chase: %d vs %d cycles", boosted, base)
+	}
+}

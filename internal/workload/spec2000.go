@@ -1,0 +1,156 @@
+package workload
+
+import "ltsp/internal/profile"
+
+// cpu2000 builds the 26 CPU2000 benchmark models. Designed behaviours:
+//
+//   - 177.mesa: the training/reference divergence the paper dissects — the
+//     gl_write_texture_span loop averages 154 iterations on the training
+//     input but only 8 on the reference input, so PGO-guided boosting of
+//     its cache-hot loads always regresses in the measured runs, at every
+//     trip-count threshold. Its loads are plain unit-stride prefetchable
+//     references, so HLO-directed hints leave it alone (the loss
+//     disappears in Fig. 8).
+//   - 179.art: cache-thrashing FP scans (+12% headroom).
+//   - 200.sixtrack: symbolic-stride FP (+8..11%).
+//   - 181.mcf / 188.ammp / 300.twolf: pointer-heavy, moderate gains.
+func cpu2000() []*Benchmark {
+	var out []*Benchmark
+	add := func(name string, loops ...LoopSpec) {
+		out = append(out, &Benchmark{Name: name, Suite: SuiteCPU2000, Loops: loops})
+	}
+
+	{
+		g, im := IntCopyAdd(1 << 10)
+		add("164.gzip", mkLoop("window", 0.085, g, im,
+			uni(20, 800), uni(20, 800), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 15)
+		add("168.wupwise", mkCold("zgemm", 0.11, g, im,
+			uni(500, 60), uni(500, 60), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 18)
+		add("171.swim", mkCold("calc", 0.21, g, im,
+			uni(1300, 40), uni(1300, 40), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 17)
+		add("172.mgrid", mkCold("resid", 0.18, g, im,
+			uni(1000, 40), uni(1000, 40), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 16)
+		add("173.applu", mkCold("rhs", 0.15, g, im,
+			uni(800, 40), uni(800, 40), profile.StaticFacts{}))
+	}
+	{
+		g, im := IndirectGather(1<<12, 1<<14, false, 67)
+		add("175.vpr", mkLoop("netcost", 0.14, g, im,
+			uni(80, 300), uni(80, 300), profile.StaticFacts{}))
+	}
+	{
+		g, im := IntCopyAdd(1 << 7)
+		add("176.gcc", mkLoop("rtlscan", 0.05, g, im,
+			uni(5, 4000), uni(5, 4000), profile.StaticFacts{}))
+	}
+	{
+		g, im := IntCopyAdd(1 << 11)
+		add("177.mesa", mkLoop("gl_write_texture_span", 0.20, g, im,
+			uni(154, 300), uni(8, 5800), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 15)
+		add("178.galgel", mkCold("sysnsn", 0.09, g, im,
+			uni(400, 60), uni(400, 60), profile.StaticFacts{}))
+	}
+	{
+		g1, im1 := SymbolicStrideFP(1<<15, 256)
+		g2, im2 := FPReduction(1 << 17)
+		add("179.art",
+			mkCold("match", 0.15, g1, im1,
+				uni(600, 60), uni(600, 60), profile.StaticFacts{}),
+			mkCold("train", 0.10, g2, im2,
+				uni(1000, 50), uni(1000, 50), profile.StaticFacts{}))
+	}
+	{
+		g1, im1 := IndirectGather(1<<13, 1<<18, false, 13)
+		g2, im2 := PointerChase(1<<16, 13)
+		add("181.mcf",
+			mkCold("arcscan", 0.08, g1, im1,
+				uni(400, 60), uni(400, 60), profile.StaticFacts{}),
+			mkCold("refresh_potential", 0.05, g2, im2,
+				profile.Distribution{{Trip: 2, Count: 1200}, {Trip: 3, Count: 500}},
+				profile.Distribution{{Trip: 2, Count: 1200}, {Trip: 3, Count: 500}},
+				profile.StaticFacts{}))
+	}
+	{
+		g, im := IndirectGather(1<<12, 1<<17, true, 71)
+		add("183.equake", mkCold("smvp", 0.08, g, im,
+			uni(40, 400), uni(40, 400), profile.StaticFacts{}))
+	}
+	add("186.crafty")
+	{
+		g, im := FPDaxpy(1 << 15)
+		add("187.facerec", mkCold("gabor", 0.12, g, im,
+			uni(48, 300), uni(48, 300), profile.StaticFacts{}))
+	}
+	{
+		g, im := PointerChase(1<<15, 17)
+		add("188.ammp", mkCold("mmfv", 0.08, g, im,
+			uni(12, 1000), uni(12, 1000), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 16)
+		add("189.lucas", mkCold("fftsq", 0.11, g, im,
+			uni(700, 50), uni(700, 50), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 15)
+		add("191.fma3d", mkCold("forceint", 0.09, g, im,
+			uni(350, 60), uni(350, 60), profile.StaticFacts{}))
+	}
+	{
+		g, im := IntCopyAdd(1 << 8)
+		add("197.parser", mkLoop("dictwalk", 0.055, g, im,
+			uni(4, 5000), uni(4, 5000), profile.StaticFacts{}))
+	}
+	{
+		g, im := SymbolicStrideFP(1<<15, 384)
+		add("200.sixtrack", mkCold("track", 0.15, g, im,
+			uni(512, 60), uni(512, 60), profile.StaticFacts{}))
+	}
+	add("252.eon")
+	{
+		g, im := LowTripSAD(1 << 9)
+		add("253.perlbmk", mkLoop("hashscan", 0.06, g, im,
+			uni(8, 2000), uni(8, 2000), profile.StaticFacts{}))
+	}
+	{
+		g, im := IndirectGather(1<<11, 1<<13, false, 73)
+		add("254.gap", mkLoop("bagscan", 0.10, g, im,
+			uni(60, 400), uni(60, 400), profile.StaticFacts{}))
+	}
+	{
+		g, im := IntCopyAdd(1 << 9)
+		add("255.vortex", mkLoop("objcopy", 0.07, g, im,
+			uni(6, 3000), uni(6, 3000), profile.StaticFacts{}))
+	}
+	{
+		g, im := IndirectGather(1<<12, 1<<15, false, 79)
+		add("256.bzip2", mkLoop("blocksort", 0.15, g, im,
+			uni(200, 100), uni(200, 100), profile.StaticFacts{}))
+	}
+	{
+		g, im := PointerChase(1<<14, 19)
+		add("300.twolf", mkCold("netscan", 0.045, g, im,
+			uni(10, 1000), uni(10, 1000), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 15)
+		add("301.apsi", mkCold("dctdxf", 0.09, g, im,
+			uni(400, 60), uni(400, 60), profile.StaticFacts{}))
+	}
+	return out
+}

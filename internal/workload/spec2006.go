@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+	"ltsp/internal/profile"
+)
+
+// mkLoop assembles a LoopSpec from an archetype pair and distributions.
+func mkLoop(name string, weight float64, gen func() *ir.Loop, initMem func(*interp.Memory),
+	train, ref profile.Distribution, facts profile.StaticFacts) LoopSpec {
+	return LoopSpec{
+		Name: name, Weight: weight, Gen: gen, InitMem: initMem,
+		Train: train, Ref: ref, Facts: facts,
+	}
+}
+
+// mkCold is mkLoop for streaming loops whose data is evicted between
+// executions.
+func mkCold(name string, weight float64, gen func() *ir.Loop, initMem func(*interp.Memory),
+	train, ref profile.Distribution, facts profile.StaticFacts) LoopSpec {
+	s := mkLoop(name, weight, gen, initMem, train, ref, facts)
+	s.Cold = true
+	return s
+}
+
+// uni is shorthand for a uniform trip distribution.
+func uni(trip, count int64) profile.Distribution { return profile.Uniform(trip, count) }
+
+// cpu2006 builds the 29 CPU2006 benchmark models. The designed behaviours
+// follow the paper's observations:
+//
+//   - 429.mcf: the Sec. 4.4 refresh_potential pointer chase, average trip
+//     2.3, non-prefetchable delinquent loads (+10..14% expected).
+//   - 444.namd: FP gather over a large pair table plus an FP reduction
+//     (+10..12%).
+//   - 462.libquantum: many parallel integer streams -> OzQ-pressure
+//     heuristic (3) (+7..14%).
+//   - 481.wrf: symbolic-stride FP with average trip ~48, so the n=64
+//     threshold forfeits its gain (+7%).
+//   - 464.h264ref: trip-10 L1-resident SAD loop; boosting it only adds
+//     stages (the low-threshold regression of Fig. 7).
+//   - 445.gobmk: indirect lookups with true trip ~3; PGO refuses to
+//     pipeline it, static estimates pipeline and boost it (the Fig. 9
+//     "worst case").
+//
+// Benchmarks the paper shows as flat get either no pipelinable hot loops
+// or well-prefetched streams where hints change little.
+func cpu2006() []*Benchmark {
+	var out []*Benchmark
+	add := func(name string, loops ...LoopSpec) {
+		out = append(out, &Benchmark{Name: name, Suite: SuiteCPU2006, Loops: loops})
+	}
+
+	{
+		g, im := LowTripSAD(1 << 10)
+		add("400.perlbench", mkLoop("match", 0.08, g, im,
+			uni(12, 400), uni(12, 400), profile.StaticFacts{}))
+	}
+	{
+		g, im := IndirectGather(1<<12, 1<<16, false, 41)
+		add("401.bzip2", mkLoop("sortgather", 0.10, g, im,
+			uni(256, 60), uni(256, 60), profile.StaticFacts{}))
+	}
+	{
+		g, im := IntCopyAdd(1 << 7)
+		add("403.gcc", mkLoop("bitcopy", 0.06, g, im,
+			uni(6, 3000), uni(6, 3000), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 18)
+		add("410.bwaves", mkCold("flux", 0.24, g, im,
+			uni(1024, 40), uni(1024, 40), profile.StaticFacts{}))
+	}
+	add("416.gamess")
+	{
+		// Two hot-loop classes, as in the real program: long arc-array
+		// scans with indirect misses (the Fig. 7 headroom gain, trip count
+		// well above any threshold) and the Sec. 4.4 refresh_potential
+		// pointer chase (average trip 2.3, gains only via the
+		// delinquent-load override of the HLO hints).
+		g1, im1 := IndirectGather(1<<13, 1<<19, false, 7)
+		g2, im2 := PointerChase(1<<17, 7)
+		add("429.mcf",
+			mkCold("arcscan", 0.13, g1, im1,
+				uni(600, 60), uni(600, 60), profile.StaticFacts{}),
+			mkCold("refresh_potential", 0.08, g2, im2,
+				profile.Distribution{{Trip: 2, Count: 1400}, {Trip: 3, Count: 600}},
+				profile.Distribution{{Trip: 2, Count: 1400}, {Trip: 3, Count: 600}},
+				profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 15)
+		add("433.milc", mkCold("su3", 0.20, g, im,
+			uni(512, 60), uni(512, 60), profile.StaticFacts{}))
+	}
+	{
+		g, im := SymbolicStrideFP(1<<14, 128)
+		add("434.zeusmp", mkCold("sweep", 0.08, g, im,
+			uni(256, 60), uni(256, 60), profile.StaticFacts{}))
+	}
+	{
+		g, im := IndirectGather(1<<12, 1<<13, true, 43)
+		add("435.gromacs", mkLoop("nblist", 0.10, g, im,
+			uni(20, 900), uni(20, 900), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 16)
+		add("436.cactusADM", mkCold("stencil", 0.16, g, im,
+			uni(700, 40), uni(700, 40), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPReduction(1 << 16)
+		add("437.leslie3d", mkCold("fluxsum", 0.18, g, im,
+			uni(600, 50), uni(600, 50), profile.StaticFacts{}))
+	}
+	{
+		g1, im1 := IndirectGather(1<<13, 1<<20, true, 47)
+		g2, im2 := FPReduction(1 << 15)
+		add("444.namd",
+			mkCold("pairlist", 0.20, g1, im1,
+				uni(400, 80), uni(400, 80), profile.StaticFacts{}),
+			mkCold("forcesum", 0.08, g2, im2,
+				uni(500, 60), uni(500, 60), profile.StaticFacts{}))
+	}
+	{
+		// Training sees mostly 1-2 iterations (avg 1.5), so PGO refuses to
+		// pipeline; static estimation assumes a high trip count, pipelines
+		// and boosts the indirect loads, which actually hit the upper
+		// caches — the Fig. 9 "worst case scenario".
+		g, im := IndirectGather(1<<10, 1<<9, false, 53)
+		add("445.gobmk", mkLoop("boardscan", 0.12, g, im,
+			profile.Distribution{{Trip: 1, Count: 3000}, {Trip: 2, Count: 1500}, {Trip: 3, Count: 500}},
+			uni(3, 5000), profile.StaticFacts{AssumedTrip: 100}))
+	}
+	add("447.dealII")
+	{
+		g, im := SymbolicStrideFP(1<<14, 192)
+		add("450.soplex", mkLoop("colscan", 0.08, g, im,
+			uni(200, 80), uni(200, 80), profile.StaticFacts{}))
+	}
+	{
+		g, im := LowTripSAD(1 << 9)
+		add("453.povray", mkLoop("shade", 0.055, g, im,
+			uni(8, 2000), uni(8, 2000), profile.StaticFacts{}))
+	}
+	{
+		g, im := FPDaxpy(1 << 14)
+		add("454.calculix", mkLoop("solve", 0.14, g, im,
+			uni(400, 60), uni(400, 60), profile.StaticFacts{}))
+	}
+	{
+		g, im := IntCopyAdd(1 << 12)
+		add("456.hmmer", mkLoop("viterbi", 0.17, g, im,
+			uni(100, 200), uni(100, 200), profile.StaticFacts{ArrayBound: 100}))
+	}
+	add("458.sjeng")
+	{
+		g, im := FPDaxpy(1 << 17)
+		add("459.GemsFDTD", mkCold("fieldupd", 0.20, g, im,
+			uni(900, 40), uni(900, 40), profile.StaticFacts{}))
+	}
+	{
+		g, im := MultiStreamXor(6, 1<<16)
+		add("462.libquantum", mkCold("toffoli", 0.40, g, im,
+			uni(1024, 40), uni(1024, 40), profile.StaticFacts{}))
+	}
+	{
+		g, im := LowTripSAD(1 << 10)
+		add("464.h264ref", mkLoop("blockmotion", 0.30, g, im,
+			uni(10, 8000), uni(10, 8000), profile.StaticFacts{}))
+	}
+	add("465.tonto")
+	{
+		g, im := FPDaxpy(1 << 18)
+		add("470.lbm", mkCold("collide", 0.22, g, im,
+			uni(1200, 40), uni(1200, 40), profile.StaticFacts{}))
+	}
+	{
+		g, im := PointerChase(1<<14, 11)
+		add("471.omnetpp", mkCold("msgqueue", 0.06, g, im,
+			uni(8, 1200), uni(8, 1200), profile.StaticFacts{}))
+	}
+	{
+		g, im := IndirectGather(1<<12, 1<<15, false, 59)
+		add("473.astar", mkCold("openlist", 0.08, g, im,
+			uni(64, 300), uni(64, 300), profile.StaticFacts{}))
+	}
+	{
+		g, im := SymbolicStrideFP(1<<15, 256)
+		add("481.wrf", mkCold("physics", 0.12, g, im,
+			uni(48, 400), uni(48, 400), profile.StaticFacts{}))
+	}
+	{
+		g, im := IndirectGather(1<<12, 1<<14, true, 61)
+		add("482.sphinx3", mkCold("gauden", 0.09, g, im,
+			uni(256, 80), uni(256, 80), profile.StaticFacts{}))
+	}
+	{
+		g, im := LowTripSAD(1 << 8)
+		add("483.xalancbmk", mkLoop("tokscan", 0.055, g, im,
+			uni(6, 2500), uni(6, 2500), profile.StaticFacts{}))
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"ltsp/internal/core"
+	"ltsp/internal/hlo"
+	"ltsp/internal/interp"
+	"ltsp/internal/machine"
+)
+
+func TestWhileChaseShape(t *testing.T) {
+	gen, _ := WhileChase(256, 3, 21)
+	l := gen()
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if l.While == nil {
+		t.Fatal("not a while loop")
+	}
+	for i, in := range l.Body {
+		if in.Pred != l.While.Cond {
+			t.Errorf("body[%d] not guarded by the validity predicate", i)
+		}
+	}
+}
+
+// TestWhileChaseSequential checks the data-terminated loop stops exactly at
+// the NULL terminator under sequential execution.
+func TestWhileChaseSequential(t *testing.T) {
+	for _, chainLen := range []int64{1, 2, 3, 7, 20} {
+		gen, initMem := WhileChase(256, chainLen, 23)
+		l := gen()
+		seq, err := core.GenSequential(machine.Itanium2(), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.WhileQP.IsNone() {
+			t.Fatal("sequential while program has no condition register")
+		}
+		mem := interp.NewMemory()
+		initMem(mem)
+		st, err := interp.Run(seq, 1000, mem) // trip is only a cap
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exactly chainLen potentials written; the node after the
+		// terminator untouched.
+		for i := int64(0); i < chainLen; i++ {
+			ref := refPotential(mem, i)
+			if got := st.Mem.Load(arenaB+i*nodeSize+offPot, 8); got != ref {
+				t.Fatalf("chain %d: node %d potential = %d, want %d", chainLen, i, got, ref)
+			}
+		}
+		if got := st.Mem.Load(arenaB+chainLen*nodeSize+offPot, 8); got != 0 {
+			t.Fatalf("chain %d: wrote past the terminator (%d)", chainLen, got)
+		}
+	}
+}
+
+// refPotential recomputes node i's expected potential from the (already
+// final) memory: cost and pred-potential come from read-only regions.
+func refPotential(m *interp.Memory, i int64) int64 {
+	node := arenaB + i*nodeSize
+	arc := m.Load(node+offArc, 8)
+	pred := m.Load(node+offPred, 8)
+	return m.Load(arc, 8) + m.Load(pred+offPot, 8)
+}
+
+// TestWhileChasePipelined: the br.wtop kernel computes exactly what the
+// sequential while loop computes, for several chain lengths and hint
+// modes — the whole-stack check for data-terminated pipelining.
+func TestWhileChasePipelined(t *testing.T) {
+	m := machine.Itanium2()
+	for _, chainLen := range []int64{1, 2, 3, 5, 17, 40} {
+		for _, mode := range []hlo.HintMode{hlo.ModeNone, hlo.ModeHLO} {
+			gen, initMem := WhileChase(256, chainLen, 29)
+
+			seqLoop := gen()
+			if _, err := hlo.Apply(seqLoop, hlo.Options{Mode: mode, Prefetch: true, TripEstimate: 2.3}); err != nil {
+				t.Fatal(err)
+			}
+			seq, err := core.GenSequential(m, seqLoop)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			pipeLoop := gen()
+			if _, err := hlo.Apply(pipeLoop, hlo.Options{Mode: mode, Prefetch: true, TripEstimate: 2.3}); err != nil {
+				t.Fatal(err)
+			}
+			c, err := core.Pipeline(pipeLoop, core.Options{LatencyTolerant: true, BoostDelinquent: true})
+			if err != nil {
+				t.Fatalf("chain %d mode %v: %v", chainLen, mode, err)
+			}
+			if c.Program.WhileQP.IsNone() {
+				t.Fatal("pipelined while program has no wtop predicate")
+			}
+
+			memA, memB := interp.NewMemory(), interp.NewMemory()
+			initMem(memA)
+			initMem(memB)
+			stA, err := interp.Run(seq, 1000, memA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stB, err := interp.Run(c.Program, 1000, memB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa, sb := stA.Mem.Snapshot(), stB.Mem.Snapshot()
+			if len(sa) != len(sb) {
+				t.Fatalf("chain %d mode %v: page counts differ (II=%d SC=%d)",
+					chainLen, mode, c.FinalII, c.Stages)
+			}
+			for pn, pa := range sa {
+				if pb := sb[pn]; pa != pb {
+					t.Fatalf("chain %d mode %v: page %#x differs (II=%d SC=%d)",
+						chainLen, mode, pn, c.FinalII, c.Stages)
+				}
+			}
+		}
+	}
+}
+
+// TestWhileChaseChaseIsCritical: the chase load and the validity chain sit
+// on the recurrence, so the classifier must keep them at base latency
+// while boosting the payload dereferences.
+func TestWhileChaseClassification(t *testing.T) {
+	gen, _ := WhileChase(256, 3, 31)
+	l := gen()
+	if _, err := hlo.Apply(l, hlo.Options{Mode: hlo.ModeHLO, Prefetch: true, TripEstimate: 2.3}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Pipeline(l, core.Options{LatencyTolerant: true, BoostDelinquent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted := 0
+	for _, lr := range c.Loads {
+		in := l.Body[lr.ID]
+		if in.Comment == "node = node->child" {
+			if !lr.Critical {
+				t.Error("chase load not critical in the while form")
+			}
+			continue
+		}
+		if lr.SchedLat > lr.BaseLat {
+			boosted++
+		}
+	}
+	if boosted < 3 {
+		t.Errorf("only %d payload loads boosted", boosted)
+	}
+}
+
+// TestWhileChaseBoostingHelps: latency tolerance must still pay off on the
+// data-terminated form (the paper's Sec. 4.4 loop is this loop).
+func TestWhileChaseBoostingHelps(t *testing.T) {
+	measure := func(mode hlo.HintMode, tolerant bool) int64 {
+		gen, initMem := WhileChase(1<<14, 3, 37)
+		l := gen()
+		if _, err := hlo.Apply(l, hlo.Options{Mode: mode, Prefetch: true, TripEstimate: 2.3}); err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.Pipeline(l, core.Options{LatencyTolerant: tolerant, BoostDelinquent: tolerant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := newTestRunner()
+		mem := interp.NewMemory()
+		initMem(mem)
+		var total int64
+		for i := 0; i < 6; i++ {
+			runner.DropCaches()
+			r, err := runner.Run(c.Program, 100, mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.Cycles
+		}
+		return total
+	}
+	base := measure(hlo.ModeNone, false)
+	boosted := measure(hlo.ModeHLO, true)
+	if boosted >= base {
+		t.Errorf("boosting did not help the while chase: %d vs %d", boosted, base)
+	}
+}

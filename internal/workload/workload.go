@@ -1,0 +1,93 @@
+// Package workload models the paper's evaluation subjects. SPEC CPU2000
+// and CPU2006 sources are not available, so each of the 55 benchmarks in
+// the paper's figures is represented by a synthetic model: a set of hot
+// pipelinable loops with the memory behaviour the paper attributes to that
+// program (pointer chasing in 429.mcf, a low-trip-count motion-search loop
+// in 464.h264ref, training/reference trip divergence in 177.mesa, ...),
+// plus a fraction of execution time outside pipelined loops that the
+// optimization cannot touch.
+//
+// All data layouts are deterministic (fixed-seed PRNG), so every
+// experiment is bit-reproducible.
+package workload
+
+import (
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+	"ltsp/internal/profile"
+)
+
+// LoopSpec is one hot loop of a benchmark model.
+type LoopSpec struct {
+	// Name identifies the loop (e.g. "mcf.refresh_potential").
+	Name string
+	// Weight is the fraction of the benchmark's *baseline* cycles spent in
+	// this loop. The weights of a benchmark's loops sum to its
+	// LoopFraction.
+	Weight float64
+	// Train and Ref are the trip-count distributions on the training and
+	// reference inputs. PGO sees Train; measurement runs execute Ref.
+	Train, Ref profile.Distribution
+	// Facts feed static trip estimation when PGO is off.
+	Facts profile.StaticFacts
+	// Gen builds a fresh copy of the loop IR (the HLO pass mutates it).
+	Gen func() *ir.Loop
+	// InitMem lays out the loop's data in a fresh memory image.
+	InitMem func(*interp.Memory)
+	// Cold marks loops whose data is evicted between executions (large
+	// streaming working sets): every simulated execution starts with cold
+	// caches. Loops with Cold false are measured warm (after one unmeasured
+	// warm-up execution).
+	Cold bool
+}
+
+// Benchmark models one SPEC program.
+type Benchmark struct {
+	// Name is the SPEC identifier, e.g. "429.mcf".
+	Name string
+	// Suite is "CPU2006" or "CPU2000".
+	Suite string
+	// Loops are the hot pipelinable loops. The remaining fraction
+	// 1 - sum(Weight) of baseline time is outside pipelined loops and
+	// identical under every compiler configuration.
+	Loops []LoopSpec
+}
+
+// LoopFraction returns the fraction of baseline time inside the modeled
+// loops.
+func (b *Benchmark) LoopFraction() float64 {
+	f := 0.0
+	for i := range b.Loops {
+		f += b.Loops[i].Weight
+	}
+	return f
+}
+
+// Suite names.
+const (
+	SuiteCPU2006 = "CPU2006"
+	SuiteCPU2000 = "CPU2000"
+)
+
+// CPU2006 returns the 29 CPU2006 benchmark models in the paper's figure
+// order.
+func CPU2006() []*Benchmark { return cpu2006() }
+
+// CPU2000 returns the 26 CPU2000 benchmark models in the paper's figure
+// order.
+func CPU2000() []*Benchmark { return cpu2000() }
+
+// All returns both suites.
+func All() []*Benchmark {
+	return append(CPU2006(), CPU2000()...)
+}
+
+// ByName returns the benchmark with the given name, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

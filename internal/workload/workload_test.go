@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"ltsp/internal/core"
+	"ltsp/internal/hlo"
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+	"ltsp/internal/sim"
+)
+
+func TestSuiteShapes(t *testing.T) {
+	b2006, b2000 := CPU2006(), CPU2000()
+	if len(b2006) != 29 {
+		t.Errorf("CPU2006 has %d benchmarks, want 29", len(b2006))
+	}
+	if len(b2000) != 26 {
+		t.Errorf("CPU2000 has %d benchmarks, want 26", len(b2000))
+	}
+	if len(All()) != 55 {
+		t.Errorf("All() = %d, want 55", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, b := range All() {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %s", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Suite != SuiteCPU2006 && b.Suite != SuiteCPU2000 {
+			t.Errorf("%s: bad suite %q", b.Name, b.Suite)
+		}
+		if f := b.LoopFraction(); f < 0 || f > 0.95 {
+			t.Errorf("%s: loop fraction %.2f out of range", b.Name, f)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("429.mcf") == nil {
+		t.Error("429.mcf missing")
+	}
+	if ByName("999.nope") != nil {
+		t.Error("found a benchmark that does not exist")
+	}
+}
+
+func TestLoopSpecsWellFormed(t *testing.T) {
+	for _, b := range All() {
+		for i := range b.Loops {
+			spec := &b.Loops[i]
+			l := spec.Gen()
+			if err := l.Verify(); err != nil {
+				t.Errorf("%s/%s: %v", b.Name, spec.Name, err)
+			}
+			if spec.Weight <= 0 {
+				t.Errorf("%s/%s: weight %f", b.Name, spec.Name, spec.Weight)
+			}
+			if spec.Train.Executions() == 0 || spec.Ref.Executions() == 0 {
+				t.Errorf("%s/%s: empty distribution", b.Name, spec.Name)
+			}
+			if spec.InitMem == nil {
+				t.Errorf("%s/%s: no memory initializer", b.Name, spec.Name)
+			}
+		}
+	}
+}
+
+func TestGenProducesFreshLoops(t *testing.T) {
+	spec := &ByName("429.mcf").Loops[0]
+	l1, l2 := spec.Gen(), spec.Gen()
+	l1.Body[0].Mem.Hint = ir.HintL3
+	if l2.Body[0].Mem.Hint == ir.HintL3 {
+		t.Error("Gen returned aliased loops")
+	}
+}
+
+func TestDesignedBehaviours(t *testing.T) {
+	// 177.mesa: the training/reference divergence.
+	mesa := ByName("177.mesa").Loops[0]
+	if mesa.Train.Avg() < 100 || mesa.Ref.Avg() > 10 {
+		t.Errorf("mesa train=%.0f ref=%.0f, want ~154/~8", mesa.Train.Avg(), mesa.Ref.Avg())
+	}
+	// 429.mcf refresh_potential: average trip 2.3.
+	var chase *LoopSpec
+	for i := range ByName("429.mcf").Loops {
+		if ByName("429.mcf").Loops[i].Name == "refresh_potential" {
+			chase = &ByName("429.mcf").Loops[i]
+		}
+	}
+	if chase == nil {
+		t.Fatal("no refresh_potential loop")
+	}
+	if avg := chase.Ref.Avg(); avg < 2.2 || avg > 2.4 {
+		t.Errorf("mcf chase trip = %.2f, want 2.3", avg)
+	}
+	// 445.gobmk: PGO sees a trip below the pipelining gate, static does not.
+	gobmk := ByName("445.gobmk").Loops[0]
+	if gobmk.Train.Avg() >= 2 {
+		t.Errorf("gobmk train avg = %.2f, want < 2 (PGO must refuse to pipeline)", gobmk.Train.Avg())
+	}
+	if gobmk.Facts.AssumedTrip < 32 {
+		t.Error("gobmk static assumption too low to trigger the Fig. 9 case")
+	}
+	// 481.wrf: trip between 32 and 64 so the n=64 threshold drops it.
+	wrf := ByName("481.wrf").Loops[0]
+	if avg := wrf.Ref.Avg(); avg < 32 || avg >= 64 {
+		t.Errorf("wrf trip = %.0f, want in [32,64)", avg)
+	}
+	// 464.h264ref: trip ~10, warm (cache-hot) loop.
+	h264 := ByName("464.h264ref").Loops[0]
+	if h264.Ref.Avg() != 10 || h264.Cold {
+		t.Error("h264ref loop must be warm with trip 10")
+	}
+}
+
+// TestArchetypeEquivalence compiles every benchmark loop under every hint
+// mode and checks the pipelined kernel computes the same memory state as
+// the sequential loop — the whole-stack correctness check applied to the
+// actual evaluation workloads.
+func TestArchetypeEquivalence(t *testing.T) {
+	modes := []hlo.HintMode{hlo.ModeNone, hlo.ModeAllL3, hlo.ModeAllFPL2, hlo.ModeHLO}
+	m := machine.Itanium2()
+	for _, b := range All() {
+		for i := range b.Loops {
+			spec := &b.Loops[i]
+			for _, mode := range modes {
+				name := fmt.Sprintf("%s/%s/%s", b.Name, spec.Name, mode)
+				trip := int64(spec.Ref.Avg())
+				if trip < 1 {
+					trip = 1
+				}
+				if trip > 40 {
+					trip = 40 // keep the functional runs fast
+				}
+
+				seqLoop := spec.Gen()
+				if _, err := hlo.Apply(seqLoop, hlo.Options{Mode: mode, Prefetch: true, TripEstimate: 64}); err != nil {
+					t.Fatalf("%s: hlo: %v", name, err)
+				}
+				seq, err := core.GenSequential(m, seqLoop)
+				if err != nil {
+					t.Fatalf("%s: seq: %v", name, err)
+				}
+
+				pipeLoop := spec.Gen()
+				if _, err := hlo.Apply(pipeLoop, hlo.Options{Mode: mode, Prefetch: true, TripEstimate: 64}); err != nil {
+					t.Fatalf("%s: hlo: %v", name, err)
+				}
+				c, err := core.Pipeline(pipeLoop, core.Options{LatencyTolerant: true, BoostDelinquent: true})
+				if err != nil {
+					t.Fatalf("%s: pipeline: %v", name, err)
+				}
+
+				memA, memB := interp.NewMemory(), interp.NewMemory()
+				spec.InitMem(memA)
+				spec.InitMem(memB)
+				stA, err := interp.Run(seq, trip, memA)
+				if err != nil {
+					t.Fatalf("%s: run seq: %v", name, err)
+				}
+				stB, err := interp.Run(c.Program, trip, memB)
+				if err != nil {
+					t.Fatalf("%s: run pipelined: %v", name, err)
+				}
+				snapA, snapB := stA.Mem.Snapshot(), stB.Mem.Snapshot()
+				if len(snapA) != len(snapB) {
+					t.Fatalf("%s: page counts differ", name)
+				}
+				for pn, pa := range snapA {
+					if pb := snapB[pn]; pa != pb {
+						t.Fatalf("%s: memory differs at page %#x (II=%d stages=%d)",
+							name, pn, c.FinalII, c.Stages)
+					}
+				}
+				for k := range seq.LiveOut {
+					va, vb := stA.ReadReg(seq.LiveOut[k]), stB.ReadReg(c.Program.LiveOut[k])
+					if va != vb {
+						t.Fatalf("%s: live-out %d differs: %d vs %d", name, k, va, vb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRegPressureArchetype(t *testing.T) {
+	gen, initMem := RegPressureFP(4, 64)
+	l := gen()
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	mem := interp.NewMemory()
+	initMem(mem)
+	// On a shrunken FP file the boosted schedule must trip the fallback
+	// ladder.
+	m := machine.Itanium2()
+	m.RotFR = 10
+	for _, in := range l.Body {
+		if in.Op == ir.OpLdF {
+			in.Mem.Hint = ir.HintL3
+		}
+	}
+	c, err := core.Pipeline(l, core.Options{Model: m, LatencyTolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.LatencyReduced && c.IIBumps == 0 {
+		t.Error("register pressure did not force the fallback ladder")
+	}
+}
+
+func TestPointerChaseLayout(t *testing.T) {
+	gen, initMem := PointerChase(64, 5)
+	mem := interp.NewMemory()
+	initMem(mem)
+	l := gen()
+	head, _ := l.InitValue(l.Body[0].Srcs[0]) // mov pcur = pnext reads the init
+	// Walk the chain: 64 nodes then wrap to the head.
+	p := head
+	for i := 0; i < 64; i++ {
+		next := mem.Load(p+offChild, 8)
+		if next == 0 {
+			t.Fatalf("chain broken at node %d", i)
+		}
+		p = next
+	}
+	if p != head {
+		t.Error("chain does not wrap to the head")
+	}
+}
+
+// newTestRunner builds a default simulator runner for workload tests.
+func newTestRunner() *sim.Runner { return sim.NewRunner(sim.DefaultConfig()) }
