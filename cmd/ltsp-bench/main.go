@@ -8,9 +8,11 @@
 //	ltsp-bench                 # run everything
 //	ltsp-bench -run fig7       # one experiment: fig5 fig7 fig8 fig9 fig10
 //	                           # casestudy regstats compiletime
+//	ltsp-bench -json           # machine-readable results on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +22,39 @@ import (
 	"ltsp/internal/experiments"
 )
 
+// fig5Out bundles the analytic model with its simulator validation so the
+// pair renders (and marshals) as one experiment.
+type fig5Out struct {
+	Analytic   []experiments.Fig5Point      `json:"analytic"`
+	Validation []experiments.Fig5Validation `json:"validation"`
+}
+
+func (f fig5Out) String() string { return experiments.FormatFig5(f.Analytic, f.Validation) }
+
+// ablationOut bundles the three ablation studies.
+type ablationOut struct {
+	OzQ         []experiments.OzQPoint       `json:"ozq"`
+	RotReg      []experiments.RotRegPoint    `json:"rot_reg"`
+	RotVsUnroll []experiments.RotVsUnrollRow `json:"rot_vs_unroll"`
+}
+
+func (a ablationOut) String() string {
+	return experiments.FormatAblations(a.OzQ, a.RotReg) + "\n" +
+		experiments.FormatRotVsUnroll(a.RotVsUnroll)
+}
+
+// jsonRecord is one element of the -json output array. Result is the
+// experiment's native result struct, whose fields carry both measured and
+// paper-reported values.
+type jsonRecord struct {
+	Experiment  string  `json:"experiment"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Result      any     `json:"result"`
+}
+
 func main() {
 	var run = flag.String("run", "all", "experiment to run: all | fig5 | fig7 | fig8 | fig9 | fig10 | casestudy | regstats | compiletime | versioning | sampling | ablation")
+	var jsonOut = flag.Bool("json", false, "emit machine-readable JSON results on stdout instead of text")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -40,7 +73,7 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			return stringer(experiments.FormatFig5(experiments.AnalyticFig5(), v)), nil
+			return fig5Out{Analytic: experiments.AnalyticFig5(), Validation: v}, nil
 		}},
 		{"fig7", func() (fmt.Stringer, error) { return experiments.RunFig7() }},
 		{"fig8", func() (fmt.Stringer, error) { return experiments.RunFig8() }},
@@ -64,11 +97,11 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			return stringer(experiments.FormatAblations(ozq, rot) + "\n" +
-				experiments.FormatRotVsUnroll(rvu)), nil
+			return ablationOut{OzQ: ozq, RotReg: rot, RotVsUnroll: rvu}, nil
 		}},
 	}
 
+	var records []jsonRecord
 	ran := 0
 	for _, e := range exps {
 		if !all && !want[e.name] {
@@ -76,20 +109,33 @@ func main() {
 		}
 		start := time.Now()
 		res, err := e.fn()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("──── %s (%.1fs) %s\n\n%s\n", e.name, time.Since(start).Seconds(),
-			strings.Repeat("─", 50), res)
+		if *jsonOut {
+			records = append(records, jsonRecord{
+				Experiment:  e.name,
+				WallSeconds: elapsed.Seconds(),
+				Result:      res,
+			})
+		} else {
+			fmt.Printf("──── %s (%.1fs) %s\n\n%s\n", e.name, elapsed.Seconds(),
+				strings.Repeat("─", 50), res)
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches -run=%s\n", *run)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "encode: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
-
-type stringer string
-
-func (s stringer) String() string { return string(s) }

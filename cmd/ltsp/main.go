@@ -8,17 +8,31 @@
 //	ltsp -list
 //	ltsp -loop 429.mcf/refresh_potential -mode hlo -tolerant
 //	ltsp -loop example -mode all-l3 -tolerant
+//
+// Client mode submits the loop to a running ltspd daemon instead of
+// compiling in-process, and -dump writes the wire-format request for use
+// with curl or a loop file:
+//
+//	ltsp -loop example -server http://localhost:8347 -sim-trip 1000
+//	ltsp -loop example -dump request.json
+//	ltsp -loop-file request.json -server http://localhost:8347
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
+	"ltsp"
 	"ltsp/internal/core"
 	"ltsp/internal/hlo"
 	"ltsp/internal/ir"
+	"ltsp/internal/wire"
 	"ltsp/internal/workload"
 )
 
@@ -30,6 +44,10 @@ func main() {
 		tolerant = flag.Bool("tolerant", true, "enable latency-tolerant pipelining")
 		prefetch = flag.Bool("prefetch", true, "enable the software prefetcher")
 		trip     = flag.Float64("trip", 100, "compile-time trip-count estimate")
+		serverTo = flag.String("server", "", "submit to a running ltspd daemon at this base URL instead of compiling in-process")
+		loopFile = flag.String("loop-file", "", "read the compile request from this wire-format JSON file (client mode)")
+		dump     = flag.String("dump", "", "write the wire-format compile request to this file ('-' = stdout) and exit")
+		simTrip  = flag.Int64("sim-trip", 0, "in client mode, also simulate the compiled artifact for this trip count")
 	)
 	flag.Parse()
 
@@ -43,6 +61,34 @@ func main() {
 		return
 	}
 
+	hintMode, err := wire.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := ltsp.Options{
+		Mode:            hintMode,
+		Prefetch:        *prefetch,
+		LatencyTolerant: *tolerant,
+		BoostDelinquent: *tolerant,
+		TripEstimate:    *trip,
+	}
+
+	if *dump != "" {
+		if err := dumpRequest(*loopName, opts, *dump); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serverTo != "" {
+		if err := runClient(*serverTo, *loopName, *loopFile, opts, *simTrip); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	l, err := findLoop(*loopName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -51,12 +97,6 @@ func main() {
 
 	fmt.Println("=== source loop ===")
 	fmt.Print(l.String())
-
-	hintMode, err := parseMode(*mode)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 	rep, err := hlo.Apply(l, hlo.Options{
 		Mode: hintMode, Prefetch: *prefetch, TripEstimate: *trip,
 	})
@@ -132,18 +172,96 @@ func findLoop(name string) (*ir.Loop, error) {
 	return nil, fmt.Errorf("benchmark %s has no loop %q", parts[0], parts[1])
 }
 
-func parseMode(s string) (hlo.HintMode, error) {
-	switch s {
-	case "none":
-		return hlo.ModeNone, nil
-	case "all-l3":
-		return hlo.ModeAllL3, nil
-	case "all-fp-l2":
-		return hlo.ModeAllFPL2, nil
-	case "hlo":
-		return hlo.ModeHLO, nil
+// dumpRequest writes the wire-format compile request for the named loop.
+func dumpRequest(loopName string, opts ltsp.Options, path string) error {
+	l, err := findLoop(loopName)
+	if err != nil {
+		return err
 	}
-	return 0, fmt.Errorf("unknown mode %q", s)
+	req, err := wire.NewCompileRequest(l, opts)
+	if err != nil {
+		return err
+	}
+	data, err := req.Canonical()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		fmt.Println(string(data))
+		return nil
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runClient submits a compile request (from a loop file or a named loop)
+// to a running ltspd daemon and prints the JSON responses.
+func runClient(base, loopName, loopFile string, opts ltsp.Options, simTrip int64) error {
+	var req *wire.CompileRequest
+	if loopFile != "" {
+		data, err := os.ReadFile(loopFile)
+		if err != nil {
+			return err
+		}
+		req = &wire.CompileRequest{}
+		if err := json.Unmarshal(data, req); err != nil {
+			return fmt.Errorf("%s: %v", loopFile, err)
+		}
+	} else {
+		l, err := findLoop(loopName)
+		if err != nil {
+			return err
+		}
+		req, err = wire.NewCompileRequest(l, opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	var compiled struct {
+		Hash string `json:"hash"`
+	}
+	body, err := postJSON(base+"/v1/compile", req, &compiled)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(body))
+
+	if simTrip > 0 {
+		simReq := wire.SimulateRequest{Version: wire.Version, Hash: compiled.Hash, Trip: simTrip}
+		body, err := postJSON(base+"/v1/simulate", simReq, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(body))
+	}
+	return nil
+}
+
+// postJSON posts v and returns the raw response body, optionally decoding
+// it into out. Non-2xx responses become errors carrying the body.
+func postJSON(url string, v, out any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return nil, err
+		}
+	}
+	return bytes.TrimSpace(body), nil
 }
 
 // exampleLoop is the paper's Fig. 1 running example with an L3 hint on the

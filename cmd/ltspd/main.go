@@ -1,0 +1,80 @@
+// Command ltspd serves the latency-tolerant software pipeliner over HTTP:
+// a long-lived compile-and-simulate service with a bounded worker pool, a
+// content-addressed artifact cache, and JSON metrics.
+//
+// Usage:
+//
+//	ltspd -addr :8347 -pool 8 -cache 512
+//
+// Endpoints (see internal/server and the README "Service" section):
+//
+//	POST /v1/compile   POST /v1/simulate   GET /healthz   GET /metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ltsp/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8347", "listen address")
+		pool         = flag.Int("pool", 4, "max concurrent compile/simulate workers")
+		cacheCap     = flag.Int("cache", 256, "artifact cache capacity (compiled loops)")
+		compileTO    = flag.Duration("compile-timeout", 10*time.Second, "per-request compile deadline")
+		simTO        = flag.Duration("sim-timeout", 30*time.Second, "per-request simulate deadline")
+		queueTO      = flag.Duration("queue-timeout", 5*time.Second, "max wait for a worker slot")
+		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+		maxBodyBytes = flag.Int64("max-body", 8<<20, "max request body bytes")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		PoolSize:        *pool,
+		CacheCapacity:   *cacheCap,
+		CompileTimeout:  *compileTO,
+		SimulateTimeout: *simTO,
+		QueueTimeout:    *queueTO,
+		MaxBodyBytes:    *maxBodyBytes,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ltspd: listening on %s (pool=%d cache=%d)", *addr, *pool, *cacheCap)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("ltspd: %v", err)
+		}
+	case sig := <-sigCh:
+		log.Printf("ltspd: %s — draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("ltspd: http shutdown: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("ltspd: worker drain: %v", err)
+		}
+		log.Printf("ltspd: drained")
+	}
+}

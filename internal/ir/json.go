@@ -1,0 +1,400 @@
+package ir
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WireVersion is the version tag of the loop wire format. Decoders reject
+// encodings with a different version; bump it on any change that alters
+// the canonical byte encoding of an existing loop (field renames,
+// reordering, representation changes), since the content hash — the
+// artifact-cache key — is defined over these bytes.
+const WireVersion = 1
+
+// The wire format is a canonical JSON encoding: a fixed field order (Go
+// struct order), compact separators, zero-valued fields omitted, and
+// registers rendered in their assembly spelling ("r32", "vf3", "-").
+// Canonicality is what makes the content hash stable: for any loop,
+// Encode(Decode(Encode(l))) == Encode(l) byte for byte.
+
+type loopWire struct {
+	Version int           `json:"v"`
+	Name    string        `json:"name,omitempty"`
+	Body    []instrWire   `json:"body"`
+	Setup   []regInitWire `json:"setup,omitempty"`
+	LiveOut []string      `json:"liveOut,omitempty"`
+	MemDeps []memDepWire  `json:"memDeps,omitempty"`
+	While   *whileWire    `json:"while,omitempty"`
+}
+
+type instrWire struct {
+	Op      string   `json:"op"`
+	Pred    string   `json:"pred,omitempty"`
+	Dsts    []string `json:"dsts,omitempty"`
+	Srcs    []string `json:"srcs,omitempty"`
+	Imm     int64    `json:"imm,omitempty"`
+	FImm    float64  `json:"fimm,omitempty"`
+	Mem     *memWire `json:"mem,omitempty"`
+	Comment string   `json:"comment,omitempty"`
+}
+
+type memWire struct {
+	Size             int    `json:"size,omitempty"`
+	PostInc          int64  `json:"postInc,omitempty"`
+	Stride           string `json:"stride,omitempty"`
+	StrideBytes      int64  `json:"strideBytes,omitempty"`
+	Hint             string `json:"hint,omitempty"`
+	Delinquent       bool   `json:"delinquent,omitempty"`
+	Prefetched       bool   `json:"prefetched,omitempty"`
+	PrefetchDistance int    `json:"prefetchDistance,omitempty"`
+	Group            int    `json:"group,omitempty"`
+	LineLeader       bool   `json:"lineLeader,omitempty"`
+	IndexInit        int64  `json:"indexInit,omitempty"`
+	IndexStride      int64  `json:"indexStride,omitempty"`
+	IndexSize        int    `json:"indexSize,omitempty"`
+	ScaleShift       int64  `json:"scaleShift,omitempty"`
+	ArrayBase        string `json:"arrayBase,omitempty"`
+}
+
+type regInitWire struct {
+	Reg  string  `json:"reg"`
+	Val  int64   `json:"val,omitempty"`
+	FVal float64 `json:"fval,omitempty"`
+}
+
+type memDepWire struct {
+	From     int  `json:"from,omitempty"`
+	To       int  `json:"to,omitempty"`
+	Distance int  `json:"distance,omitempty"`
+	Latency  int  `json:"latency,omitempty"`
+	MayAlias bool `json:"mayAlias,omitempty"`
+}
+
+type whileWire struct {
+	Cond string `json:"cond"`
+}
+
+// opByName maps the assembly mnemonic back to the opcode.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(opMax))
+	for op := Op(0); op < opMax; op++ {
+		if int(op) < len(opNames) && opNames[op] != "" {
+			m[opNames[op]] = op
+		}
+	}
+	return m
+}()
+
+var strideByName = func() map[string]StrideKind {
+	m := make(map[string]StrideKind)
+	for s := StrideUnknown; s <= StrideInvariant; s++ {
+		m[s.String()] = s
+	}
+	return m
+}()
+
+var hintByName = map[string]Hint{
+	"none": HintNone, "L2": HintL2, "L3": HintL3,
+}
+
+func encodeReg(r Reg) string {
+	if r.IsNone() {
+		return ""
+	}
+	return r.String()
+}
+
+func decodeReg(s string) (Reg, error) {
+	if s == "" || s == "-" {
+		return None, nil
+	}
+	virt := false
+	if strings.HasPrefix(s, "v") {
+		virt = true
+		s = s[1:]
+	}
+	if len(s) < 2 {
+		return None, fmt.Errorf("ir: malformed register %q", s)
+	}
+	var class RegClass
+	switch s[0] {
+	case 'r':
+		class = ClassGR
+	case 'f':
+		class = ClassFR
+	case 'p':
+		class = ClassPR
+	default:
+		return None, fmt.Errorf("ir: unknown register class in %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return None, fmt.Errorf("ir: malformed register number in %q", s)
+	}
+	return Reg{Class: class, N: n, Virtual: virt}, nil
+}
+
+func encodeRegs(rs []Reg) []string {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		// Inside operand lists None must stay positionally visible
+		// (e.g. the unused arm of a two-destination compare), so it is
+		// spelled "-" rather than omitted.
+		if r.IsNone() {
+			out[i] = "-"
+		} else {
+			out[i] = r.String()
+		}
+	}
+	return out
+}
+
+func decodeRegs(ss []string) ([]Reg, error) {
+	if len(ss) == 0 {
+		return nil, nil
+	}
+	out := make([]Reg, len(ss))
+	for i, s := range ss {
+		r, err := decodeReg(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func encodeMem(m *MemRef) *memWire {
+	if m == nil {
+		return nil
+	}
+	w := &memWire{
+		Size:             m.Size,
+		PostInc:          m.PostInc,
+		StrideBytes:      m.StrideBytes,
+		Delinquent:       m.Delinquent,
+		Prefetched:       m.Prefetched,
+		PrefetchDistance: m.PrefetchDistance,
+		Group:            m.Group,
+		LineLeader:       m.LineLeader,
+		IndexInit:        m.IndexInit,
+		IndexStride:      m.IndexStride,
+		IndexSize:        m.IndexSize,
+		ScaleShift:       m.ScaleShift,
+		ArrayBase:        encodeReg(m.ArrayBase),
+	}
+	if m.Stride != StrideUnknown {
+		w.Stride = m.Stride.String()
+	}
+	if m.Hint != HintNone {
+		w.Hint = m.Hint.String()
+	}
+	return w
+}
+
+func decodeMem(w *memWire) (*MemRef, error) {
+	if w == nil {
+		return nil, nil
+	}
+	m := &MemRef{
+		Size:             w.Size,
+		PostInc:          w.PostInc,
+		StrideBytes:      w.StrideBytes,
+		Delinquent:       w.Delinquent,
+		Prefetched:       w.Prefetched,
+		PrefetchDistance: w.PrefetchDistance,
+		Group:            w.Group,
+		LineLeader:       w.LineLeader,
+		IndexInit:        w.IndexInit,
+		IndexStride:      w.IndexStride,
+		IndexSize:        w.IndexSize,
+		ScaleShift:       w.ScaleShift,
+	}
+	if w.Stride != "" {
+		s, ok := strideByName[w.Stride]
+		if !ok {
+			return nil, fmt.Errorf("ir: unknown stride kind %q", w.Stride)
+		}
+		m.Stride = s
+	}
+	if w.Hint != "" {
+		h, ok := hintByName[w.Hint]
+		if !ok {
+			return nil, fmt.Errorf("ir: unknown hint %q", w.Hint)
+		}
+		m.Hint = h
+	}
+	base, err := decodeReg(w.ArrayBase)
+	if err != nil {
+		return nil, err
+	}
+	m.ArrayBase = base
+	return m, nil
+}
+
+// EncodeLoop renders the loop in the canonical versioned JSON wire format.
+func EncodeLoop(l *Loop) ([]byte, error) {
+	w := loopWire{
+		Version: WireVersion,
+		Name:    l.Name,
+		Body:    make([]instrWire, len(l.Body)),
+	}
+	for i, in := range l.Body {
+		iw := instrWire{
+			Op:      in.Op.String(),
+			Pred:    encodeReg(in.Pred),
+			Dsts:    encodeRegs(in.Dsts),
+			Srcs:    encodeRegs(in.Srcs),
+			Imm:     in.Imm,
+			FImm:    in.FImm,
+			Mem:     encodeMem(in.Mem),
+			Comment: in.Comment,
+		}
+		if _, ok := opByName[iw.Op]; !ok {
+			return nil, fmt.Errorf("ir: body[%d]: opcode %v has no wire name", i, in.Op)
+		}
+		w.Body[i] = iw
+	}
+	for _, s := range l.Setup {
+		w.Setup = append(w.Setup, regInitWire{Reg: s.Reg.String(), Val: s.Val, FVal: s.FVal})
+	}
+	for _, r := range l.LiveOut {
+		w.LiveOut = append(w.LiveOut, r.String())
+	}
+	for _, d := range l.MemDeps {
+		w.MemDeps = append(w.MemDeps, memDepWire{
+			From: d.From, To: d.To, Distance: d.Distance,
+			Latency: d.Latency, MayAlias: d.MayAlias,
+		})
+	}
+	if l.While != nil {
+		w.While = &whileWire{Cond: l.While.Cond.String()}
+	}
+	return json.Marshal(w)
+}
+
+// DecodeLoop parses a wire-format loop. The loop builder's virtual register
+// counters are rebuilt from the highest virtual id in use, so passes that
+// allocate fresh registers on the decoded loop (the HLO prefetcher, the
+// if-converter) never collide with existing operands.
+func DecodeLoop(data []byte) (*Loop, error) {
+	var w loopWire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("ir: decode loop: %w", err)
+	}
+	if w.Version != WireVersion {
+		return nil, fmt.Errorf("ir: unsupported wire version %d (want %d)", w.Version, WireVersion)
+	}
+	l := NewLoop(w.Name)
+	for i, iw := range w.Body {
+		op, ok := opByName[iw.Op]
+		if !ok {
+			return nil, fmt.Errorf("ir: body[%d]: unknown opcode %q", i, iw.Op)
+		}
+		pred, err := decodeReg(iw.Pred)
+		if err != nil {
+			return nil, fmt.Errorf("ir: body[%d]: %w", i, err)
+		}
+		dsts, err := decodeRegs(iw.Dsts)
+		if err != nil {
+			return nil, fmt.Errorf("ir: body[%d]: %w", i, err)
+		}
+		srcs, err := decodeRegs(iw.Srcs)
+		if err != nil {
+			return nil, fmt.Errorf("ir: body[%d]: %w", i, err)
+		}
+		mem, err := decodeMem(iw.Mem)
+		if err != nil {
+			return nil, fmt.Errorf("ir: body[%d]: %w", i, err)
+		}
+		l.Append(&Instr{
+			Op: op, Pred: pred, Dsts: dsts, Srcs: srcs,
+			Imm: iw.Imm, FImm: iw.FImm, Mem: mem, Comment: iw.Comment,
+		})
+	}
+	for _, sw := range w.Setup {
+		r, err := decodeReg(sw.Reg)
+		if err != nil {
+			return nil, fmt.Errorf("ir: setup: %w", err)
+		}
+		l.Setup = append(l.Setup, RegInit{Reg: r, Val: sw.Val, FVal: sw.FVal})
+	}
+	for _, s := range w.LiveOut {
+		r, err := decodeReg(s)
+		if err != nil {
+			return nil, fmt.Errorf("ir: liveOut: %w", err)
+		}
+		l.LiveOut = append(l.LiveOut, r)
+	}
+	for _, dw := range w.MemDeps {
+		l.MemDeps = append(l.MemDeps, MemDep{
+			From: dw.From, To: dw.To, Distance: dw.Distance,
+			Latency: dw.Latency, MayAlias: dw.MayAlias,
+		})
+	}
+	if w.While != nil {
+		r, err := decodeReg(w.While.Cond)
+		if err != nil {
+			return nil, fmt.Errorf("ir: while: %w", err)
+		}
+		l.While = &WhileInfo{Cond: r}
+	}
+	l.rebuildVirtCounters()
+	return l, nil
+}
+
+// rebuildVirtCounters sets each class's next-virtual-id counter past the
+// highest virtual register mentioned anywhere in the loop.
+func (l *Loop) rebuildVirtCounters() {
+	note := func(r Reg) {
+		if r.Virtual && r.N >= l.nextVirt[r.Class] {
+			l.nextVirt[r.Class] = r.N + 1
+		}
+	}
+	for _, in := range l.Body {
+		note(in.Pred)
+		for _, r := range in.Dsts {
+			note(r)
+		}
+		for _, r := range in.Srcs {
+			note(r)
+		}
+		if in.Mem != nil {
+			note(in.Mem.ArrayBase)
+		}
+	}
+	for _, s := range l.Setup {
+		note(s.Reg)
+	}
+	for _, r := range l.LiveOut {
+		note(r)
+	}
+	if l.While != nil {
+		note(l.While.Cond)
+	}
+}
+
+// LoopHash returns the content hash of the loop: the hex sha256 of its
+// canonical wire encoding. Two loops hash equal iff their canonical
+// encodings are byte-identical; the artifact cache of the ltspd service
+// keys compiled schedules by this value (combined with the compile
+// options, see internal/wire).
+func LoopHash(l *Loop) (string, error) {
+	data, err := EncodeLoop(l)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

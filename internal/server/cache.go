@@ -1,0 +1,112 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"ltsp"
+)
+
+// ArtifactCache is a content-addressed, LRU-evicting cache of compiled
+// loop artifacts keyed by the canonical request hash (wire.CompileRequest.
+// Hash). Concurrent requests for the same key are deduplicated: one
+// compilation runs, the rest wait for its result (singleflight).
+//
+// Cached *ltsp.Compiled values are shared across requests; they are
+// read-only after compilation (simulation keeps all mutable state in its
+// own interp.State), so no copy is made on lookup.
+type ArtifactCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flightCall
+	metrics  *Metrics
+}
+
+type cacheEntry struct {
+	key string
+	val *ltsp.Compiled
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  *ltsp.Compiled
+	err  error
+}
+
+// NewArtifactCache creates a cache holding at most capacity artifacts
+// (capacity <= 0 disables storage but keeps singleflight deduplication).
+func NewArtifactCache(capacity int, m *Metrics) *ArtifactCache {
+	return &ArtifactCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flightCall),
+		metrics:  m,
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (c *ArtifactCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Get returns the cached artifact for key, if present, marking it
+// recently used.
+func (c *ArtifactCache) Get(key string) (*ltsp.Compiled, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.metrics.CacheHits.Add(1)
+		return el.Value.(*cacheEntry).val, true
+	}
+	return nil, false
+}
+
+// GetOrCompute returns the artifact for key, computing it with fn on a
+// miss. The bool result reports whether the artifact came from the cache
+// (a completed entry or an in-flight computation started by another
+// request) rather than from this call's own fn. Errors are returned to
+// every waiter and never cached.
+func (c *ArtifactCache) GetOrCompute(key string, fn func() (*ltsp.Compiled, error)) (*ltsp.Compiled, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.metrics.CacheHits.Add(1)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.metrics.CacheDedups.Add(1)
+		c.mu.Unlock()
+		<-call.done
+		return call.val, true, call.err
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.metrics.CacheMisses.Add(1)
+	c.mu.Unlock()
+
+	call.val, call.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil && c.capacity > 0 {
+		el := c.ll.PushFront(&cacheEntry{key: key, val: call.val})
+		c.entries[key] = el
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.metrics.CacheEvictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.val, false, call.err
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds (milliseconds) of the request
+// latency histogram; the last bucket is +Inf.
+var latencyBucketsMs = [numBounds]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+const numBounds = 13
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sumUs   atomic.Int64 // accumulated microseconds
+	buckets [numBounds + 1]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumUs.Add(d.Microseconds())
+	ms := float64(d) / float64(time.Millisecond)
+	for i, ub := range latencyBucketsMs {
+		if ms <= ub {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(latencyBucketsMs)].Add(1)
+}
+
+// histogramJSON is the /metrics rendering of a histogram.
+type histogramJSON struct {
+	Count   int64            `json:"count"`
+	SumMs   float64          `json:"sum_ms"`
+	MeanMs  float64          `json:"mean_ms"`
+	Buckets map[string]int64 `json:"buckets"`
+	Bounds  []float64        `json:"bounds_ms"`
+}
+
+func (h *Histogram) snapshot() histogramJSON {
+	out := histogramJSON{
+		Count:   h.count.Load(),
+		SumMs:   float64(h.sumUs.Load()) / 1000,
+		Buckets: make(map[string]int64, len(h.buckets)),
+		Bounds:  latencyBucketsMs[:],
+	}
+	if out.Count > 0 {
+		out.MeanMs = out.SumMs / float64(out.Count)
+	}
+	// Buckets are stored disjoint but rendered cumulative (the "le_"
+	// convention): le_+Inf always equals count.
+	var cum int64
+	for i := range h.buckets {
+		label := "+Inf"
+		if i < len(latencyBucketsMs) {
+			label = formatBound(latencyBucketsMs[i])
+		}
+		cum += h.buckets[i].Load()
+		out.Buckets["le_"+label] = cum
+	}
+	return out
+}
+
+func formatBound(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+// Metrics aggregates the service counters exposed at GET /metrics
+// (expvar-style JSON, no external dependencies).
+type Metrics struct {
+	CompileRequests  atomic.Int64
+	CompileErrors    atomic.Int64
+	SimulateRequests atomic.Int64
+	SimulateErrors   atomic.Int64
+	// Rejected counts requests turned away before doing work: queue-full,
+	// oversized body, shutdown in progress.
+	Rejected atomic.Int64
+	// Timeouts counts requests abandoned at their deadline.
+	Timeouts atomic.Int64
+	// InFlight is the number of requests currently holding a worker slot.
+	InFlight atomic.Int64
+
+	// CacheHits counts lookups served from a completed cached artifact;
+	// CacheDedups counts requests that piggybacked on an identical
+	// compilation already in flight (singleflight); CacheMisses counts
+	// compilations actually executed; CacheEvictions counts LRU drops.
+	CacheHits      atomic.Int64
+	CacheDedups    atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+
+	CompileLatency  Histogram
+	SimulateLatency Histogram
+}
+
+// metricsJSON is the /metrics document.
+type metricsJSON struct {
+	CompileRequests  int64         `json:"compile_requests"`
+	CompileErrors    int64         `json:"compile_errors"`
+	SimulateRequests int64         `json:"simulate_requests"`
+	SimulateErrors   int64         `json:"simulate_errors"`
+	Rejected         int64         `json:"rejected"`
+	Timeouts         int64         `json:"timeouts"`
+	InFlight         int64         `json:"in_flight"`
+	CacheHits        int64         `json:"cache_hits"`
+	CacheDedups      int64         `json:"cache_dedups"`
+	CacheMisses      int64         `json:"cache_misses"`
+	CacheEvictions   int64         `json:"cache_evictions"`
+	CacheEntries     int           `json:"cache_entries"`
+	CompileLatency   histogramJSON `json:"compile_latency"`
+	SimulateLatency  histogramJSON `json:"simulate_latency"`
+}
+
+func (m *Metrics) snapshot(cacheEntries int) metricsJSON {
+	return metricsJSON{
+		CompileRequests:  m.CompileRequests.Load(),
+		CompileErrors:    m.CompileErrors.Load(),
+		SimulateRequests: m.SimulateRequests.Load(),
+		SimulateErrors:   m.SimulateErrors.Load(),
+		Rejected:         m.Rejected.Load(),
+		Timeouts:         m.Timeouts.Load(),
+		InFlight:         m.InFlight.Load(),
+		CacheHits:        m.CacheHits.Load(),
+		CacheDedups:      m.CacheDedups.Load(),
+		CacheMisses:      m.CacheMisses.Load(),
+		CacheEvictions:   m.CacheEvictions.Load(),
+		CacheEntries:     cacheEntries,
+		CompileLatency:   m.CompileLatency.snapshot(),
+		SimulateLatency:  m.SimulateLatency.snapshot(),
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package server_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary; timing assertions are skipped when it is.
+const raceEnabled = false

@@ -1,0 +1,487 @@
+// Package server implements ltspd, the HTTP compile-and-simulate service
+// around the latency-tolerant software pipeliner.
+//
+// Endpoints:
+//
+//	POST /v1/compile  — wire.CompileRequest body; compiles the loop (or
+//	                    serves it from the artifact cache) and returns the
+//	                    II/stage structure, per-load reports, register
+//	                    footprint, kernel listing and the artifact hash.
+//	POST /v1/simulate — wire.SimulateRequest body; simulates a compiled
+//	                    artifact (by hash, or compiling inline through the
+//	                    same cache) for a trip count and returns cycles
+//	                    with full Fig.-10 stall accounting.
+//	GET  /healthz     — liveness.
+//	GET  /metrics     — expvar-style JSON counters and latency histograms.
+//
+// Requests are executed on a bounded worker pool with per-request
+// deadlines; identical compile requests are deduplicated in flight and
+// their artifacts cached under the canonical content hash (see package
+// wire). The server drains gracefully: after Shutdown begins, new work is
+// rejected with 503 while in-flight requests finish.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltsp"
+	"ltsp/internal/sim"
+	"ltsp/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// PoolSize bounds concurrently executing compile/simulate work
+	// (default 4).
+	PoolSize int
+	// CacheCapacity bounds the artifact cache (default 256 artifacts).
+	CacheCapacity int
+	// CompileTimeout / SimulateTimeout are per-request deadlines
+	// (defaults 10s / 30s).
+	CompileTimeout  time.Duration
+	SimulateTimeout time.Duration
+	// QueueTimeout bounds how long a request waits for a worker slot
+	// before being rejected (default: the request's deadline).
+	QueueTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxTrip bounds simulated trip counts (default 10M iterations).
+	MaxTrip int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 256
+	}
+	if c.CompileTimeout <= 0 {
+		c.CompileTimeout = 10 * time.Second
+	}
+	if c.SimulateTimeout <= 0 {
+		c.SimulateTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxTrip <= 0 {
+		c.MaxTrip = 10_000_000
+	}
+	return c
+}
+
+// Server is the ltspd HTTP service. It is an http.Handler; wrap it in an
+// http.Server to serve traffic.
+type Server struct {
+	cfg      Config
+	cache    *ArtifactCache
+	metrics  *Metrics
+	sem      chan struct{}
+	mux      *http.ServeMux
+	draining atomic.Bool
+	work     sync.WaitGroup
+}
+
+// New creates a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: &Metrics{},
+		sem:     make(chan struct{}, cfg.PoolSize),
+		mux:     http.NewServeMux(),
+	}
+	s.cache = NewArtifactCache(cfg.CacheCapacity, s.metrics)
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Metrics exposes the server's counters (tests and embedders).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the artifact cache (tests and embedders).
+func (s *Server) Cache() *ArtifactCache { return s.cache }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops accepting new work and waits for in-flight work to
+// finish or ctx to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.work.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// errorJSON is the error response body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// acquire takes a worker slot, respecting the queue timeout and drain
+// state. It returns false (with the response already written) on failure.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
+	if s.draining.Load() {
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return false
+	}
+	ctx := r.Context()
+	if s.cfg.QueueTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueueTimeout)
+		defer cancel()
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+		return false
+	}
+}
+
+// runBounded executes fn on the calling goroutine's worker slot with the
+// given deadline. On timeout the request fails but fn runs to completion
+// in the background (a compilation result still lands in the cache).
+func (s *Server) runBounded(r *http.Request, timeout time.Duration, fn func() (any, int, error)) (any, int, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	type outcome struct {
+		v      any
+		status int
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	s.work.Add(1)
+	s.metrics.InFlight.Add(1)
+	go func() {
+		defer func() {
+			s.metrics.InFlight.Add(-1)
+			s.work.Done()
+			<-s.sem
+		}()
+		v, status, err := fn()
+		ch <- outcome{v, status, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.status, out.err
+	case <-ctx.Done():
+		s.metrics.Timeouts.Add(1)
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded (%s)", timeout)
+	}
+}
+
+// LoadReportJSON mirrors core.LoadReport on the wire.
+type LoadReportJSON struct {
+	ID       int    `json:"id"`
+	Critical bool   `json:"critical"`
+	BaseLat  int    `json:"baseLat"`
+	SchedLat int    `json:"schedLat"`
+	ExtraD   int    `json:"extraD"`
+	ClusterK int    `json:"clusterK"`
+	Hint     string `json:"hint"`
+}
+
+// RegStatsJSON mirrors regalloc.Stats on the wire.
+type RegStatsJSON struct {
+	GR     int `json:"gr"`
+	RotGR  int `json:"rotGR"`
+	FR     int `json:"fr"`
+	RotFR  int `json:"rotFR"`
+	PR     int `json:"pr"`
+	RotPR  int `json:"rotPR"`
+	Spills int `json:"spills"`
+}
+
+// HLOJSON summarizes the prefetcher's decisions on the wire.
+type HLOJSON struct {
+	IIEst           int `json:"iiEst"`
+	PrefetchesAdded int `json:"prefetchesAdded"`
+	HintsSet        int `json:"hintsSet"`
+}
+
+// CompileResponse is the body of a successful POST /v1/compile.
+type CompileResponse struct {
+	// Hash is the content-addressed artifact key; POST /v1/simulate
+	// accepts it in place of an inline loop.
+	Hash string `json:"hash"`
+	// Cached reports whether the artifact came from the cache (including
+	// piggybacking on an identical in-flight compilation).
+	Cached    bool             `json:"cached"`
+	Pipelined bool             `json:"pipelined"`
+	II        int              `json:"ii,omitempty"`
+	Stages    int              `json:"stages,omitempty"`
+	ResII     int              `json:"resII,omitempty"`
+	RecII     int              `json:"recII,omitempty"`
+	Reg       RegStatsJSON     `json:"reg"`
+	Loads     []LoadReportJSON `json:"loads,omitempty"`
+	HLO       *HLOJSON         `json:"hlo,omitempty"`
+	Listing   string           `json:"listing"`
+	Diagram   string           `json:"diagram,omitempty"`
+}
+
+func compileResponse(hash string, cached bool, c *ltsp.Compiled) *CompileResponse {
+	resp := &CompileResponse{
+		Hash: hash, Cached: cached,
+		Pipelined: c.Pipelined,
+		II:        c.II, Stages: c.Stages,
+		ResII: c.ResII, RecII: c.RecII,
+		Reg: RegStatsJSON{
+			GR: c.Reg.TotalGR(), RotGR: c.Reg.RotGR,
+			FR: c.Reg.TotalFR(), RotFR: c.Reg.RotFR,
+			PR: c.Reg.TotalPR(), RotPR: c.Reg.RotPR,
+			Spills: c.Reg.Spills,
+		},
+		Listing: c.Program.Listing(),
+	}
+	for _, lr := range c.Loads {
+		resp.Loads = append(resp.Loads, LoadReportJSON{
+			ID: lr.ID, Critical: lr.Critical,
+			BaseLat: lr.BaseLat, SchedLat: lr.SchedLat,
+			ExtraD: lr.ExtraD, ClusterK: lr.ClusterK,
+			Hint: lr.Hint.String(),
+		})
+	}
+	if c.HLO != nil {
+		resp.HLO = &HLOJSON{
+			IIEst:           c.HLO.IIEst,
+			PrefetchesAdded: c.HLO.PrefetchesAdded,
+			HintsSet:        c.HLO.HintsSet,
+		}
+	}
+	if c.Pipelined && c.Stages <= 8 {
+		resp.Diagram = c.Diagram(4)
+	}
+	return resp
+}
+
+// compileCached compiles the request through the singleflight artifact
+// cache, returning the artifact, its hash, and whether it was served from
+// cache.
+func (s *Server) compileCached(req *wire.CompileRequest) (*ltsp.Compiled, string, bool, error) {
+	hash, err := req.Hash()
+	if err != nil {
+		return nil, "", false, err
+	}
+	opts, err := req.Options.ToOptions()
+	if err != nil {
+		return nil, "", false, err
+	}
+	c, cached, err := s.cache.GetOrCompute(hash, func() (*ltsp.Compiled, error) {
+		l, err := req.DecodeLoop()
+		if err != nil {
+			return nil, err
+		}
+		return ltsp.Compile(l, opts)
+	})
+	return c, hash, cached, err
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.metrics.CompileRequests.Add(1)
+	start := time.Now()
+	var req wire.CompileRequest
+	if !s.decodeBody(w, r, &req) {
+		s.metrics.CompileErrors.Add(1)
+		return
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	v, status, err := s.runBounded(r, s.cfg.CompileTimeout, func() (any, int, error) {
+		c, hash, cached, err := s.compileCached(&req)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return compileResponse(hash, cached, c), http.StatusOK, nil
+	})
+	s.metrics.CompileLatency.Observe(time.Since(start))
+	if err != nil {
+		s.metrics.CompileErrors.Add(1)
+		writeError(w, status, "compile: %v", err)
+		return
+	}
+	writeJSON(w, status, v)
+}
+
+// AcctJSON mirrors sim.Accounting on the wire.
+type AcctJSON struct {
+	Total        int64 `json:"total"`
+	Unstalled    int64 `json:"unstalled"`
+	ExeBubble    int64 `json:"exeBubble"`
+	L1DFPUBubble int64 `json:"l1dFpuBubble"`
+	RSEBubble    int64 `json:"rseBubble"`
+	FlushBubble  int64 `json:"flushBubble"`
+	FEBubble     int64 `json:"feBubble"`
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate.
+type SimulateResponse struct {
+	Hash          string   `json:"hash"`
+	Cached        bool     `json:"cached"`
+	Cycles        int64    `json:"cycles"`
+	KernelIters   int64    `json:"kernelIters"`
+	Acct          AcctJSON `json:"acct"`
+	LoadsByLevel  [5]int64 `json:"loadsByLevel"`
+	OzQPeak       int      `json:"ozqPeak"`
+	BankConflicts int64    `json:"bankConflicts"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.SimulateRequests.Add(1)
+	start := time.Now()
+	var req wire.SimulateRequest
+	if !s.decodeBody(w, r, &req) {
+		s.metrics.SimulateErrors.Add(1)
+		return
+	}
+	if !s.acquire(w, r) {
+		return
+	}
+	v, status, err := s.runBounded(r, s.cfg.SimulateTimeout, func() (any, int, error) {
+		return s.simulate(&req)
+	})
+	s.metrics.SimulateLatency.Observe(time.Since(start))
+	if err != nil {
+		s.metrics.SimulateErrors.Add(1)
+		writeError(w, status, "simulate: %v", err)
+		return
+	}
+	writeJSON(w, status, v)
+}
+
+var errUnknownArtifact = errors.New("unknown artifact hash (compile first, or send the loop inline)")
+
+func (s *Server) simulate(req *wire.SimulateRequest) (any, int, error) {
+	if req.Version != wire.Version {
+		return nil, http.StatusBadRequest, fmt.Errorf("unsupported request version %d (want %d)", req.Version, wire.Version)
+	}
+	if req.Trip < 1 {
+		return nil, http.StatusBadRequest, fmt.Errorf("trip count %d < 1", req.Trip)
+	}
+	if req.Trip > s.cfg.MaxTrip {
+		return nil, http.StatusBadRequest, fmt.Errorf("trip count %d exceeds server limit %d", req.Trip, s.cfg.MaxTrip)
+	}
+
+	var (
+		c      *ltsp.Compiled
+		hash   string
+		cached bool
+		err    error
+	)
+	switch {
+	case req.Hash != "" && len(req.Loop) > 0:
+		return nil, http.StatusBadRequest, fmt.Errorf("set either hash or loop, not both")
+	case req.Hash != "":
+		var ok bool
+		c, ok = s.cache.Get(req.Hash)
+		if !ok {
+			return nil, http.StatusNotFound, errUnknownArtifact
+		}
+		hash, cached = req.Hash, true
+	default:
+		creq := &wire.CompileRequest{Version: wire.Version, Loop: req.Loop, Options: req.Options}
+		c, hash, cached, err = s.compileCached(creq)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+
+	mem := ltsp.NewMemory()
+	for _, mi := range req.Memory {
+		if mi.Float {
+			mem.StoreF(mi.Addr, mi.FVal)
+			continue
+		}
+		size := mi.Size
+		if size == 0 {
+			size = 8
+		}
+		mem.Store(mi.Addr, size, mi.Val)
+	}
+	cfg := req.Sim.ToConfig()
+	res, err := sim.NewRunner(cfg).Run(c.Program, req.Trip, mem)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return &SimulateResponse{
+		Hash: hash, Cached: cached,
+		Cycles:      res.Cycles,
+		KernelIters: res.KernelIters,
+		Acct: AcctJSON{
+			Total: res.Acct.Total, Unstalled: res.Acct.Unstalled,
+			ExeBubble: res.Acct.ExeBubble, L1DFPUBubble: res.Acct.L1DFPUBubble,
+			RSEBubble: res.Acct.RSEBubble, FlushBubble: res.Acct.FlushBubble,
+			FEBubble: res.Acct.FEBubble,
+		},
+		LoadsByLevel:  res.LoadsByLevel,
+		OzQPeak:       res.OzQPeak,
+		BankConflicts: res.BankConflictCount,
+	}, http.StatusOK, nil
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.metrics.Rejected.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len()))
+}

@@ -1,0 +1,225 @@
+// Package wire defines the versioned JSON request envelopes of the ltspd
+// compile-and-simulate service and the content-addressed artifact key.
+//
+// A compile request is (loop, compile options); its Hash — the hex sha256
+// of the canonical envelope encoding — is the service's artifact-cache
+// key. Canonicalization re-encodes the embedded loop through the ir codec
+// and normalizes the option spellings, so two requests that mean the same
+// compilation hash identically regardless of how the client formatted its
+// JSON.
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"ltsp"
+	"ltsp/internal/hlo"
+	"ltsp/internal/ir"
+	"ltsp/internal/sim"
+)
+
+// Version tags the request envelope format.
+const Version = 1
+
+// Options is the wire form of ltsp.Options. The machine model is not part
+// of the wire format: the service compiles for its configured target
+// (today always the paper's Dual-Core Itanium 2).
+type Options struct {
+	// Mode is the HLO hint policy: "" or "none", "all-l3", "all-fp-l2",
+	// "hlo".
+	Mode string `json:"mode,omitempty"`
+	// Prefetch enables the software prefetcher.
+	Prefetch bool `json:"prefetch,omitempty"`
+	// LatencyTolerant enables latency-tolerant pipelining.
+	LatencyTolerant bool `json:"latencyTolerant,omitempty"`
+	// BoostDelinquent boosts HLO-flagged delinquent loads even when
+	// LatencyTolerant is off.
+	BoostDelinquent bool `json:"boostDelinquent,omitempty"`
+	// TripEstimate is the compile-time trip-count estimate (<= 0 unknown).
+	TripEstimate float64 `json:"tripEstimate,omitempty"`
+	// Pipeline forces the pipelining decision; nil = pipeline if possible.
+	Pipeline *bool `json:"pipeline,omitempty"`
+}
+
+// ModeName returns the canonical wire spelling of an HLO hint mode
+// (ModeNone is spelled "" so it vanishes from canonical encodings).
+func ModeName(m hlo.HintMode) string {
+	switch m {
+	case hlo.ModeAllL3:
+		return "all-l3"
+	case hlo.ModeAllFPL2:
+		return "all-fp-l2"
+	case hlo.ModeHLO:
+		return "hlo"
+	default:
+		return ""
+	}
+}
+
+// ParseMode parses a wire hint-mode spelling.
+func ParseMode(s string) (hlo.HintMode, error) {
+	switch s {
+	case "", "none":
+		return hlo.ModeNone, nil
+	case "all-l3":
+		return hlo.ModeAllL3, nil
+	case "all-fp-l2":
+		return hlo.ModeAllFPL2, nil
+	case "hlo":
+		return hlo.ModeHLO, nil
+	}
+	return 0, fmt.Errorf("wire: unknown hint mode %q", s)
+}
+
+// OptionsFrom converts library compile options to their wire form.
+func OptionsFrom(o ltsp.Options) Options {
+	return Options{
+		Mode:            ModeName(o.Mode),
+		Prefetch:        o.Prefetch,
+		LatencyTolerant: o.LatencyTolerant,
+		BoostDelinquent: o.BoostDelinquent,
+		TripEstimate:    o.TripEstimate,
+		Pipeline:        o.Pipeline,
+	}
+}
+
+// ToOptions converts wire options to library compile options.
+func (w Options) ToOptions() (ltsp.Options, error) {
+	mode, err := ParseMode(w.Mode)
+	if err != nil {
+		return ltsp.Options{}, err
+	}
+	return ltsp.Options{
+		Mode:            mode,
+		Prefetch:        w.Prefetch,
+		LatencyTolerant: w.LatencyTolerant,
+		BoostDelinquent: w.BoostDelinquent,
+		TripEstimate:    w.TripEstimate,
+		Pipeline:        w.Pipeline,
+	}, nil
+}
+
+// canonical normalizes the wire options (mode spelling, pipeline pointer
+// identity) so that envelope hashing sees one representation per meaning.
+func (w Options) canonical() (Options, error) {
+	o, err := w.ToOptions()
+	if err != nil {
+		return Options{}, err
+	}
+	return OptionsFrom(o), nil
+}
+
+// SimOptions is the serializable subset of sim.Config. Nil fields take the
+// paper-reproduction defaults (sim.DefaultConfig); the machine model and
+// cache geometry are the service's own.
+type SimOptions struct {
+	BankConflicts    *bool `json:"bankConflicts,omitempty"`
+	FEOverhead       *int  `json:"feOverhead,omitempty"`
+	FlushOverhead    *int  `json:"flushOverhead,omitempty"`
+	RSECyclesPerExec int64 `json:"rseCyclesPerExec,omitempty"`
+}
+
+// ToConfig overlays the wire fields on the default simulator config.
+func (w SimOptions) ToConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	if w.BankConflicts != nil {
+		cfg.BankConflicts = *w.BankConflicts
+	}
+	if w.FEOverhead != nil {
+		cfg.FEOverhead = *w.FEOverhead
+	}
+	if w.FlushOverhead != nil {
+		cfg.FlushOverhead = *w.FlushOverhead
+	}
+	cfg.RSECyclesPerExec = w.RSECyclesPerExec
+	return cfg
+}
+
+// MemInit seeds one memory word before simulation. Float selects the
+// floating-point store form (8-byte IEEE754); otherwise Size/Val describe
+// an integer store.
+type MemInit struct {
+	Addr  int64   `json:"addr"`
+	Size  int     `json:"size,omitempty"`
+	Val   int64   `json:"val,omitempty"`
+	FVal  float64 `json:"fval,omitempty"`
+	Float bool    `json:"float,omitempty"`
+}
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	Version int `json:"v"`
+	// Loop is the ir wire-format loop (see ir.EncodeLoop).
+	Loop    json.RawMessage `json:"loop"`
+	Options Options         `json:"options"`
+}
+
+// NewCompileRequest builds a request from an in-memory loop and options.
+func NewCompileRequest(l *ir.Loop, o ltsp.Options) (*CompileRequest, error) {
+	data, err := ir.EncodeLoop(l)
+	if err != nil {
+		return nil, err
+	}
+	return &CompileRequest{Version: Version, Loop: data, Options: OptionsFrom(o)}, nil
+}
+
+// DecodeLoop parses the embedded loop.
+func (r *CompileRequest) DecodeLoop() (*ir.Loop, error) {
+	if len(r.Loop) == 0 {
+		return nil, fmt.Errorf("wire: compile request has no loop")
+	}
+	return ir.DecodeLoop(r.Loop)
+}
+
+// Canonical returns the canonical encoding of the request: version pinned,
+// loop re-encoded through the ir codec, options normalized.
+func (r *CompileRequest) Canonical() ([]byte, error) {
+	if r.Version != Version {
+		return nil, fmt.Errorf("wire: unsupported request version %d (want %d)", r.Version, Version)
+	}
+	l, err := r.DecodeLoop()
+	if err != nil {
+		return nil, err
+	}
+	loopData, err := ir.EncodeLoop(l)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := r.Options.canonical()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(CompileRequest{Version: Version, Loop: loopData, Options: opts})
+}
+
+// Hash returns the content-addressed artifact key of the request: the hex
+// sha256 of its canonical encoding.
+func (r *CompileRequest) Hash() (string, error) {
+	data, err := r.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// SimulateRequest is the body of POST /v1/simulate. Exactly one of Hash
+// (a previously compiled artifact) or Loop (compiled inline, through the
+// same cache) must be set.
+type SimulateRequest struct {
+	Version int `json:"v"`
+	// Hash references an artifact from an earlier /v1/compile response.
+	Hash string `json:"hash,omitempty"`
+	// Loop + Options compile inline when Hash is empty.
+	Loop    json.RawMessage `json:"loop,omitempty"`
+	Options Options         `json:"options,omitempty"`
+	// Trip is the trip count to simulate (>= 1).
+	Trip int64 `json:"trip"`
+	// Sim overrides simulator parameters.
+	Sim SimOptions `json:"sim,omitempty"`
+	// Memory seeds the initial memory image (empty = all-zero memory).
+	Memory []MemInit `json:"memory,omitempty"`
+}

@@ -1,0 +1,118 @@
+package wire_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ltsp"
+	"ltsp/internal/wire"
+	"ltsp/internal/workload"
+)
+
+// TestHashStability: the content hash must be invariant under client
+// formatting (whitespace, field order, non-canonical option spellings)
+// and must change when the compilation inputs change.
+func TestHashStability(t *testing.T) {
+	gen, _ := workload.IntCopyAdd(64)
+	opts := ltsp.Options{Mode: ltsp.ModeHLO, Prefetch: true, LatencyTolerant: true, TripEstimate: 100}
+	req, err := wire.NewCompileRequest(gen(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := req.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-marshal the request with indentation and parse it back: the hash
+	// must not change.
+	pretty, err := json.MarshalIndent(req, "", "    ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req2 wire.CompileRequest
+	if err := json.Unmarshal(pretty, &req2); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := req2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not format-invariant: %s vs %s", h1, h2)
+	}
+
+	// "none" and "" are the same mode; the hash must agree.
+	req3 := *req
+	req3.Options.Mode = "none"
+	req4 := *req
+	req4.Options.Mode = ""
+	h3, _ := req3.Hash()
+	h4, _ := req4.Hash()
+	if h3 != h4 {
+		t.Fatalf("mode spelling leaks into hash: %s vs %s", h3, h4)
+	}
+
+	// Different options must hash differently.
+	req5 := *req
+	req5.Options.LatencyTolerant = !req5.Options.LatencyTolerant
+	h5, _ := req5.Hash()
+	if h5 == h1 {
+		t.Fatal("hash ignores compile options")
+	}
+
+	// A different loop must hash differently.
+	gen2, _ := workload.FPDaxpy(64)
+	req6, err := wire.NewCompileRequest(gen2(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h6, err := req6.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h6 == h1 {
+		t.Fatal("hash ignores the loop")
+	}
+}
+
+// TestOptionsRoundTrip converts options wire → library → wire.
+func TestOptionsRoundTrip(t *testing.T) {
+	pipeline := true
+	in := ltsp.Options{
+		Mode:            ltsp.ModeAllFPL2,
+		Prefetch:        true,
+		LatencyTolerant: true,
+		BoostDelinquent: true,
+		TripEstimate:    42.5,
+		Pipeline:        &pipeline,
+	}
+	w := wire.OptionsFrom(in)
+	out, err := w.ToOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != in.Mode || out.Prefetch != in.Prefetch ||
+		out.LatencyTolerant != in.LatencyTolerant || out.BoostDelinquent != in.BoostDelinquent ||
+		out.TripEstimate != in.TripEstimate || *out.Pipeline != *in.Pipeline {
+		t.Fatalf("options round trip lost data: %+v -> %+v -> %+v", in, w, out)
+	}
+	if _, err := (wire.Options{Mode: "bogus"}).ToOptions(); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+// TestSimOptionsDefaults: nil fields take sim defaults, set fields
+// override.
+func TestSimOptionsDefaults(t *testing.T) {
+	cfg := wire.SimOptions{}.ToConfig()
+	if !cfg.BankConflicts || cfg.FEOverhead != 6 || cfg.FlushOverhead != 6 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	off := false
+	fe := 9
+	cfg = wire.SimOptions{BankConflicts: &off, FEOverhead: &fe, RSECyclesPerExec: 5}.ToConfig()
+	if cfg.BankConflicts || cfg.FEOverhead != 9 || cfg.RSECyclesPerExec != 5 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+}

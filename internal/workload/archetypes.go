@@ -17,6 +17,14 @@ const (
 	arenaE = 0x0500_0000
 )
 
+// newRNG builds the private PRNG of one generator invocation. Generators
+// never touch the global math/rand source: every randomized layout derives
+// from an explicit seed through a fresh *rand.Rand constructed inside the
+// call, so concurrent Gen/InitMem invocations (the ltspd service compiles
+// workload loops from many goroutines) are race-free and a given seed
+// always reproduces the same loop and memory image.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
 // IntCopyAdd is the paper's running example (Fig. 1): dst[i] = src[i] + K.
 // Unit-stride integer load and store; with elems small enough the data is
 // L1/L2-resident and latency hints only add pipeline stages (the
@@ -174,7 +182,7 @@ func PointerChase(nodes int64, seed int64) (func() *ir.Loop, func(*interp.Memory
 		// live-out.
 		return l
 	}
-	initMem := func(m *interp.Memory) { initChase(m, nodes, seed) }
+	initMem := func(m *interp.Memory) { initChase(m, nodes, newRNG(seed+1)) }
 	return gen, initMem
 }
 
@@ -185,9 +193,8 @@ func chainHead(nodes, seed int64) int64 { return arenaB }
 // while basic_arc and pred targets scatter over large regions and miss.
 // This is what lets successive iterations' delinquent loads overlap once
 // the pipeliner clusters them (the chase would otherwise serialize the
-// loop).
-func initChase(m *interp.Memory, nodes, seed int64) {
-	rng := rand.New(rand.NewSource(seed + 1))
+// loop). The caller passes the invocation's private PRNG.
+func initChase(m *interp.Memory, nodes int64, rng *rand.Rand) {
 	for i := int64(0); i < nodes; i++ {
 		addr := arenaB + i*nodeSize
 		next := arenaB + ((i+1)%nodes)*nodeSize
@@ -258,7 +265,7 @@ func WhileChase(nodes, chainLen, seed int64) (func() *ir.Loop, func(*interp.Memo
 		return l
 	}
 	initMem := func(m *interp.Memory) {
-		initChase(m, nodes, seed)
+		initChase(m, nodes, newRNG(seed+1))
 		// NULL-terminate the chain after chainLen nodes.
 		m.Store(arenaB+(chainLen-1)*nodeSize+offChild, 8, 0)
 	}
@@ -300,7 +307,7 @@ func IndirectGather(idxElems, tableElems int64, fp bool, seed int64) (func() *ir
 		return l
 	}
 	initMem := func(m *interp.Memory) {
-		rng := rand.New(rand.NewSource(seed))
+		rng := newRNG(seed)
 		for i := int64(0); i < idxElems; i++ {
 			m.Store(arenaA+4*i, 4, rng.Int63n(tableElems))
 		}

@@ -99,19 +99,23 @@ func PointerChaseBranchy(nodes int64, seed int64) (func() *ir.Loop, func(*interp
 		l.Init(pnext, arenaB)
 		return l
 	}
-	initMem := func(m *interp.Memory) {
-		rng := rand.New(rand.NewSource(seed + 1))
-		for i := int64(0); i < nodes; i++ {
-			addr := arenaB + i*bNodeSize
-			m.Store(addr+0, 8, arenaB+((i+1)%nodes)*bNodeSize)
-			m.Store(addr+bOffArc, 8, arenaC+rng.Int63n(nodes)*arcStride)
-			m.Store(addr+bOffPred, 8, arenaD+rng.Int63n(nodes)*parStride)
-			m.Store(addr+bOffOr, 4, rng.Int63n(2)) // UP or DOWN
-		}
-		for i := int64(0); i < nodes; i++ {
-			m.Store(arenaC+i*arcStride, 8, 100+i%37)
-			m.Store(arenaD+i*parStride+bOffPot, 8, i%53)
-		}
-	}
+	initMem := func(m *interp.Memory) { initBranchy(m, nodes, newRNG(seed+1)) }
 	return gen, initMem
+}
+
+// initBranchy lays out the branchy node arena from the invocation's
+// private PRNG (see newRNG: no global math/rand use anywhere in this
+// package).
+func initBranchy(m *interp.Memory, nodes int64, rng *rand.Rand) {
+	for i := int64(0); i < nodes; i++ {
+		addr := arenaB + i*bNodeSize
+		m.Store(addr+0, 8, arenaB+((i+1)%nodes)*bNodeSize)
+		m.Store(addr+bOffArc, 8, arenaC+rng.Int63n(nodes)*arcStride)
+		m.Store(addr+bOffPred, 8, arenaD+rng.Int63n(nodes)*parStride)
+		m.Store(addr+bOffOr, 4, rng.Int63n(2)) // UP or DOWN
+	}
+	for i := int64(0); i < nodes; i++ {
+		m.Store(arenaC+i*arcStride, 8, 100+i%37)
+		m.Store(arenaD+i*parStride+bOffPot, 8, i%53)
+	}
 }

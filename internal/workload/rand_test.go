@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+)
+
+// seededGenerators returns every generator whose layout is randomized,
+// with fixed parameters and seeds.
+func seededGenerators() map[string]struct {
+	gen     func() *ir.Loop
+	initMem func(*interp.Memory)
+} {
+	out := make(map[string]struct {
+		gen     func() *ir.Loop
+		initMem func(*interp.Memory)
+	})
+	add := func(name string, gen func() *ir.Loop, initMem func(*interp.Memory)) {
+		out[name] = struct {
+			gen     func() *ir.Loop
+			initMem func(*interp.Memory)
+		}{gen, initMem}
+	}
+	g, m := PointerChase(512, 7)
+	add("PointerChase", g, m)
+	g, m = WhileChase(512, 100, 7)
+	add("WhileChase", g, m)
+	g, m = IndirectGather(256, 1024, false, 11)
+	add("IndirectGather", g, m)
+	g, m = IndirectGather(256, 1024, true, 11)
+	add("IndirectGatherFP", g, m)
+	g, m = PointerChaseBranchy(512, 7)
+	add("PointerChaseBranchy", g, m)
+	return out
+}
+
+// TestConcurrentGeneratorsReproducible runs every randomized generator
+// from many goroutines at once (run under -race in CI) and checks that
+// each invocation reproduces the identical loop and memory image: no
+// generator may share PRNG state across invocations or touch the global
+// math/rand source.
+func TestConcurrentGeneratorsReproducible(t *testing.T) {
+	for name, g := range seededGenerators() {
+		t.Run(name, func(t *testing.T) {
+			refLoop := g.gen().String()
+			refMem := interp.NewMemory()
+			g.initMem(refMem)
+			refSnap := refMem.Snapshot()
+
+			const workers = 16
+			var wg sync.WaitGroup
+			errs := make(chan string, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if got := g.gen().String(); got != refLoop {
+						errs <- "loop differs across invocations"
+						return
+					}
+					m := interp.NewMemory()
+					g.initMem(m)
+					snap := m.Snapshot()
+					if len(snap) != len(refSnap) {
+						errs <- "memory page count differs across invocations"
+						return
+					}
+					for addr, page := range snap {
+						if page != refSnap[addr] {
+							errs <- "memory image differs across invocations"
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+		})
+	}
+}

@@ -8,7 +8,11 @@
 // optimization cannot touch.
 //
 // All data layouts are deterministic (fixed-seed PRNG), so every
-// experiment is bit-reproducible.
+// experiment is bit-reproducible. Generators never use the global
+// math/rand source: randomness always flows from an explicit seed through
+// a *rand.Rand private to the invocation (see newRNG), so concurrent
+// Gen/InitMem calls — e.g. parallel compile requests in the ltspd
+// service — are race-free and reproducible.
 package workload
 
 import (
