@@ -8,6 +8,8 @@
 //	ltsp -list
 //	ltsp -loop 429.mcf/refresh_potential -mode hlo -tolerant
 //	ltsp -loop example -mode all-l3 -tolerant
+//	ltsp -loop example -explain            # why each decision was made
+//	ltsp -loop example -explain-json       # the same trace as JSON events
 //
 // Client mode submits the loop to a running ltspd daemon instead of
 // compiling in-process, and -dump writes the wire-format request for use
@@ -32,6 +34,7 @@ import (
 	"ltsp/internal/core"
 	"ltsp/internal/hlo"
 	"ltsp/internal/ir"
+	"ltsp/internal/obs"
 	"ltsp/internal/wire"
 	"ltsp/internal/workload"
 )
@@ -48,6 +51,8 @@ func main() {
 		loopFile = flag.String("loop-file", "", "read the compile request from this wire-format JSON file (client mode)")
 		dump     = flag.String("dump", "", "write the wire-format compile request to this file ('-' = stdout) and exit")
 		simTrip  = flag.Int64("sim-trip", 0, "in client mode, also simulate the compiled artifact for this trip count")
+		explain  = flag.Bool("explain", false, "print the pipeliner's decision trace (classification, II search, fallbacks)")
+		explainJ = flag.Bool("explain-json", false, "print the decision trace as JSON events")
 	)
 	flag.Parse()
 
@@ -82,7 +87,7 @@ func main() {
 		return
 	}
 	if *serverTo != "" {
-		if err := runClient(*serverTo, *loopName, *loopFile, opts, *simTrip); err != nil {
+		if err := runClient(*serverTo, *loopName, *loopFile, opts, *simTrip, *explain || *explainJ); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -118,9 +123,14 @@ func main() {
 	}
 	fmt.Printf("  %d prefetches inserted, %d hints set\n", rep.PrefetchesAdded, rep.HintsSet)
 
+	var tr *obs.Trace
+	if *explain || *explainJ {
+		tr = obs.New()
+	}
 	c, err := core.Pipeline(l, core.Options{
 		LatencyTolerant: *tolerant,
 		BoostDelinquent: *tolerant,
+		Trace:           tr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pipeline:", err)
@@ -143,6 +153,22 @@ func main() {
 	st := c.Assignment.Stats
 	fmt.Printf("  registers: GR %d (rot %d), FR %d (rot %d), PR %d (rot %d)\n",
 		st.TotalGR(), st.RotGR, st.TotalFR(), st.RotFR, st.TotalPR(), st.RotPR)
+
+	if *explain {
+		fmt.Printf("\n=== decision trace ===\n")
+		if err := tr.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "explain:", err)
+			os.Exit(1)
+		}
+	}
+	if *explainJ {
+		data, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explain-json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n=== decision trace (JSON) ===\n%s\n", data)
+	}
 
 	fmt.Printf("\n=== kernel ===\n")
 	fmt.Print(c.Program.Listing())
@@ -194,8 +220,9 @@ func dumpRequest(loopName string, opts ltsp.Options, path string) error {
 }
 
 // runClient submits a compile request (from a loop file or a named loop)
-// to a running ltspd daemon and prints the JSON responses.
-func runClient(base, loopName, loopFile string, opts ltsp.Options, simTrip int64) error {
+// to a running ltspd daemon and prints the JSON responses. With explain it
+// also fetches the stored decision trace for the compiled artifact.
+func runClient(base, loopName, loopFile string, opts ltsp.Options, simTrip int64, explain bool) error {
 	var req *wire.CompileRequest
 	if loopFile != "" {
 		data, err := os.ReadFile(loopFile)
@@ -225,6 +252,22 @@ func runClient(base, loopName, loopFile string, opts ltsp.Options, simTrip int64
 		return err
 	}
 	fmt.Println(string(body))
+
+	if explain {
+		resp, err := http.Get(base + "/v1/artifacts/" + compiled.Hash + "/trace")
+		if err != nil {
+			return err
+		}
+		trace, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("trace: %s: %s", resp.Status, strings.TrimSpace(string(trace)))
+		}
+		fmt.Println(string(bytes.TrimSpace(trace)))
+	}
 
 	if simTrip > 0 {
 		simReq := wire.SimulateRequest{Version: wire.Version, Hash: compiled.Hash, Trip: simTrip}
@@ -272,9 +315,12 @@ func exampleLoop() *ir.Loop {
 	ld := ir.Ld(r4, r5, 4, 4)
 	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 4
 	ld.Mem.Hint = ir.HintL3
+	ld.Comment = "v = a[i]"
 	l.Append(ld)
 	l.Append(ir.Add(r7, r4, r9))
-	l.Append(ir.St(r6, r7, 4, 4))
+	st := ir.St(r6, r7, 4, 4)
+	st.Comment = "b[i] = v + 1"
+	l.Append(st)
 	l.Init(r5, 0x100000)
 	l.Init(r6, 0x200000)
 	l.Init(r9, 1)

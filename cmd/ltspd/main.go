@@ -1,6 +1,7 @@
 // Command ltspd serves the latency-tolerant software pipeliner over HTTP:
 // a long-lived compile-and-simulate service with a bounded worker pool, a
-// content-addressed artifact cache, and JSON metrics.
+// content-addressed artifact cache, structured request logging, and JSON
+// metrics.
 //
 // Usage:
 //
@@ -8,20 +9,24 @@
 //
 // Endpoints (see internal/server and the README "Service" section):
 //
-//	POST /v1/compile   POST /v1/simulate   GET /healthz   GET /metrics
+//	POST /v1/compile   POST /v1/simulate
+//	GET  /v1/artifacts/{hash}/trace
+//	GET  /healthz      GET /metrics
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"ltsp/internal/buildinfo"
 	"ltsp/internal/server"
 )
 
@@ -35,8 +40,28 @@ func main() {
 		queueTO      = flag.Duration("queue-timeout", 5*time.Second, "max wait for a worker slot")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 		maxBodyBytes = flag.Int64("max-body", 8<<20, "max request body bytes")
+		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		logText      = flag.Bool("log-text", false, "log in text form instead of JSON")
+		version      = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("ltspd %s (%s)\n", buildinfo.Version, buildinfo.GoVersion())
+		return
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ltspd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewJSONHandler(os.Stderr, hopts)
+	if *logText {
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
 
 	srv := server.New(server.Config{
 		PoolSize:        *pool,
@@ -45,6 +70,7 @@ func main() {
 		SimulateTimeout: *simTO,
 		QueueTimeout:    *queueTO,
 		MaxBodyBytes:    *maxBodyBytes,
+		Logger:          logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -54,7 +80,13 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("ltspd: listening on %s (pool=%d cache=%d)", *addr, *pool, *cacheCap)
+		logger.Info("listening",
+			slog.String("addr", *addr),
+			slog.Int("pool", *pool),
+			slog.Int("cache", *cacheCap),
+			slog.String("version", buildinfo.Version),
+			slog.String("go", buildinfo.GoVersion()),
+		)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -63,18 +95,19 @@ func main() {
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("ltspd: %v", err)
+			logger.Error("serve failed", slog.String("err", err.Error()))
+			os.Exit(1)
 		}
 	case sig := <-sigCh:
-		log.Printf("ltspd: %s — draining", sig)
+		logger.Info("draining", slog.String("signal", sig.String()))
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("ltspd: http shutdown: %v", err)
+			logger.Error("http shutdown", slog.String("err", err.Error()))
 		}
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("ltspd: worker drain: %v", err)
+			logger.Error("worker drain", slog.String("err", err.Error()))
 		}
-		log.Printf("ltspd: drained")
+		logger.Info("drained")
 	}
 }

@@ -1,0 +1,14 @@
+// Package buildinfo carries the version stamp shared by the ltsp binaries
+// and the ltspd /metrics and /healthz endpoints.
+package buildinfo
+
+import "runtime"
+
+// Version identifies the build. It defaults to "dev" and is overridden at
+// link time:
+//
+//	go build -ldflags "-X ltsp/internal/buildinfo.Version=v1.2.3" ./cmd/ltspd
+var Version = "dev"
+
+// GoVersion reports the toolchain that produced the binary.
+func GoVersion() string { return runtime.Version() }

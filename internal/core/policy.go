@@ -27,6 +27,22 @@ type Policy struct {
 	// loop did not pass the threshold (paper Sec. 3.1: long expected
 	// latencies can justify the cost at low trip counts).
 	DelinquentOverride bool
+	// Floor is the II floor the classification compared elevated cycle
+	// bounds against: max(Resource II, base Recurrence II).
+	Floor int
+	// Binding records, for each critical load, the recurrence cycle that
+	// bound it — the first cycle whose II bound under elevated latencies
+	// exceeded Floor.
+	Binding map[int]BindingCycle
+}
+
+// BindingCycle identifies the recurrence cycle that made a load critical.
+type BindingCycle struct {
+	// Nodes are the instruction IDs on the cycle in traversal order.
+	Nodes []int
+	// II is the cycle's II bound with all eligible loads on it elevated to
+	// their expected latencies.
+	II int
 }
 
 // eligible reports whether the policy would boost this load at all
@@ -69,15 +85,17 @@ func Classify(m *machine.Model, g *ddg.Graph, resII, baseRecII int, loopEnabled,
 	p := &Policy{
 		model:              m,
 		Critical:           map[int]bool{},
+		Binding:            map[int]BindingCycle{},
 		LoopEnabled:        loopEnabled,
 		DelinquentOverride: delinquentOverride,
-	}
-	if !loopEnabled && !delinquentOverride {
-		return p
 	}
 	floor := resII
 	if baseRecII > floor {
 		floor = baseRecII
+	}
+	p.Floor = floor
+	if !loopEnabled && !delinquentOverride {
+		return p
 	}
 	base := BaseLatFn(m)
 	for _, c := range g.Cycles() {
@@ -95,9 +113,12 @@ func Classify(m *machine.Model, g *ddg.Graph, resII, baseRecII int, loopEnabled,
 			}
 			return base(in)
 		}
-		if c.MinII(g, elevated) > floor {
+		if cycII := c.MinII(g, elevated); cycII > floor {
 			for _, ld := range loads {
 				p.Critical[ld.ID] = true
+				if _, bound := p.Binding[ld.ID]; !bound {
+					p.Binding[ld.ID] = BindingCycle{Nodes: c.Nodes, II: cycII}
+				}
 			}
 		}
 	}

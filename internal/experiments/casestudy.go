@@ -7,6 +7,7 @@ import (
 	"ltsp/internal/hlo"
 	"ltsp/internal/interp"
 	"ltsp/internal/ir"
+	"ltsp/internal/obs"
 	"ltsp/internal/sim"
 	"ltsp/internal/workload"
 )
@@ -21,10 +22,16 @@ type CaseStudyResult struct {
 	AvgTrip float64
 	// DelinquentLoads lists the loads HLO marked by heuristic (1).
 	DelinquentLoads []string
+	// CriticalLoads lists the loads the pipeliner classified critical
+	// (boosting them would stretch a recurrence past the II floor), as
+	// recorded in the compile decision trace.
+	CriticalLoads []string
 	// ClusterK is the realized clustering factor per delinquent load.
 	ClusterK map[string]int
-	// II / Stages of the latency-tolerant kernel.
+	// II / Stages of the latency-tolerant kernel; Outcome is the
+	// pipeliner's result class from the decision trace.
 	II, Stages int
+	Outcome    string
 	// SpeedupPct is the loop-level speedup of HLO hints over baseline
 	// (paper: 40%).
 	SpeedupPct float64
@@ -66,20 +73,34 @@ func RunCaseStudy() (*CaseStudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	delinquent := map[string]bool{}
 	for _, r := range rep.Refs {
 		if r.Heuristic == hlo.HNotPrefetchable && l.Body[r.ID].Op.IsLoad() {
-			res.DelinquentLoads = append(res.DelinquentLoads, loadLabel(l.Body[r.ID]))
+			label := loadLabel(l.Body[r.ID])
+			res.DelinquentLoads = append(res.DelinquentLoads, label)
+			delinquent[label] = true
 		}
 	}
-	c, err := core.Pipeline(l, core.Options{BoostDelinquent: true})
+	// The classification and clustering facts come straight from the
+	// compile decision trace rather than being re-derived from the kernel.
+	tr := obs.New()
+	c, err := core.Pipeline(l, core.Options{BoostDelinquent: true, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
 	res.II, res.Stages = c.FinalII, c.Stages
-	for _, lr := range c.Loads {
-		in := l.Body[lr.ID]
-		if in.Mem != nil && in.Mem.Delinquent && !lr.Critical {
-			res.ClusterK[loadLabel(in)] = lr.ClusterK
+	for _, e := range tr.Events() {
+		switch ev := e.(type) {
+		case obs.LoadClassEvent:
+			if ev.Critical {
+				res.CriticalLoads = append(res.CriticalLoads, ev.Name)
+			}
+		case obs.LoadSchedEvent:
+			if delinquent[ev.Name] && !ev.Critical {
+				res.ClusterK[ev.Name] = ev.ClusterK
+			}
+		case obs.OutcomeEvent:
+			res.Outcome = ev.Result
 		}
 	}
 

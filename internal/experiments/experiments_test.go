@@ -256,6 +256,19 @@ func TestCaseStudy(t *testing.T) {
 	if len(r.DelinquentLoads) < 4 {
 		t.Errorf("delinquent loads = %v, want the chase + 4 payload loads", r.DelinquentLoads)
 	}
+	// The decision trace must name the pointer-chase load critical.
+	foundChase := false
+	for _, n := range r.CriticalLoads {
+		if n == "node = node->child" {
+			foundChase = true
+		}
+	}
+	if !foundChase {
+		t.Errorf("critical loads = %v, want the chase load among them", r.CriticalLoads)
+	}
+	if r.Outcome != "pipelined" {
+		t.Errorf("outcome = %q, want pipelined", r.Outcome)
+	}
 	// Every boosted payload load clusters (paper: k = 2).
 	boosted := 0
 	for name, k := range r.ClusterK {

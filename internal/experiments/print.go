@@ -134,7 +134,11 @@ func (r *CaseStudyResult) String() string {
 	var b strings.Builder
 	b.WriteString("Sec. 4.4 — 429.mcf refresh_potential case study\n\n")
 	fmt.Fprintf(&b, "  average trip count: %.1f (paper: 2.3)\n", r.AvgTrip)
-	fmt.Fprintf(&b, "  kernel II=%d, stages=%d\n", r.II, r.Stages)
+	fmt.Fprintf(&b, "  kernel II=%d, stages=%d", r.II, r.Stages)
+	if r.Outcome != "" {
+		fmt.Fprintf(&b, " (%s)", r.Outcome)
+	}
+	b.WriteString("\n")
 	b.WriteString("  delinquent loads (HLO heuristic 1):\n")
 	for _, n := range r.DelinquentLoads {
 		if k, boosted := r.ClusterK[n]; boosted {

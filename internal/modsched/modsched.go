@@ -13,6 +13,7 @@ import (
 	"ltsp/internal/ddg"
 	"ltsp/internal/ir"
 	"ltsp/internal/machine"
+	"ltsp/internal/obs"
 )
 
 // Schedule is the result of modulo scheduling one loop at a fixed II.
@@ -29,6 +30,10 @@ type Schedule struct {
 	// Attempts counts individual placement operations performed, the
 	// compile-time currency of the paper's Sec. 3.3 discussion.
 	Attempts int
+	// Evictions counts backtracking displacements: placements undone
+	// either to force a higher-priority operation into a full row or
+	// because a new placement violated an already-scheduled successor.
+	Evictions int
 }
 
 // Slot returns instruction i's cycle within the kernel.
@@ -195,6 +200,9 @@ type Options struct {
 	// BudgetRatio bounds total placements at BudgetRatio * len(body);
 	// exceeding it fails the attempt at this II. Default 12.
 	BudgetRatio int
+	// Trace, when non-nil, receives one obs.SchedEvent per ScheduleAtII
+	// call (success or failure).
+	Trace *obs.Trace
 }
 
 // ScheduleAtII tries to find a modulo schedule for the loop at the given
@@ -249,12 +257,22 @@ func ScheduleAtII(m *machine.Model, g *ddg.Graph, ii int, latf ddg.LatencyFn, op
 	}
 
 	attempts := 0
+	evictions := 0
+	emit := func(ok bool, stages int) {
+		opts.Trace.Emit(obs.SchedEvent{
+			II: ii, OK: ok, Attempts: attempts, Evictions: evictions,
+			Budget: budget, Stages: stages,
+		})
+	}
 	for {
 		op := pick()
 		if op < 0 {
 			break
 		}
 		if attempts >= budget {
+			if opts.Trace.On() {
+				emit(false, 0)
+			}
 			return nil, false
 		}
 		attempts++
@@ -306,6 +324,7 @@ func ScheduleAtII(m *machine.Model, g *ddg.Graph, ii int, latf ddg.LatencyFn, op
 				}
 				scheduled[victim] = false
 				table.remove(victim)
+				evictions++
 			}
 			if !placed {
 				// Row saturated by the branch reservation or other
@@ -330,6 +349,7 @@ func ScheduleAtII(m *machine.Model, g *ddg.Graph, ii int, latf ddg.LatencyFn, op
 			if time[e.To] < placedAt+g.Latency(e, latf)-ii*e.Distance {
 				scheduled[e.To] = false
 				table.remove(e.To)
+				evictions++
 			}
 		}
 		// Self-edges (post-increment) are satisfiable at any II >= 1 since
@@ -337,16 +357,22 @@ func ScheduleAtII(m *machine.Model, g *ddg.Graph, ii int, latf ddg.LatencyFn, op
 		for _, ei := range g.Succ[op] {
 			e := &g.Edges[ei]
 			if e.To == op && g.Latency(e, latf) > ii*e.Distance {
+				if opts.Trace.On() {
+					emit(false, 0)
+				}
 				return nil, false // irrecoverable at this II
 			}
 		}
 	}
 
-	s := &Schedule{II: ii, Time: time, Port: port, Attempts: attempts}
+	s := &Schedule{II: ii, Time: time, Port: port, Attempts: attempts, Evictions: evictions}
 	for i := range time {
 		if st := time[i]/ii + 1; st > s.Stages {
 			s.Stages = st
 		}
+	}
+	if opts.Trace.On() {
+		emit(true, s.Stages)
 	}
 	return s, true
 }

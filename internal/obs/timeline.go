@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TimelineEvent is one Chrome trace-event (catapult) record. Only the
+// complete-event form ("ph":"X") is emitted: ts/dur are in microseconds in
+// the catapult schema, but the simulator maps one cycle to one microsecond
+// so chrome://tracing renders cycles directly.
+type TimelineEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// DefaultTimelineLimit bounds a Timeline when no explicit limit is given;
+// beyond it events are counted as dropped rather than stored, so tracing a
+// long simulation cannot exhaust memory.
+const DefaultTimelineLimit = 1 << 20
+
+// Timeline collects catapult events. Like Trace it is nil-safe: a nil
+// *Timeline records nothing and costs nothing.
+type Timeline struct {
+	mu      sync.Mutex
+	limit   int
+	events  []TimelineEvent
+	dropped int64
+}
+
+// NewTimeline returns a timeline holding at most limit events
+// (limit <= 0 selects DefaultTimelineLimit).
+func NewTimeline(limit int) *Timeline {
+	if limit <= 0 {
+		limit = DefaultTimelineLimit
+	}
+	return &Timeline{limit: limit}
+}
+
+// On reports whether the timeline is collecting.
+func (tl *Timeline) On() bool { return tl != nil }
+
+// Complete records one complete ("X") event; no-op on nil.
+func (tl *Timeline) Complete(name string, ts, dur int64, pid, tid int, args map[string]any) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if len(tl.events) >= tl.limit {
+		tl.dropped++
+		return
+	}
+	tl.events = append(tl.events, TimelineEvent{
+		Name: name, Ph: "X", TS: ts, Dur: dur, PID: pid, TID: tid, Args: args,
+	})
+}
+
+// Len returns the number of stored events.
+func (tl *Timeline) Len() int {
+	if tl == nil {
+		return 0
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return len(tl.events)
+}
+
+// Dropped returns how many events were discarded at the limit.
+func (tl *Timeline) Dropped() int64 {
+	if tl == nil {
+		return 0
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.dropped
+}
+
+// Events returns a snapshot copy of the stored events.
+func (tl *Timeline) Events() []TimelineEvent {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return append([]TimelineEvent(nil), tl.events...)
+}
+
+// WriteJSON streams the timeline as a catapult JSON array — the format
+// chrome://tracing and Perfetto load directly.
+func (tl *Timeline) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, e := range tl.Events() {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

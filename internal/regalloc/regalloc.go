@@ -20,6 +20,7 @@ import (
 	"ltsp/internal/ir"
 	"ltsp/internal/machine"
 	"ltsp/internal/modsched"
+	"ltsp/internal/obs"
 )
 
 // Kind classifies how a virtual register was allocated.
@@ -295,6 +296,25 @@ func Allocate(m *machine.Model, g *ddg.Graph, s *modsched.Schedule) (*Assignment
 		}
 	}
 	return asn, nil
+}
+
+// AllocateTraced is Allocate plus decision-trace emission: one
+// obs.RegallocEvent per attempt, tagged with the schedule's II and whether
+// the pipeliner had already reduced latencies to base (the fallback
+// ladder's first rung) when it asked for this allocation.
+func AllocateTraced(m *machine.Model, g *ddg.Graph, s *modsched.Schedule, tr *obs.Trace, reduced bool) (*Assignment, error) {
+	asn, err := Allocate(m, g, s)
+	if tr.On() {
+		ev := obs.RegallocEvent{II: s.II, Reduced: reduced, OK: err == nil}
+		if err != nil {
+			ev.Err = err.Error()
+		} else {
+			ev.RotGR, ev.RotFR, ev.RotPR = asn.Stats.RotGR, asn.Stats.RotFR, asn.Stats.RotPR
+			ev.Static = asn.Stats.StaticGR + asn.Stats.StaticFR + asn.Stats.StaticPR
+		}
+		tr.Emit(ev)
+	}
+	return asn, err
 }
 
 func rotSize(m *machine.Model, c ir.RegClass) int {

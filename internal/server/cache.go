@@ -5,16 +5,26 @@ import (
 	"sync"
 
 	"ltsp"
+	"ltsp/internal/obs"
 )
+
+// Artifact is one cached compilation: the compiled program plus the
+// decision trace the compiler emitted while producing it. The trace is
+// retained with the artifact so GET /v1/artifacts/{hash}/trace can answer
+// "why did the pipeliner do that?" for anything the cache still holds.
+type Artifact struct {
+	Compiled *ltsp.Compiled
+	Trace    *obs.Trace
+}
 
 // ArtifactCache is a content-addressed, LRU-evicting cache of compiled
 // loop artifacts keyed by the canonical request hash (wire.CompileRequest.
 // Hash). Concurrent requests for the same key are deduplicated: one
 // compilation runs, the rest wait for its result (singleflight).
 //
-// Cached *ltsp.Compiled values are shared across requests; they are
-// read-only after compilation (simulation keeps all mutable state in its
-// own interp.State), so no copy is made on lookup.
+// Cached *Artifact values are shared across requests; they are read-only
+// after compilation (simulation keeps all mutable state in its own
+// interp.State), so no copy is made on lookup.
 type ArtifactCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -26,12 +36,12 @@ type ArtifactCache struct {
 
 type cacheEntry struct {
 	key string
-	val *ltsp.Compiled
+	val *Artifact
 }
 
 type flightCall struct {
 	done chan struct{}
-	val  *ltsp.Compiled
+	val  *Artifact
 	err  error
 }
 
@@ -56,7 +66,7 @@ func (c *ArtifactCache) Len() int {
 
 // Get returns the cached artifact for key, if present, marking it
 // recently used.
-func (c *ArtifactCache) Get(key string) (*ltsp.Compiled, bool) {
+func (c *ArtifactCache) Get(key string) (*Artifact, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -67,12 +77,25 @@ func (c *ArtifactCache) Get(key string) (*ltsp.Compiled, bool) {
 	return nil, false
 }
 
+// Peek returns the cached artifact for key without touching the LRU order
+// or the hit counters — introspection reads (the trace endpoint) must not
+// perturb eviction behaviour or the cache metrics the compile path
+// reports.
+func (c *ArtifactCache) Peek(key string) (*Artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*cacheEntry).val, true
+	}
+	return nil, false
+}
+
 // GetOrCompute returns the artifact for key, computing it with fn on a
 // miss. The bool result reports whether the artifact came from the cache
 // (a completed entry or an in-flight computation started by another
 // request) rather than from this call's own fn. Errors are returned to
 // every waiter and never cached.
-func (c *ArtifactCache) GetOrCompute(key string, fn func() (*ltsp.Compiled, error)) (*ltsp.Compiled, bool, error) {
+func (c *ArtifactCache) GetOrCompute(key string, fn func() (*Artifact, error)) (*Artifact, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)

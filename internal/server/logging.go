@@ -1,0 +1,57 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// statusWriter records the status code and body size a handler wrote so
+// the request log can report them.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Status returns the written status, defaulting to 200 when the handler
+// never called WriteHeader.
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// Request IDs are a per-process random prefix plus a sequence number:
+// cheap, unique across restarts, and trivially greppable in logs.
+var (
+	requestIDPrefix = func() string {
+		var b [4]byte
+		_, _ = rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+	requestIDSeq atomic.Int64
+)
+
+func nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", requestIDPrefix, requestIDSeq.Add(1))
+}

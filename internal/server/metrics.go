@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"sync/atomic"
 	"time"
+
+	"ltsp/internal/buildinfo"
+	"ltsp/internal/obs"
 )
 
 // latencyBucketsMs are the upper bounds (milliseconds) of the request
@@ -95,12 +98,50 @@ type Metrics struct {
 	CacheMisses    atomic.Int64
 	CacheEvictions atomic.Int64
 
+	// Pipeliner outcomes, incremented once per compilation actually
+	// executed (cache hits and singleflight piggybacks do not recount).
+	OutcomePipelined      atomic.Int64
+	OutcomeReducedLatency atomic.Int64
+	OutcomeRaisedII       atomic.Int64
+	OutcomeSequential     atomic.Int64
+
 	CompileLatency  Histogram
 	SimulateLatency Histogram
 }
 
+// CountOutcome bumps the counter matching an obs.Outcome* string.
+func (m *Metrics) CountOutcome(outcome string) {
+	switch outcome {
+	case obs.OutcomePipelined:
+		m.OutcomePipelined.Add(1)
+	case obs.OutcomeReducedLatency:
+		m.OutcomeReducedLatency.Add(1)
+	case obs.OutcomeRaisedII:
+		m.OutcomeRaisedII.Add(1)
+	case obs.OutcomeSequential:
+		m.OutcomeSequential.Add(1)
+	}
+}
+
+// buildInfoJSON is the /metrics build_info block.
+type buildInfoJSON struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
+}
+
+// outcomesJSON is the /metrics compile_outcomes block, keyed to match the
+// obs.Outcome* strings.
+type outcomesJSON struct {
+	Pipelined      int64 `json:"pipelined"`
+	ReducedLatency int64 `json:"fallback_reduced_latency"`
+	RaisedII       int64 `json:"fallback_raised_ii"`
+	Sequential     int64 `json:"sequential"`
+}
+
 // metricsJSON is the /metrics document.
 type metricsJSON struct {
+	BuildInfo        buildInfoJSON `json:"build_info"`
+	UptimeSeconds    float64       `json:"uptime_seconds"`
 	CompileRequests  int64         `json:"compile_requests"`
 	CompileErrors    int64         `json:"compile_errors"`
 	SimulateRequests int64         `json:"simulate_requests"`
@@ -113,12 +154,18 @@ type metricsJSON struct {
 	CacheMisses      int64         `json:"cache_misses"`
 	CacheEvictions   int64         `json:"cache_evictions"`
 	CacheEntries     int           `json:"cache_entries"`
+	CompileOutcomes  outcomesJSON  `json:"compile_outcomes"`
 	CompileLatency   histogramJSON `json:"compile_latency"`
 	SimulateLatency  histogramJSON `json:"simulate_latency"`
 }
 
-func (m *Metrics) snapshot(cacheEntries int) metricsJSON {
+func (m *Metrics) snapshot(cacheEntries int, uptime time.Duration) metricsJSON {
 	return metricsJSON{
+		BuildInfo: buildInfoJSON{
+			Version: buildinfo.Version,
+			Go:      buildinfo.GoVersion(),
+		},
+		UptimeSeconds:    uptime.Seconds(),
 		CompileRequests:  m.CompileRequests.Load(),
 		CompileErrors:    m.CompileErrors.Load(),
 		SimulateRequests: m.SimulateRequests.Load(),
@@ -131,7 +178,13 @@ func (m *Metrics) snapshot(cacheEntries int) metricsJSON {
 		CacheMisses:      m.CacheMisses.Load(),
 		CacheEvictions:   m.CacheEvictions.Load(),
 		CacheEntries:     cacheEntries,
-		CompileLatency:   m.CompileLatency.snapshot(),
-		SimulateLatency:  m.SimulateLatency.snapshot(),
+		CompileOutcomes: outcomesJSON{
+			Pipelined:      m.OutcomePipelined.Load(),
+			ReducedLatency: m.OutcomeReducedLatency.Load(),
+			RaisedII:       m.OutcomeRaisedII.Load(),
+			Sequential:     m.OutcomeSequential.Load(),
+		},
+		CompileLatency:  m.CompileLatency.snapshot(),
+		SimulateLatency: m.SimulateLatency.snapshot(),
 	}
 }

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramConcurrentObserveSnapshot hammers Observe from many
+// goroutines while snapshots are taken concurrently; run under -race in
+// CI, it proves the histogram's lock-free counters are sound. Every
+// snapshot must be internally consistent: cumulative buckets monotone,
+// with le_+Inf equal to the count at some point in the interleaving (the
+// count is loaded first, so it can only lag the buckets, never exceed
+// them).
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	const (
+		writers      = 8
+		perWriter    = 2000
+		snapshotters = 4
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < snapshotters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.snapshot()
+				var prev int64
+				for _, label := range []string{"le_0.1", "le_1", "le_100", "le_+Inf"} {
+					cum, ok := s.Buckets[label]
+					if !ok {
+						t.Errorf("snapshot missing bucket %s", label)
+						return
+					}
+					if cum < prev {
+						t.Errorf("buckets not cumulative: %s=%d < %d", label, cum, prev)
+						return
+					}
+					prev = cum
+				}
+				if s.Buckets["le_+Inf"] < s.Count {
+					t.Errorf("le_+Inf=%d < count=%d", s.Buckets["le_+Inf"], s.Count)
+					return
+				}
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*perWriter+i) * 50 * time.Microsecond)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	s := h.snapshot()
+	if want := int64(writers * perWriter); s.Count != want {
+		t.Fatalf("final count = %d, want %d", s.Count, want)
+	}
+	if s.Buckets["le_+Inf"] != s.Count {
+		t.Fatalf("final le_+Inf = %d, want %d", s.Buckets["le_+Inf"], s.Count)
+	}
+}

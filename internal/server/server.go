@@ -11,8 +11,12 @@
 //	                    artifact (by hash, or compiling inline through the
 //	                    same cache) for a trip count and returns cycles
 //	                    with full Fig.-10 stall accounting.
-//	GET  /healthz     — liveness.
-//	GET  /metrics     — expvar-style JSON counters and latency histograms.
+//	GET  /v1/artifacts/{hash}/trace — the pipeliner's decision trace for a
+//	                    cached artifact: load classifications, II search,
+//	                    fallback rungs, register allocation, outcome.
+//	GET  /healthz     — liveness plus the build version.
+//	GET  /metrics     — expvar-style JSON counters, latency histograms,
+//	                    pipeliner outcome counters, uptime and build info.
 //
 // Requests are executed on a bounded worker pool with per-request
 // deadlines; identical compile requests are deduplicated in flight and
@@ -26,12 +30,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ltsp"
+	"ltsp/internal/buildinfo"
+	"ltsp/internal/obs"
 	"ltsp/internal/sim"
 	"ltsp/internal/wire"
 )
@@ -54,6 +62,9 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxTrip bounds simulated trip counts (default 10M iterations).
 	MaxTrip int64
+	// Logger receives structured request logs. Nil discards them (tests,
+	// embedders that log elsewhere).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +95,8 @@ type Server struct {
 	cfg      Config
 	cache    *ArtifactCache
 	metrics  *Metrics
+	logger   *slog.Logger
+	start    time.Time
 	sem      chan struct{}
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -93,15 +106,22 @@ type Server struct {
 // New creates a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: &Metrics{},
+		logger:  logger,
+		start:   time.Now(),
 		sem:     make(chan struct{}, cfg.PoolSize),
 		mux:     http.NewServeMux(),
 	}
 	s.cache = NewArtifactCache(cfg.CacheCapacity, s.metrics)
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/artifacts/{hash}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -113,9 +133,24 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Cache exposes the artifact cache (tests and embedders).
 func (s *Server) Cache() *ArtifactCache { return s.cache }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request is tagged with a
+// request ID (echoed in the X-Request-ID response header) and logged
+// structured on completion.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := nextRequestID()
+	w.Header().Set("X-Request-ID", id)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.Status()),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("duration", time.Since(start)),
+		slog.String("remote", r.RemoteAddr),
+	)
 }
 
 // Shutdown stops accepting new work and waits for in-flight work to
@@ -254,14 +289,18 @@ type CompileResponse struct {
 	Reg       RegStatsJSON     `json:"reg"`
 	Loads     []LoadReportJSON `json:"loads,omitempty"`
 	HLO       *HLOJSON         `json:"hlo,omitempty"`
-	Listing   string           `json:"listing"`
-	Diagram   string           `json:"diagram,omitempty"`
+	// Outcome is the pipeliner result class (obs.Outcome*); the full
+	// decision trace is at GET /v1/artifacts/{hash}/trace.
+	Outcome string `json:"outcome"`
+	Listing string `json:"listing"`
+	Diagram string `json:"diagram,omitempty"`
 }
 
 func compileResponse(hash string, cached bool, c *ltsp.Compiled) *CompileResponse {
 	resp := &CompileResponse{
 		Hash: hash, Cached: cached,
 		Pipelined: c.Pipelined,
+		Outcome:   c.Outcome(),
 		II:        c.II, Stages: c.Stages,
 		ResII: c.ResII, RecII: c.RecII,
 		Reg: RegStatsJSON{
@@ -295,8 +334,9 @@ func compileResponse(hash string, cached bool, c *ltsp.Compiled) *CompileRespons
 
 // compileCached compiles the request through the singleflight artifact
 // cache, returning the artifact, its hash, and whether it was served from
-// cache.
-func (s *Server) compileCached(req *wire.CompileRequest) (*ltsp.Compiled, string, bool, error) {
+// cache. Each compilation actually executed records its decision trace in
+// the artifact and bumps the matching outcome counter exactly once.
+func (s *Server) compileCached(req *wire.CompileRequest) (*Artifact, string, bool, error) {
 	hash, err := req.Hash()
 	if err != nil {
 		return nil, "", false, err
@@ -305,14 +345,21 @@ func (s *Server) compileCached(req *wire.CompileRequest) (*ltsp.Compiled, string
 	if err != nil {
 		return nil, "", false, err
 	}
-	c, cached, err := s.cache.GetOrCompute(hash, func() (*ltsp.Compiled, error) {
+	art, cached, err := s.cache.GetOrCompute(hash, func() (*Artifact, error) {
 		l, err := req.DecodeLoop()
 		if err != nil {
 			return nil, err
 		}
-		return ltsp.Compile(l, opts)
+		tr := obs.New()
+		opts.Trace = tr
+		c, err := ltsp.Compile(l, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.CountOutcome(c.Outcome())
+		return &Artifact{Compiled: c, Trace: tr}, nil
 	})
-	return c, hash, cached, err
+	return art, hash, cached, err
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -327,11 +374,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v, status, err := s.runBounded(r, s.cfg.CompileTimeout, func() (any, int, error) {
-		c, hash, cached, err := s.compileCached(&req)
+		art, hash, cached, err := s.compileCached(&req)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
-		return compileResponse(hash, cached, c), http.StatusOK, nil
+		return compileResponse(hash, cached, art.Compiled), http.StatusOK, nil
 	})
 	s.metrics.CompileLatency.Observe(time.Since(start))
 	if err != nil {
@@ -411,18 +458,19 @@ func (s *Server) simulate(req *wire.SimulateRequest) (any, int, error) {
 	case req.Hash != "" && len(req.Loop) > 0:
 		return nil, http.StatusBadRequest, fmt.Errorf("set either hash or loop, not both")
 	case req.Hash != "":
-		var ok bool
-		c, ok = s.cache.Get(req.Hash)
+		art, ok := s.cache.Get(req.Hash)
 		if !ok {
 			return nil, http.StatusNotFound, errUnknownArtifact
 		}
-		hash, cached = req.Hash, true
+		c, hash, cached = art.Compiled, req.Hash, true
 	default:
 		creq := &wire.CompileRequest{Version: wire.Version, Loop: req.Loop, Options: req.Options}
-		c, hash, cached, err = s.compileCached(creq)
+		var art *Artifact
+		art, hash, cached, err = s.compileCached(creq)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
+		c = art.Compiled
 	}
 
 	mem := ltsp.NewMemory()
@@ -474,14 +522,42 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
+// TraceResponse is the body of GET /v1/artifacts/{hash}/trace. Events is
+// the trace's JSON form: an array of kinded decision events.
+type TraceResponse struct {
+	Hash    string     `json:"hash"`
+	Outcome string     `json:"outcome"`
+	Events  *obs.Trace `json:"events"`
+}
+
+// handleTrace serves the decision trace stored with a cached artifact. It
+// reads through Peek so introspection neither reorders the LRU list nor
+// inflates the cache-hit counters.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	art, ok := s.cache.Peek(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace: %v", errUnknownArtifact)
+		return
+	}
+	writeJSON(w, http.StatusOK, &TraceResponse{
+		Hash:    hash,
+		Outcome: art.Compiled.Outcome(),
+		Events:  art.Trace,
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  status,
+		"version": buildinfo.Version,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len()))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len(), time.Since(s.start)))
 }

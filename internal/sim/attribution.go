@@ -1,0 +1,75 @@
+package sim
+
+import "sort"
+
+// SiteStall is the per-load-site row of the stall attribution table: how
+// many ExeBubble/OzQ cycles were blamed on the site, its miss-level
+// histogram, and the observed clustering factor.
+type SiteStall struct {
+	// ID is the body instruction ID of the load site.
+	ID int
+	// StallCycles is the ExeBubble time attributed to the site.
+	StallCycles int64
+	// StallEvents counts distinct stall episodes.
+	StallEvents int64
+	// OzQStallCycles is L1DFPUBubble time attributed to the site.
+	OzQStallCycles int64
+	// Loads is the total demand loads issued from the site; Levels breaks
+	// them down by serving hierarchy level (1-3 caches, 4 memory).
+	Loads  int64
+	Levels [5]int64
+	// Misses counts loads served beyond L1 (levels 2..4).
+	Misses int64
+	// AvgLatency is the mean issue-to-data latency in cycles.
+	AvgLatency float64
+	// ObservedK is the realized clustering factor Misses/StallEvents: one
+	// stall episode covers the whole cluster, shadowing its other k-1
+	// misses, so this estimates k = d/II + 1 (paper Equ. 3). Zero when the
+	// site never stalled the pipeline.
+	ObservedK float64
+}
+
+// SiteStalls builds the per-site stall attribution table from the run's
+// maps, sorted by attributed stall cycles (heaviest first), ties by ID.
+func (res *Result) SiteStalls() []SiteStall {
+	ids := map[int]bool{}
+	for id := range res.LoadSiteLevels {
+		ids[id] = true
+	}
+	for id := range res.LoadSiteStalls {
+		ids[id] = true
+	}
+	for id := range res.LoadSiteOzQStalls {
+		ids[id] = true
+	}
+	out := make([]SiteStall, 0, len(ids))
+	for id := range ids {
+		s := SiteStall{
+			ID:             id,
+			StallCycles:    res.LoadSiteStalls[id],
+			StallEvents:    res.LoadSiteStallEvents[id],
+			OzQStallCycles: res.LoadSiteOzQStalls[id],
+		}
+		if lv := res.LoadSiteLevels[id]; lv != nil {
+			s.Levels = *lv
+			for _, n := range lv {
+				s.Loads += n
+			}
+			s.Misses = lv[2] + lv[3] + lv[4]
+		}
+		if s.Loads > 0 {
+			s.AvgLatency = float64(res.LoadSiteLatency[id]) / float64(s.Loads)
+		}
+		if s.StallEvents > 0 {
+			s.ObservedK = float64(s.Misses) / float64(s.StallEvents)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].StallCycles != out[b].StallCycles {
+			return out[a].StallCycles > out[b].StallCycles
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

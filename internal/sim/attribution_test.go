@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"ltsp/internal/core"
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+	"ltsp/internal/obs"
+)
+
+// fig5ValidationLoop rebuilds the Fig.-5 validation loop (one strided load
+// per cache line feeding a store into a cache-hot cell), the subject of
+// the observed-clustering-factor acceptance check.
+func fig5ValidationLoop() *ir.Loop {
+	l := ir.NewLoop("fig5")
+	b, c, v := l.NewGR(), l.NewGR(), l.NewGR()
+	ld := ir.Ld(v, b, 4, 128)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideConst, 128
+	l.Append(ld)
+	l.Append(ir.St(c, v, 4, 0))
+	l.Init(b, 0x0100_0000)
+	l.Init(c, 0x0900_0000)
+	return l
+}
+
+func compileFig5(t *testing.T, d int) *core.Compiled {
+	t.Helper()
+	opts := core.Options{}
+	if d > 0 {
+		opts.LatencyTolerant = true
+		opts.ForceLoadLatency = d + 1 // base integer load latency is 1
+	}
+	c, err := core.Pipeline(fig5ValidationLoop(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestObservedClusteringFactor checks Equ. 3 end to end: schedule the
+// validation loop with additional latency d = (k-1)*II, stream it cold so
+// every load misses, and verify the per-site stall table's observed
+// clustering factor (misses per stall episode) matches k = d/II + 1.
+func TestObservedClusteringFactor(t *testing.T) {
+	const trip = 4000
+	base := compileFig5(t, 0)
+	baseII := base.FinalII
+
+	for _, k := range []int{1, 2, 4, 8} {
+		d := (k - 1) * baseII
+		c := compileFig5(t, d)
+		if c.FinalII != baseII {
+			t.Fatalf("k=%d: II changed %d -> %d", k, baseII, c.FinalII)
+		}
+		runner := NewRunner(DefaultConfig())
+		res, err := runner.Run(c.Program, trip, interp.NewMemory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites := res.SiteStalls()
+		if len(sites) == 0 {
+			t.Fatalf("k=%d: empty stall table", k)
+		}
+		// The load is body instruction 0; it must top the table.
+		s := sites[0]
+		if s.ID != 0 {
+			t.Fatalf("k=%d: heaviest site = %d, want load site 0", k, s.ID)
+		}
+		if s.Misses < trip/2 {
+			t.Fatalf("k=%d: only %d misses for %d cold strided loads", k, s.Misses, trip)
+		}
+		if s.StallEvents == 0 {
+			t.Fatalf("k=%d: no stall episodes attributed", k)
+		}
+		if math.Abs(s.ObservedK-float64(k)) > 0.25*float64(k) {
+			t.Errorf("k=%d: observed clustering factor %.2f, want ~%d (misses %d, episodes %d)",
+				k, s.ObservedK, k, s.Misses, s.StallEvents)
+		}
+	}
+}
+
+// TestStallAttributionAccountsExeBubble checks that attributed stall
+// cycles are consistent with the aggregate ExeBubble accounting.
+func TestStallAttributionAccountsExeBubble(t *testing.T) {
+	c := compileFig5(t, 0)
+	runner := NewRunner(DefaultConfig())
+	res, err := runner.Run(c.Program, 1000, interp.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attributed int64
+	for _, n := range res.LoadSiteStalls {
+		attributed += n
+	}
+	if attributed == 0 {
+		t.Fatal("no stall cycles attributed")
+	}
+	if attributed > res.Acct.ExeBubble {
+		t.Fatalf("attributed %d > ExeBubble %d", attributed, res.Acct.ExeBubble)
+	}
+	// The single-load loop's data stalls are all caused by that load.
+	if frac := float64(attributed) / float64(res.Acct.ExeBubble); frac < 0.95 {
+		t.Errorf("only %.0f%% of ExeBubble attributed to load sites", 100*frac)
+	}
+}
+
+// TestTimelineExport checks the catapult exporter: events for issued
+// instructions and stall intervals, all in the chrome://tracing schema.
+func TestTimelineExport(t *testing.T) {
+	c := compileFig5(t, 0)
+	cfg := DefaultConfig()
+	tl := obs.NewTimeline(0)
+	cfg.Timeline = tl
+	runner := NewRunner(cfg)
+	res, err := runner.Run(c.Program, 64, interp.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() == 0 {
+		t.Fatal("timeline collected nothing")
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		TS   *int64 `json:"ts"`
+		Dur  *int64 `json:"dur"`
+		PID  *int   `json:"pid"`
+		TID  *int   `json:"tid"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("timeline is not valid catapult JSON: %v", err)
+	}
+	stalls, instrs := 0, 0
+	for _, e := range evs {
+		if e.Name == "" || e.Ph != "X" || e.TS == nil || e.Dur == nil || e.PID == nil || e.TID == nil {
+			t.Fatalf("event missing required catapult fields: %+v", e)
+		}
+		if *e.TID < TIDLane0 {
+			stalls++
+		} else {
+			instrs++
+		}
+	}
+	if instrs == 0 {
+		t.Error("no instruction events in the timeline")
+	}
+	if stalls == 0 && res.Acct.ExeBubble > 0 {
+		t.Error("loop stalled but the timeline has no stall intervals")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"ltsp/internal/interp"
 	"ltsp/internal/ir"
 	"ltsp/internal/machine"
+	"ltsp/internal/obs"
 )
 
 // Config parameterizes a simulation.
@@ -45,7 +46,24 @@ type Config struct {
 	// cycle, any stall with its cause, and the instructions issued. It is
 	// a debugging aid; tracing long runs is expensive.
 	Trace io.Writer
+	// Timeline, when non-nil, collects a Chrome trace-event (catapult)
+	// timeline: one complete event per issued instruction (tid = issue
+	// lane) and one per stall interval (the reserved stall lanes), with
+	// one simulated cycle mapped to one microsecond. See obs.Timeline.
+	Timeline *obs.Timeline
 }
+
+// Timeline lanes (catapult tid values): stalls occupy the two reserved
+// lanes so chrome://tracing shows them as their own rows above the issue
+// lanes, which start at TIDLane0.
+const (
+	// TIDDataStall carries ExeBubble (stall-on-use) intervals.
+	TIDDataStall = 0
+	// TIDOzQStall carries L1DFPUBubble (OzQ-full) intervals.
+	TIDOzQStall = 1
+	// TIDLane0 is the first instruction issue lane.
+	TIDLane0 = 2
+)
 
 // DefaultConfig returns a simulation configuration for the paper's target.
 func DefaultConfig() Config {
@@ -114,6 +132,17 @@ type Result struct {
 	// latency in cycles (including waits on in-flight lines), alongside
 	// the counts in LoadSiteLevels.
 	LoadSiteLatency map[int]int64
+	// LoadSiteStalls attributes ExeBubble cycles to the load site (body
+	// instruction ID) whose unready result the stalled issue group was
+	// waiting on — the per-PC stall table of the paper's Fig.-10 analysis.
+	LoadSiteStalls map[int]int64
+	// LoadSiteStallEvents counts distinct stall episodes per load site.
+	// With clustering factor k, one episode shadows the k-1 misses issued
+	// in its shadow, so misses/episodes estimates the realized k (Equ. 3).
+	LoadSiteStallEvents map[int]int64
+	// LoadSiteOzQStalls attributes L1DFPUBubble (OzQ-full) cycles to the
+	// memory operation that had to wait for a queue slot.
+	LoadSiteOzQStalls map[int]int64
 	// State is the final architectural state (for correctness checks).
 	State *interp.State
 }
@@ -169,6 +198,23 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 	var readyGR [interp.NumGR]int64
 	var readyFR [interp.NumFR]int64
 	var readyPR [interp.NumPR]int64
+	// srcXX[i] is the load site (body instruction ID) whose in-flight
+	// result register i holds, or -1 when the register's last producer was
+	// not a load. The arrays drive the per-site stall attribution: a stall
+	// is blamed on the site that produced the latest-ready source.
+	var srcGR [interp.NumGR]int
+	var srcFR [interp.NumFR]int
+	var srcPR [interp.NumPR]int
+	for i := range srcGR {
+		srcGR[i] = -1
+	}
+	for i := range srcFR {
+		srcFR[i] = -1
+	}
+	for i := range srcPR {
+		srcPR[i] = -1
+	}
+	tl := r.cfg.Timeline
 
 	start := r.clock
 	t := start + int64(r.cfg.FEOverhead)
@@ -190,11 +236,16 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 	runGroup := func(group []*ir.Instr) {
 		// Stall-on-use: the whole issue group waits for every source of
 		// every enabled instruction (and for all qualifying predicates).
+		// stallSite tracks the load that produced the latest-ready source,
+		// so the whole stall episode is attributed to one load site.
 		maxReady := t
+		stallSite := -1
 		for _, in := range group {
 			if !in.Pred.IsNone() {
-				if v := readyPR[st.PhysIndex(in.Pred)]; v > maxReady {
+				idx := st.PhysIndex(in.Pred)
+				if v := readyPR[idx]; v > maxReady {
 					maxReady = v
+					stallSite = srcPR[idx]
 				}
 			}
 			if !st.PredOn(in) {
@@ -205,23 +256,39 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 					continue
 				}
 				var v int64
+				site := -1
+				idx := st.PhysIndex(u)
 				switch u.Class {
 				case ir.ClassGR:
-					v = readyGR[st.PhysIndex(u)]
+					v, site = readyGR[idx], srcGR[idx]
 				case ir.ClassFR:
-					v = readyFR[st.PhysIndex(u)]
+					v, site = readyFR[idx], srcFR[idx]
 				case ir.ClassPR:
-					v = readyPR[st.PhysIndex(u)]
+					v, site = readyPR[idx], srcPR[idx]
 				}
 				if v > maxReady {
 					maxReady = v
+					stallSite = site
 				}
 			}
 		}
 		if maxReady > t {
-			res.Acct.ExeBubble += maxReady - t
+			d := maxReady - t
+			res.Acct.ExeBubble += d
+			if stallSite >= 0 {
+				if res.LoadSiteStalls == nil {
+					res.LoadSiteStalls = map[int]int64{}
+					res.LoadSiteStallEvents = map[int]int64{}
+				}
+				res.LoadSiteStalls[stallSite] += d
+				res.LoadSiteStallEvents[stallSite]++
+			}
+			if tl.On() {
+				tl.Complete("stall(data)", t, d, 0, TIDDataStall,
+					map[string]any{"site": stallSite})
+			}
 			if r.cfg.Trace != nil {
-				fmt.Fprintf(r.cfg.Trace, "%8d  stall %d cycles (data)\n", t, maxReady-t)
+				fmt.Fprintf(r.cfg.Trace, "%8d  stall %d cycles (data)\n", t, d)
 			}
 			t = maxReady
 		}
@@ -232,6 +299,15 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 					state = "--"
 				}
 				fmt.Fprintf(r.cfg.Trace, "%8d  %s %s\n", t, state, in)
+			}
+		}
+		if tl.On() {
+			for lane, in := range group {
+				name := in.String()
+				if !st.PredOn(in) {
+					name = "-- " + name
+				}
+				tl.Complete(name, t, 1, 0, TIDLane0+lane, nil)
 			}
 		}
 
@@ -286,6 +362,14 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 				if wait > t {
 					res.Acct.L1DFPUBubble += wait - t
 					res.OzQFullStalls += wait - t
+					if res.LoadSiteOzQStalls == nil {
+						res.LoadSiteOzQStalls = map[int]int64{}
+					}
+					res.LoadSiteOzQStalls[in.ID] += wait - t
+					if tl.On() {
+						tl.Complete("stall(ozq)", t, wait-t, 0, TIDOzQStall,
+							map[string]any{"site": in.ID})
+					}
 					t = wait
 				}
 				r.drainOzQ(t)
@@ -335,14 +419,17 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 			}
 		}
 
-		// Publish destination ready times.
+		// Publish destination ready times and record which load (if any)
+		// produced each register, for the stall attribution.
 		for _, d := range defs {
 			var ready int64
+			site := -1
 			switch {
 			case d.instr == nil:
 				ready = t + 1 // cleared compare destinations
 			case d.instr.Op.IsLoad() && d.reg == d.instr.Dsts[0]:
 				ready = loadReady[d.instr] // load data result
+				site = d.instr.ID
 			case d.instr.Op.IsMem():
 				ready = t + 1 // post-incremented base
 			default:
@@ -352,11 +439,14 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 			case ir.ClassGR:
 				if d.idx != 0 {
 					readyGR[d.idx] = ready
+					srcGR[d.idx] = site
 				}
 			case ir.ClassFR:
 				readyFR[d.idx] = ready
+				srcFR[d.idx] = site
 			case ir.ClassPR:
 				readyPR[d.idx] = ready
+				srcPR[d.idx] = site
 			}
 		}
 		t++

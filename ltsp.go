@@ -30,6 +30,7 @@ import (
 	"ltsp/internal/interp"
 	"ltsp/internal/ir"
 	"ltsp/internal/machine"
+	"ltsp/internal/obs"
 	"ltsp/internal/regalloc"
 	"ltsp/internal/sim"
 )
@@ -191,7 +192,18 @@ type Options struct {
 	Pipeline *bool
 	// Model overrides the target processor (nil = Itanium2()).
 	Model *Machine
+	// Trace, when non-nil, collects the compiler's full decision trace
+	// (classification, hint translation, II search, fallback ladder,
+	// allocation); nil disables collection with zero overhead. See
+	// package obs.
+	Trace *Trace
 }
+
+// Trace is the compiler's structured decision trace (package obs).
+type Trace = obs.Trace
+
+// NewTrace returns an empty decision trace to pass in Options.Trace.
+func NewTrace() *Trace { return obs.New() }
 
 // Compiled is the result of compiling one loop.
 type Compiled struct {
@@ -210,8 +222,22 @@ type Compiled struct {
 	Reg RegStats
 	// HLO reports the prefetcher's decisions.
 	HLO *hlo.Report
+	// LatencyReduced reports that the fallback ladder dropped non-critical
+	// latencies back to base; IIBumps counts IIs tried beyond MinII
+	// (pipelined only).
+	LatencyReduced bool
+	IIBumps        int
 
 	core *core.Compiled
+}
+
+// Outcome names the compilation outcome: obs.OutcomePipelined,
+// obs.OutcomeReducedLatency, obs.OutcomeRaisedII, or obs.OutcomeSequential.
+func (c *Compiled) Outcome() string {
+	if !c.Pipelined || c.core == nil {
+		return obs.OutcomeSequential
+	}
+	return c.core.Outcome()
 }
 
 // Diagram renders the conceptual pipeline view of the paper's Figs. 2/4
@@ -242,11 +268,13 @@ func Compile(l *Loop, opts Options) (*Compiled, error) {
 	}
 	out := &Compiled{HLO: rep}
 	pipeline := opts.Pipeline == nil || *opts.Pipeline
+	var pipeErr error
 	if pipeline {
 		c, err := core.Pipeline(l, core.Options{
 			Model:           m,
 			LatencyTolerant: opts.LatencyTolerant,
 			BoostDelinquent: opts.BoostDelinquent,
+			Trace:           opts.Trace,
 		})
 		if err == nil {
 			out.Program = c.Program
@@ -255,18 +283,28 @@ func Compile(l *Loop, opts Options) (*Compiled, error) {
 			out.ResII, out.RecII = c.ResII, c.BaseRecII
 			out.Loads = c.Loads
 			out.Reg = c.Assignment.Stats
+			out.LatencyReduced = c.LatencyReduced
+			out.IIBumps = c.IIBumps
 			out.core = c
 			return out, nil
 		}
 		if opts.Pipeline != nil {
 			return nil, err
 		}
+		pipeErr = err
 	}
 	p, err := core.GenSequential(m, l)
 	if err != nil {
 		return nil, err
 	}
 	out.Program = p
+	if opts.Trace.On() {
+		ev := obs.OutcomeEvent{Result: obs.OutcomeSequential}
+		if pipeErr != nil {
+			ev.Err = pipeErr.Error()
+		}
+		opts.Trace.Emit(ev)
+	}
 	return out, nil
 }
 
