@@ -1,0 +1,168 @@
+// Command benchguard is the CI benchmark-regression gate. It measures
+// the two compile-speed canaries —
+//
+//	compile_loop_ns_op:   one ltsp.Compile of the paper's running example
+//	                      (the single-thread scheduler hot path)
+//	compile_time_seconds: wall clock of the CompileTime experiment over
+//	                      CPU2006 (the fleet-throughput path)
+//
+// — and compares them against a checked-in baseline, exiting nonzero
+// when either regresses by more than the threshold. Medians of several
+// repetitions keep CI-runner noise out of the verdict.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_baseline.json            # gate (CI)
+//	benchguard -baseline BENCH_baseline.json -write     # refresh baseline
+//	benchguard -threshold 20 -workers 4                 # explicit knobs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ltsp"
+	"ltsp/internal/experiments"
+	"ltsp/internal/ir"
+)
+
+// Baseline is the checked-in measurement record.
+type Baseline struct {
+	CompileLoopNsOp float64 `json:"compile_loop_ns_op"`
+	CompileTimeSec  float64 `json:"compile_time_seconds"`
+	// Cores records GOMAXPROCS at measurement time: compile_time_seconds
+	// scales with it, so cross-machine comparisons need the context.
+	Cores int    `json:"cores"`
+	Note  string `json:"note,omitempty"`
+}
+
+// exampleLoop is the paper's running example (ld/add/st with unit
+// strides), the same shape BenchmarkCompileLoop uses.
+func exampleLoop() *ir.Loop {
+	l := ir.NewLoop("copyadd")
+	v, bs, bd, r, kr := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	ld := ir.Ld(v, bs, 4, 4)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(ld)
+	l.Append(ir.Add(r, v, kr))
+	st := ir.St(bd, r, 4, 4)
+	st.Mem.Stride, st.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(st)
+	l.Init(bs, 0x100000)
+	l.Init(bd, 0x200000)
+	l.Init(kr, 1)
+	l.LiveOut = []ir.Reg{bs, bd}
+	return l
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// measureCompileLoop returns the median ns per single-thread compile of
+// the running example.
+func measureCompileLoop(reps, iters int) float64 {
+	opts := ltsp.Options{Mode: ltsp.ModeHLO, Prefetch: true, LatencyTolerant: true}
+	samples := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := ltsp.Compile(exampleLoop(), opts); err != nil {
+				fmt.Fprintf(os.Stderr, "benchguard: compile: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	return median(samples)
+}
+
+// measureCompileTime returns the median wall-clock seconds of the
+// CompileTime experiment.
+func measureCompileTime(reps int) float64 {
+	samples := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := experiments.RunCompileTime(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: compiletime: %v\n", err)
+			os.Exit(1)
+		}
+		samples = append(samples, time.Since(start).Seconds())
+	}
+	return median(samples)
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or write)")
+		write        = flag.Bool("write", false, "write the measured values as the new baseline instead of gating")
+		threshold    = flag.Float64("threshold", 20, "max tolerated regression in percent")
+		workers      = flag.Int("workers", 0, "experiment worker-pool width (0 = GOMAXPROCS)")
+		loopReps     = flag.Int("loop-reps", 5, "repetitions of the compile-loop measurement")
+		loopIters    = flag.Int("loop-iters", 1000, "compiles per compile-loop repetition")
+		ctReps       = flag.Int("ct-reps", 3, "repetitions of the compile-time experiment")
+	)
+	flag.Parse()
+	if *workers > 0 {
+		experiments.SetWorkers(*workers)
+	}
+
+	loopNs := measureCompileLoop(*loopReps, *loopIters)
+	ctSec := measureCompileTime(*ctReps)
+	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s (workers %d, cores %d)\n",
+		loopNs, ctSec, experiments.Workers(), runtime.GOMAXPROCS(0))
+
+	if *write {
+		b := Baseline{
+			CompileLoopNsOp: loopNs,
+			CompileTimeSec:  ctSec,
+			Cores:           runtime.GOMAXPROCS(0),
+			Note:            "written by cmd/benchguard -write; refresh deliberately, not to silence the gate",
+		}
+		data, _ := json.MarshalIndent(b, "", "  ")
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *baselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v (run with -write to create it)\n", err)
+		os.Exit(1)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *baselinePath, err)
+		os.Exit(1)
+	}
+
+	fail := false
+	check := func(name string, got, want float64) {
+		if want <= 0 {
+			fmt.Printf("%-22s baseline missing, skipped\n", name)
+			return
+		}
+		regPct := (got/want - 1) * 100
+		verdict := "ok"
+		if regPct > *threshold {
+			verdict = "REGRESSION"
+			fail = true
+		}
+		fmt.Printf("%-22s %12.1f vs baseline %12.1f  (%+6.1f%%)  %s\n", name, got, want, regPct, verdict)
+	}
+	check("compile_loop_ns_op", loopNs, base.CompileLoopNsOp)
+	check("compile_time_seconds", ctSec*1000, base.CompileTimeSec*1000)
+	if fail {
+		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.0f%% threshold\n", *threshold)
+		os.Exit(1)
+	}
+}

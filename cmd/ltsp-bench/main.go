@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -55,7 +56,28 @@ type jsonRecord struct {
 func main() {
 	var run = flag.String("run", "all", "experiment to run: all | fig5 | fig7 | fig8 | fig9 | fig10 | casestudy | regstats | compiletime | versioning | sampling | ablation")
 	var jsonOut = flag.Bool("json", false, "emit machine-readable JSON results on stdout instead of text")
+	var workers = flag.Int("workers", 0, "evaluation worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
+	var cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *workers > 0 {
+		experiments.SetWorkers(*workers)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	want := map[string]bool{}
 	for _, n := range strings.Split(*run, ",") {

@@ -9,9 +9,13 @@
 //
 // Endpoints (see internal/server and the README "Service" section):
 //
-//	POST /v1/compile   POST /v1/simulate
+//	POST /v1/compile   POST /v1/compile-batch   POST /v1/simulate
 //	GET  /v1/artifacts/{hash}/trace
 //	GET  /healthz      GET /metrics
+//
+// With -pprof the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/ on the same listener (off by default: profiling
+// endpoints expose internals and cost cycles under load).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +47,7 @@ func main() {
 		maxBodyBytes = flag.Int64("max-body", 8<<20, "max request body bytes")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logText      = flag.Bool("log-text", false, "log in text form instead of JSON")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		version      = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -72,9 +78,21 @@ func main() {
 		MaxBodyBytes:    *maxBodyBytes,
 		Logger:          logger,
 	})
+	var handlerRoot http.Handler = srv
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handlerRoot = mux
+		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handlerRoot,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

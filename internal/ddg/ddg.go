@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ltsp/internal/ir"
 )
@@ -60,11 +62,24 @@ type Edge struct {
 type LatencyFn func(load *ir.Instr) int
 
 // Graph is the dependence graph over a loop body; node i is Body[i].
+//
+// Recurrence-cycle enumeration is memoized: the first Cycles (or RecMII)
+// call enumerates once and every later query — including the per-latency-
+// policy re-evaluations of the II search and the load classification —
+// reuses the cached cycles with their precomputed distance and fixed-
+// latency sums. The memoization is guarded by a sync.Once, so concurrent
+// speculative II-search workers share one enumeration safely. The graph
+// must not be mutated after the first analysis call.
 type Graph struct {
 	Loop  *ir.Loop
 	Edges []Edge
 	// Succ[i] / Pred[i] list edge indices leaving / entering node i.
 	Succ, Pred [][]int
+
+	cyclesOnce      sync.Once
+	cyclesDone      atomic.Bool
+	cycles          []Cycle
+	cyclesTruncated bool
 }
 
 // Latency returns the effective latency of edge e under loads' latency
@@ -212,10 +227,45 @@ type Cycle struct {
 	Nodes []int
 	// DistSum is the total iteration distance around the cycle (>= 1).
 	DistSum int
+
+	// Cached decomposition of the cycle's latency sum: fixedSum is the
+	// total latency of the non-LoadData edges (independent of any latency
+	// policy) and loadNodes lists the producer of each LoadData edge on the
+	// cycle, so LatencySum under a new policy is one latf call per load
+	// instead of a walk over every edge. Filled by Graph.Cycles; sumsCached
+	// distinguishes a real zero from an uncached literal (tests build Cycle
+	// values directly).
+	fixedSum   int
+	loadNodes  []int
+	sumsCached bool
 }
 
-// LatencySum returns the total latency around the cycle under latf.
+// cacheSums precomputes the policy-independent part of the latency sum.
+func (c *Cycle) cacheSums(g *Graph) {
+	c.fixedSum, c.loadNodes = 0, nil
+	for _, ei := range c.EdgeIdx {
+		e := &g.Edges[ei]
+		if e.LoadData {
+			c.loadNodes = append(c.loadNodes, e.From)
+		} else {
+			c.fixedSum += e.FixedLatency
+		}
+	}
+	c.sumsCached = true
+}
+
+// LatencySum returns the total latency around the cycle under latf. For
+// cycles produced by Graph.Cycles this is O(loads on the cycle): the fixed
+// part is precomputed and only the policy-dependent load latencies are
+// re-evaluated.
 func (c *Cycle) LatencySum(g *Graph, latf LatencyFn) int {
+	if c.sumsCached {
+		sum := c.fixedSum
+		for _, n := range c.loadNodes {
+			sum += latf(g.Loop.Body[n])
+		}
+		return sum
+	}
 	sum := 0
 	for _, ei := range c.EdgeIdx {
 		sum += g.Latency(&g.Edges[ei], latf)
@@ -257,7 +307,22 @@ const MaxCycles = 20000
 // Every returned cycle has DistSum >= 1: an elementary cycle with zero
 // total distance would be an intra-iteration dependence cycle, which Build
 // cannot produce from a well-formed loop.
+//
+// The enumeration runs once per graph; the returned slice is shared and
+// must be treated as read-only by callers.
 func (g *Graph) Cycles() []Cycle {
+	g.cyclesOnce.Do(func() {
+		g.cycles = g.enumCycles()
+		g.cyclesTruncated = len(g.cycles) >= MaxCycles
+		for i := range g.cycles {
+			g.cycles[i].cacheSums(g)
+		}
+		g.cyclesDone.Store(true)
+	})
+	return g.cycles
+}
+
+func (g *Graph) enumCycles() []Cycle {
 	n := len(g.Loop.Body)
 	var result []Cycle
 
@@ -357,11 +422,35 @@ func (g *Graph) Cycles() []Cycle {
 
 // RecMII computes the Recurrence MII under the given load-latency policy:
 // the smallest II such that no dependence cycle has latency sum exceeding
-// II times its distance sum. It uses binary search over II with
-// positive-cycle detection (Bellman-Ford on edge weights lat - II*dist),
-// so it is exact even when cycle enumeration would be too large.
-// A loop with no recurrence cycles has RecMII 1.
+// II times its distance sum. A loop with no recurrence cycles has RecMII 1.
+//
+// When the memoized cycle enumeration has already run (the latency-
+// tolerant classification enumerates once per loop) and is complete, RecMII
+// is the maximum of ceil(latency sum / distance sum) over the elementary
+// cycles — an O(cycles) re-evaluation per latency policy over the cached
+// sums (the maximum cycle ratio is attained on an elementary cycle, and
+// ceil is monotone, so elementary cycles suffice). Otherwise it uses the
+// exact binary search over II with positive-cycle detection (Bellman-Ford
+// on edge weights lat - II*dist), which needs no enumeration — so the
+// baseline compiler, which never classifies loads, never pays for an
+// enumeration it would not otherwise run. Both paths compute the same
+// value (pinned by test).
 func (g *Graph) RecMII(latf LatencyFn) int {
+	if !g.cyclesDone.Load() || g.cyclesTruncated {
+		return g.recMIIBellmanFord(latf)
+	}
+	best := 1
+	for i := range g.cycles {
+		if v := g.cycles[i].MinII(g, latf); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// recMIIBellmanFord is the enumeration-free exact fallback (and the oracle
+// the tests cross-check the cycle-based fast path against).
+func (g *Graph) recMIIBellmanFord(latf LatencyFn) int {
 	lo, hi := 1, 1
 	for i := range g.Edges {
 		l := g.Latency(&g.Edges[i], latf)

@@ -325,10 +325,58 @@ func TestQuickRecMIIMatchesCycleEnumeration(t *testing.T) {
 				want = v
 			}
 		}
-		return g.RecMII(lat) == want
+		// The cycle-based fast path, the Bellman-Ford oracle, and a direct
+		// max over the enumeration must all agree.
+		return g.RecMII(lat) == want && g.recMIIBellmanFord(lat) == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCyclesMemoized pins that enumeration runs once per graph and that the
+// cached fixed-latency sums reproduce the edge-walk latency sum under
+// arbitrary policies.
+func TestCyclesMemoized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := randomLoop(rng, 10)
+	g, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.Cycles()
+	second := g.Cycles()
+	if len(first) != len(second) {
+		t.Fatalf("memoized Cycles changed length: %d vs %d", len(first), len(second))
+	}
+	if len(first) > 0 && &first[0] != &second[0] {
+		t.Error("Cycles re-enumerated instead of returning the memo")
+	}
+	lat := func(in *ir.Instr) int {
+		if in.Op.IsLoad() {
+			return 13
+		}
+		return 1
+	}
+	for i := range first {
+		c := &first[i]
+		if !c.sumsCached {
+			t.Fatalf("cycle %d has no cached sums", i)
+		}
+		walked := 0
+		for _, ei := range c.EdgeIdx {
+			walked += g.Latency(&g.Edges[ei], lat)
+		}
+		if got := c.LatencySum(g, lat); got != walked {
+			t.Errorf("cycle %d cached LatencySum = %d, edge walk = %d", i, got, walked)
+		}
+	}
+	// A hand-built Cycle (no cache) must still answer via the edge walk.
+	if len(first) > 0 {
+		bare := Cycle{EdgeIdx: first[0].EdgeIdx, Nodes: first[0].Nodes, DistSum: first[0].DistSum}
+		if bare.LatencySum(g, lat) != first[0].LatencySum(g, lat) {
+			t.Error("uncached Cycle literal disagrees with cached LatencySum")
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+package ddg
+
+import (
+	"math/rand"
+	"testing"
+
+	"ltsp/internal/ir"
+)
+
+// benchGraph builds a moderately cyclic random loop graph once per
+// benchmark.
+func benchGraph(b *testing.B, size int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	l := randomLoop(rng, size)
+	g, err := Build(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+var benchLat = func(in *ir.Instr) int {
+	if in.Op.IsLoad() {
+		return 13
+	}
+	return 1
+}
+
+// BenchmarkRecMIICycleCached measures the memoized-cycle fast path: the
+// enumeration cost is paid before the timer, so each iteration is one
+// per-policy re-evaluation over the cached sums (the II-search hot path).
+func BenchmarkRecMIICycleCached(b *testing.B) {
+	g := benchGraph(b, 14)
+	g.Cycles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.RecMII(benchLat) < 1 {
+			b.Fatal("bad RecMII")
+		}
+	}
+}
+
+// BenchmarkRecMIIBellmanFord measures the enumeration-free fallback the
+// fast path replaced on the hot path.
+func BenchmarkRecMIIBellmanFord(b *testing.B) {
+	g := benchGraph(b, 14)
+	for i := 0; i < b.N; i++ {
+		if g.recMIIBellmanFord(benchLat) < 1 {
+			b.Fatal("bad RecMII")
+		}
+	}
+}
+
+// BenchmarkCyclesFirstEnumeration measures the one-time enumeration cost
+// that the memo amortizes across every later policy query.
+func BenchmarkCyclesFirstEnumeration(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	l := randomLoop(rng, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := Build(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Cycles()
+	}
+}

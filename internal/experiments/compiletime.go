@@ -30,25 +30,38 @@ type CompileTimeResult struct {
 // compiler time when projecting attempt increases onto compile time.
 const pipelinerCompileShare = 0.05
 
-// RunCompileTime measures scheduling-attempt inflation.
+// RunCompileTime measures scheduling-attempt inflation. Benchmarks are
+// evaluated on the Workers()-wide pool and their attempt counts summed
+// in suite order, identical to the sequential loop at any width.
 func RunCompileTime() (*CompileTimeResult, error) {
 	base := Baseline(false)
 	variant := WithHints(hlo.ModeHLO, false, 32)
 	res := &CompileTimeResult{PaperIncreasePct: 0.5}
-	for _, b := range workload.CPU2006() {
-		for i := range b.Loops {
-			spec := &b.Loops[i]
+	benches := workload.CPU2006()
+	type attempts struct{ base, variant int64 }
+	sums, err := parMap(len(benches), Workers(), func(i int) (attempts, error) {
+		var a attempts
+		for j := range benches[i].Loops {
+			spec := &benches[i].Loops[j]
 			eb, err := EvalLoop(spec, base)
 			if err != nil {
-				return nil, err
+				return a, err
 			}
 			ev, err := EvalLoop(spec, variant)
 			if err != nil {
-				return nil, err
+				return a, err
 			}
-			res.BaseAttempts += int64(eb.Attempts)
-			res.VariantAttempts += int64(ev.Attempts)
+			a.base += int64(eb.Attempts)
+			a.variant += int64(ev.Attempts)
 		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range sums {
+		res.BaseAttempts += a.base
+		res.VariantAttempts += a.variant
 	}
 	if res.BaseAttempts > 0 {
 		res.AttemptIncreasePct = (float64(res.VariantAttempts)/float64(res.BaseAttempts) - 1) * 100

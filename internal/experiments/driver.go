@@ -534,19 +534,29 @@ type SuiteResult struct {
 }
 
 // EvalSuite evaluates every benchmark of the suite against the baseline
-// for each variant configuration.
+// for each variant configuration. Benchmarks are evaluated on a worker
+// pool (width Workers(); SetWorkers(1) restores sequential evaluation)
+// and accumulated in suite order, so the result is identical at any
+// width.
 func EvalSuite(benchmarks []*workload.Benchmark, base Config, variants []Config) (*SuiteResult, error) {
 	res := &SuiteResult{Configs: variants}
 	if len(benchmarks) > 0 {
 		res.Suite = benchmarks[0].Suite
 	}
-	ratios := make([][]float64, len(variants))
-	for _, b := range benchmarks {
-		res.Benchmarks = append(res.Benchmarks, b.Name)
-		rs, err := EvalBenchmarkVariants(b, base, variants)
+	perBench, err := parMap(len(benchmarks), Workers(), func(i int) ([]*BenchResult, error) {
+		rs, err := EvalBenchmarkVariants(benchmarks[i], base, variants)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return nil, fmt.Errorf("%s: %w", benchmarks[i].Name, err)
 		}
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ratios := make([][]float64, len(variants))
+	for bi, b := range benchmarks {
+		res.Benchmarks = append(res.Benchmarks, b.Name)
+		rs := perBench[bi]
 		row := make([]float64, len(variants))
 		for ci := range variants {
 			row[ci] = rs[ci].GainPct

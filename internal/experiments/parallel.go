@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerWidth is the worker-pool width the suite drivers use for
+// independent benchmark evaluations. Benchmarks are fully independent
+// (fixed-seed generators, private simulators), so evaluating them
+// concurrently and accumulating in index order is bit-identical to the
+// sequential drivers.
+var workerWidth atomic.Int64
+
+func init() { workerWidth.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// Workers returns the current evaluation worker-pool width.
+func Workers() int { return int(workerWidth.Load()) }
+
+// SetWorkers sets the worker-pool width for subsequent driver calls
+// (values < 1 are clamped to 1, which selects fully sequential
+// evaluation) and returns the previous setting.
+func SetWorkers(w int) int {
+	if w < 1 {
+		w = 1
+	}
+	return int(workerWidth.Swap(int64(w)))
+}
+
+// parMap evaluates fn(0..n-1) on a bounded worker pool and returns the
+// results in index order. On failure it returns the lowest-index error —
+// the one the sequential loop would have hit first. width <= 1 runs
+// inline.
+func parMap[T any](n, width int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"ltsp/internal/hlo"
+	"ltsp/internal/workload"
+)
+
+// TestEvalSuiteParallelDeterminism pins the fleet-driver guarantee: the
+// suite result is identical at any worker-pool width, because benchmarks
+// are independent and accumulation happens in suite order.
+func TestEvalSuiteParallelDeterminism(t *testing.T) {
+	benches := workload.CPU2006()[:4]
+	base := Baseline(true)
+	variants := []Config{WithHints(hlo.ModeHLO, true, 32)}
+
+	run := func(w int) *SuiteResult {
+		t.Helper()
+		prev := SetWorkers(w)
+		defer SetWorkers(prev)
+		res, err := EvalSuite(benches, base, variants)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(4)
+	sj, _ := json.Marshal(seq)
+	pj, _ := json.Marshal(par)
+	if string(sj) != string(pj) {
+		t.Fatalf("suite results differ between workers=1 and workers=4:\n%s\n%s", sj, pj)
+	}
+	if !reflect.DeepEqual(seq.Gains, par.Gains) || !reflect.DeepEqual(seq.Geomean, par.Geomean) {
+		t.Fatal("gains differ between worker widths")
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	prev := SetWorkers(7)
+	defer SetWorkers(prev)
+	if Workers() != 7 {
+		t.Fatalf("Workers() = %d, want 7", Workers())
+	}
+	if SetWorkers(0); Workers() != 1 {
+		t.Fatalf("Workers() after SetWorkers(0) = %d, want 1", Workers())
+	}
+}
+
+// TestParMapOrderAndErrors checks index-ordered results and the
+// lowest-index error rule at several widths.
+func TestParMapOrderAndErrors(t *testing.T) {
+	for _, w := range []int{1, 3, 8} {
+		got, err := parMap(10, w, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("width %d: out[%d] = %d", w, i, v)
+			}
+		}
+		boom3, boom7 := errors.New("i=3"), errors.New("i=7")
+		_, err = parMap(10, w, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, boom3
+			case 7:
+				return 0, boom7
+			}
+			return i, nil
+		})
+		if err != boom3 {
+			t.Fatalf("width %d: err = %v, want lowest-index error %v", w, err, boom3)
+		}
+	}
+}

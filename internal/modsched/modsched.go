@@ -91,11 +91,25 @@ func ceilDiv(a, b int) int {
 }
 
 // mrt is the modulo reservation table: per kernel row, which instructions
-// occupy which ports.
+// occupy which ports. Each row carries its port-occupancy vector (unit
+// counts per dispersal port, plus the row's total issue slots) maintained
+// incrementally on place/remove, so the hot fits/conflicts checks read the
+// counts directly instead of rescanning the row's occupant list — the
+// scan the scheduler previously performed once per candidate slot.
 type mrt struct {
 	m    *machine.Model
 	ii   int
-	rows [][]mrtEntry
+	rows []mrtRow
+	// rowOf[op] is the kernel row body instruction op currently occupies,
+	// -1 when unplaced; it makes eviction O(row occupants) instead of a
+	// full-table sweep.
+	rowOf []int
+}
+
+type mrtRow struct {
+	entries []mrtEntry
+	perPort [machine.NumPorts]int
+	total   int
 }
 
 type mrtEntry struct {
@@ -103,55 +117,63 @@ type mrtEntry struct {
 	port machine.Port
 }
 
-func newMRT(m *machine.Model, ii int) *mrt {
-	t := &mrt{m: m, ii: ii, rows: make([][]mrtEntry, ii)}
-	// Reserve the loop-closing branch in the last kernel row.
-	t.rows[ii-1] = append(t.rows[ii-1], mrtEntry{op: -1, port: machine.PortB})
-	return t
-}
-
-func (t *mrt) usage(row int) (perPort [machine.NumPorts]int, total int) {
-	for _, e := range t.rows[row] {
-		perPort[e.port]++
-		total++
+func newMRT(m *machine.Model, ii, n int) *mrt {
+	t := &mrt{m: m, ii: ii, rows: make([]mrtRow, ii), rowOf: make([]int, n)}
+	for i := range t.rowOf {
+		t.rowOf[i] = -1
 	}
-	return
+	// Reserve the loop-closing branch in the last kernel row.
+	last := &t.rows[ii-1]
+	last.entries = append(last.entries, mrtEntry{op: -1, port: machine.PortB})
+	last.perPort[machine.PortB]++
+	last.total++
+	return t
 }
 
 // fits reports whether op could be placed in the row, and which port it
 // would take. A-type operations prefer an I unit and fall back to M.
 func (t *mrt) fits(row int, op ir.Op) (machine.Port, bool) {
-	perPort, total := t.usage(row)
-	if total >= t.m.IssueWidth {
+	r := &t.rows[row]
+	if r.total >= t.m.IssueWidth {
 		return 0, false
 	}
 	port, aType := t.m.PortOf(op)
 	if aType {
-		if perPort[machine.PortI] < t.m.Units[machine.PortI] {
+		if r.perPort[machine.PortI] < t.m.Units[machine.PortI] {
 			return machine.PortI, true
 		}
-		if perPort[machine.PortM] < t.m.Units[machine.PortM] {
+		if r.perPort[machine.PortM] < t.m.Units[machine.PortM] {
 			return machine.PortM, true
 		}
 		return 0, false
 	}
-	if perPort[port] < t.m.Units[port] {
+	if r.perPort[port] < t.m.Units[port] {
 		return port, true
 	}
 	return 0, false
 }
 
 func (t *mrt) place(row int, opIdx int, port machine.Port) {
-	t.rows[row] = append(t.rows[row], mrtEntry{op: opIdx, port: port})
+	r := &t.rows[row]
+	r.entries = append(r.entries, mrtEntry{op: opIdx, port: port})
+	r.perPort[port]++
+	r.total++
+	t.rowOf[opIdx] = row
 }
 
 func (t *mrt) remove(opIdx int) {
-	for r := range t.rows {
-		for i, e := range t.rows[r] {
-			if e.op == opIdx {
-				t.rows[r] = append(t.rows[r][:i], t.rows[r][i+1:]...)
-				return
-			}
+	row := t.rowOf[opIdx]
+	if row < 0 {
+		return
+	}
+	r := &t.rows[row]
+	for i, e := range r.entries {
+		if e.op == opIdx {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			r.perPort[e.port]--
+			r.total--
+			t.rowOf[opIdx] = -1
+			return
 		}
 	}
 }
@@ -163,15 +185,15 @@ func (t *mrt) remove(opIdx int) {
 func (t *mrt) conflicts(row int, op ir.Op) []int {
 	var out []int
 	port, aType := t.m.PortOf(op)
-	perPort, total := t.usage(row)
+	r := &t.rows[row]
 	needPortSpace := false
 	if aType {
-		needPortSpace = perPort[machine.PortI] >= t.m.Units[machine.PortI] &&
-			perPort[machine.PortM] >= t.m.Units[machine.PortM]
+		needPortSpace = r.perPort[machine.PortI] >= t.m.Units[machine.PortI] &&
+			r.perPort[machine.PortM] >= t.m.Units[machine.PortM]
 	} else {
-		needPortSpace = perPort[port] >= t.m.Units[port]
+		needPortSpace = r.perPort[port] >= t.m.Units[port]
 	}
-	for _, e := range t.rows[row] {
+	for _, e := range r.entries {
 		if e.op < 0 {
 			continue
 		}
@@ -184,8 +206,8 @@ func (t *mrt) conflicts(row int, op ir.Op) []int {
 			}
 		}
 	}
-	if len(out) == 0 && total >= t.m.IssueWidth {
-		for _, e := range t.rows[row] {
+	if len(out) == 0 && r.total >= t.m.IssueWidth {
+		for _, e := range r.entries {
 			if e.op >= 0 {
 				out = append(out, e.op)
 				break
@@ -195,10 +217,16 @@ func (t *mrt) conflicts(row int, op ir.Op) []int {
 	return out
 }
 
+// DefaultBudgetRatio is the placement budget multiplier used when
+// Options.BudgetRatio is zero or negative. The resulting budget is
+// DefaultBudgetRatio * len(body), floored at 32 placements.
+const DefaultBudgetRatio = 60
+
 // Options tunes the scheduler.
 type Options struct {
 	// BudgetRatio bounds total placements at BudgetRatio * len(body);
-	// exceeding it fails the attempt at this II. Default 12.
+	// exceeding it fails the attempt at this II. Defaults to
+	// DefaultBudgetRatio (60) when zero or negative.
 	BudgetRatio int
 	// Trace, when non-nil, receives one obs.SchedEvent per ScheduleAtII
 	// call (success or failure).
@@ -216,7 +244,7 @@ func ScheduleAtII(m *machine.Model, g *ddg.Graph, ii int, latf ddg.LatencyFn, op
 	n := len(body)
 	budgetRatio := opts.BudgetRatio
 	if budgetRatio <= 0 {
-		budgetRatio = 60
+		budgetRatio = DefaultBudgetRatio
 	}
 	budget := budgetRatio * n
 	if budget < 32 {
@@ -233,7 +261,7 @@ func ScheduleAtII(m *machine.Model, g *ddg.Graph, ii int, latf ddg.LatencyFn, op
 	for i := range lastTried {
 		lastTried[i] = -1
 	}
-	table := newMRT(m, ii)
+	table := newMRT(m, ii, n)
 
 	// Priority order: height desc, then program order for determinism.
 	order := make([]int, n)

@@ -8,6 +8,7 @@ import (
 	"ltsp/internal/ddg"
 	"ltsp/internal/ir"
 	"ltsp/internal/machine"
+	"ltsp/internal/obs"
 )
 
 func baseLat(m *machine.Model) ddg.LatencyFn {
@@ -181,6 +182,73 @@ func TestAttemptsCounted(t *testing.T) {
 	s, _ := ScheduleAtII(m, g, 1, baseLat(m), Options{})
 	if s.Attempts < len(l.Body) {
 		t.Errorf("attempts = %d, want >= body size", s.Attempts)
+	}
+}
+
+// TestDefaultBudgetRatio pins the documented default budget multiplier:
+// with Options.BudgetRatio unset the scheduler must budget exactly
+// DefaultBudgetRatio * len(body) placements (the loop here is large
+// enough that the 32-placement floor does not kick in), observable via
+// the SchedEvent it emits.
+func TestDefaultBudgetRatio(t *testing.T) {
+	if DefaultBudgetRatio != 60 {
+		t.Fatalf("DefaultBudgetRatio = %d, want 60", DefaultBudgetRatio)
+	}
+	m := machine.Itanium2()
+	l := runningExample()
+	g, _ := ddg.Build(l)
+	tr := obs.New()
+	if _, ok := ScheduleAtII(m, g, 1, baseLat(m), Options{Trace: tr}); !ok {
+		t.Fatal("no schedule")
+	}
+	want := DefaultBudgetRatio * len(l.Body)
+	for _, ev := range tr.Events() {
+		se, ok := ev.(obs.SchedEvent)
+		if !ok {
+			continue
+		}
+		if se.Budget != want {
+			t.Errorf("default budget = %d, want DefaultBudgetRatio*len(body) = %d", se.Budget, want)
+		}
+		return
+	}
+	t.Fatal("no SchedEvent emitted")
+}
+
+// TestMRTIncrementalConsistency cross-checks the incrementally maintained
+// per-row occupancy counters against a from-scratch recount after a
+// random sequence of place/remove operations.
+func TestMRTIncrementalConsistency(t *testing.T) {
+	m := machine.Itanium2()
+	rng := rand.New(rand.NewSource(7))
+	ops := []ir.Op{ir.OpLd, ir.OpAdd, ir.OpMul, ir.OpSt}
+	const n = 24
+	tab := newMRT(m, 4, n)
+	placed := make(map[int]bool)
+	for step := 0; step < 400; step++ {
+		op := rng.Intn(n)
+		if placed[op] {
+			tab.remove(op)
+			delete(placed, op)
+		} else {
+			row := rng.Intn(tab.ii)
+			if p, ok := tab.fits(row, ops[op%len(ops)]); ok {
+				tab.place(row, op, p)
+				placed[op] = true
+			}
+		}
+		for r := range tab.rows {
+			var perPort [machine.NumPorts]int
+			total := 0
+			for _, e := range tab.rows[r].entries {
+				perPort[e.port]++
+				total++
+			}
+			if perPort != tab.rows[r].perPort || total != tab.rows[r].total {
+				t.Fatalf("step %d row %d: counters %v/%d, recount %v/%d",
+					step, r, tab.rows[r].perPort, tab.rows[r].total, perPort, total)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,40 @@
+package modsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"ltsp/internal/ddg"
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+)
+
+// BenchmarkScheduleAtII measures one full modulo-scheduling attempt at
+// MinII on a moderately sized random loop — the unit of work the II
+// search repeats, and the path the MRT's incremental occupancy counters
+// serve.
+func BenchmarkScheduleAtII(b *testing.B) {
+	m := machine.Itanium2()
+	rng := rand.New(rand.NewSource(42))
+	l := randomLoop(rng, 14)
+	g, err := ddg.Build(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat := func(in *ir.Instr) int {
+		if in.Op.IsLoad() {
+			return 13
+		}
+		return m.Latency(in.Op)
+	}
+	ii := ResMII(m, l.Body)
+	if r := g.RecMII(lat); r > ii {
+		ii = r
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ScheduleAtII(m, g, ii, lat, Options{}); !ok {
+			b.Fatal("no schedule at MinII")
+		}
+	}
+}

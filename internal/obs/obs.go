@@ -59,6 +59,23 @@ func (t *Trace) Events() []Event {
 	return append([]Event(nil), t.events...)
 }
 
+// AppendFrom appends every event of src, in order, to t. The speculative
+// II search uses it to merge per-attempt buffered traces into the main
+// trace in commit order, reproducing the sequential event stream exactly.
+// No-op when either trace is nil.
+func (t *Trace) AppendFrom(src *Trace) {
+	if t == nil || src == nil {
+		return
+	}
+	evs := src.Events()
+	if len(evs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, evs...)
+	t.mu.Unlock()
+}
+
 // Len returns the number of collected events.
 func (t *Trace) Len() int {
 	if t == nil {

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"ltsp/internal/wire"
+)
+
+// BatchItemResult is one element of a CompileBatchResponse: either the
+// embedded compile response fields or a per-item error. Item order
+// matches the request.
+type BatchItemResult struct {
+	*CompileResponse
+	Error string `json:"error,omitempty"`
+}
+
+// CompileBatchResponse is the body of POST /v1/compile-batch. The batch
+// succeeds as a whole (HTTP 200) even when individual items fail; each
+// failed item carries its own error.
+type CompileBatchResponse struct {
+	Items []BatchItemResult `json:"items"`
+}
+
+// handleCompileBatch shards a batch of compile items over the server's
+// bounded worker pool: every item competes for the same PoolSize slots
+// as single compiles, goes through the same singleflight artifact cache
+// (duplicate items within one batch compile once), and lands at its
+// request index in the response.
+func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.BatchRequests.Add(1)
+	start := time.Now()
+	var req wire.CompileBatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Version != wire.Version {
+		writeError(w, http.StatusBadRequest, "unsupported request version %d (want %d)", req.Version, wire.Version)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d items exceeds server limit %d", len(req.Items), s.cfg.MaxBatchItems)
+		return
+	}
+	if s.draining.Load() {
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.metrics.BatchItems.Add(int64(len(req.Items)))
+
+	// The deadline covers the whole batch: every item gets the single-
+	// compile budget, amortized over the rounds the pool needs to drain
+	// the batch.
+	rounds := (len(req.Items) + s.cfg.PoolSize - 1) / s.cfg.PoolSize
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.CompileTimeout*time.Duration(rounds))
+	defer cancel()
+
+	results := make([]BatchItemResult, len(req.Items))
+	var wg sync.WaitGroup
+	for i := range req.Items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				s.metrics.Timeouts.Add(1)
+				s.metrics.BatchItemErrors.Add(1)
+				results[i] = BatchItemResult{Error: "batch deadline exceeded waiting for a worker slot"}
+				return
+			}
+			s.work.Add(1)
+			s.metrics.InFlight.Add(1)
+			defer func() {
+				s.metrics.InFlight.Add(-1)
+				s.work.Done()
+				<-s.sem
+			}()
+			art, hash, cached, err := s.compileCached(req.Item(i))
+			if err != nil {
+				s.metrics.BatchItemErrors.Add(1)
+				results[i] = BatchItemResult{Error: err.Error()}
+				return
+			}
+			results[i] = BatchItemResult{CompileResponse: compileResponse(hash, cached, art.Compiled)}
+		}(i)
+	}
+	wg.Wait()
+	s.metrics.BatchLatency.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, &CompileBatchResponse{Items: results})
+}

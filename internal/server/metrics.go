@@ -81,6 +81,12 @@ type Metrics struct {
 	CompileErrors    atomic.Int64
 	SimulateRequests atomic.Int64
 	SimulateErrors   atomic.Int64
+	// BatchRequests counts POST /v1/compile-batch calls; BatchItems the
+	// loops submitted through them; BatchItemErrors the items that failed
+	// (the batch itself still returns 200 with per-item errors).
+	BatchRequests   atomic.Int64
+	BatchItems      atomic.Int64
+	BatchItemErrors atomic.Int64
 	// Rejected counts requests turned away before doing work: queue-full,
 	// oversized body, shutdown in progress.
 	Rejected atomic.Int64
@@ -107,6 +113,7 @@ type Metrics struct {
 
 	CompileLatency  Histogram
 	SimulateLatency Histogram
+	BatchLatency    Histogram
 }
 
 // CountOutcome bumps the counter matching an obs.Outcome* string.
@@ -146,6 +153,9 @@ type metricsJSON struct {
 	CompileErrors    int64         `json:"compile_errors"`
 	SimulateRequests int64         `json:"simulate_requests"`
 	SimulateErrors   int64         `json:"simulate_errors"`
+	BatchRequests    int64         `json:"batch_requests"`
+	BatchItems       int64         `json:"batch_items"`
+	BatchItemErrors  int64         `json:"batch_item_errors"`
 	Rejected         int64         `json:"rejected"`
 	Timeouts         int64         `json:"timeouts"`
 	InFlight         int64         `json:"in_flight"`
@@ -157,6 +167,7 @@ type metricsJSON struct {
 	CompileOutcomes  outcomesJSON  `json:"compile_outcomes"`
 	CompileLatency   histogramJSON `json:"compile_latency"`
 	SimulateLatency  histogramJSON `json:"simulate_latency"`
+	BatchLatency     histogramJSON `json:"batch_latency"`
 }
 
 func (m *Metrics) snapshot(cacheEntries int, uptime time.Duration) metricsJSON {
@@ -170,6 +181,9 @@ func (m *Metrics) snapshot(cacheEntries int, uptime time.Duration) metricsJSON {
 		CompileErrors:    m.CompileErrors.Load(),
 		SimulateRequests: m.SimulateRequests.Load(),
 		SimulateErrors:   m.SimulateErrors.Load(),
+		BatchRequests:    m.BatchRequests.Load(),
+		BatchItems:       m.BatchItems.Load(),
+		BatchItemErrors:  m.BatchItemErrors.Load(),
 		Rejected:         m.Rejected.Load(),
 		Timeouts:         m.Timeouts.Load(),
 		InFlight:         m.InFlight.Load(),
@@ -186,5 +200,6 @@ func (m *Metrics) snapshot(cacheEntries int, uptime time.Duration) metricsJSON {
 		},
 		CompileLatency:  m.CompileLatency.snapshot(),
 		SimulateLatency: m.SimulateLatency.snapshot(),
+		BatchLatency:    m.BatchLatency.snapshot(),
 	}
 }

@@ -7,6 +7,10 @@
 //	                    serves it from the artifact cache) and returns the
 //	                    II/stage structure, per-load reports, register
 //	                    footprint, kernel listing and the artifact hash.
+//	POST /v1/compile-batch — wire.CompileBatchRequest body; shards a list
+//	                    of compile items over the bounded worker pool with
+//	                    per-item singleflight cache hits, returning results
+//	                    (or per-item errors) in request order.
 //	POST /v1/simulate — wire.SimulateRequest body; simulates a compiled
 //	                    artifact (by hash, or compiling inline through the
 //	                    same cache) for a trip count and returns cycles
@@ -60,6 +64,9 @@ type Config struct {
 	QueueTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// MaxBatchItems bounds the number of loops in one compile-batch
+	// request (default 64).
+	MaxBatchItems int
 	// MaxTrip bounds simulated trip counts (default 10M iterations).
 	MaxTrip int64
 	// Logger receives structured request logs. Nil discards them (tests,
@@ -82,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
 	}
 	if c.MaxTrip <= 0 {
 		c.MaxTrip = 10_000_000
@@ -120,6 +130,7 @@ func New(cfg Config) *Server {
 	}
 	s.cache = NewArtifactCache(cfg.CacheCapacity, s.metrics)
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/compile-batch", s.handleCompileBatch)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/artifacts/{hash}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -206,6 +206,28 @@ func (r *CompileRequest) Hash() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// CompileItem is one loop of a batch compile: an independent
+// (loop, options) pair, exactly the payload of a single CompileRequest.
+type CompileItem struct {
+	Loop    json.RawMessage `json:"loop"`
+	Options Options         `json:"options,omitempty"`
+}
+
+// CompileBatchRequest is the body of POST /v1/compile-batch: a list of
+// compile items the server shards over its bounded worker pool.
+// Responses preserve item order. Each item hashes exactly like the
+// equivalent single CompileRequest, so batch compiles share artifacts
+// (and in-flight singleflight dedup) with single compiles.
+type CompileBatchRequest struct {
+	Version int           `json:"v"`
+	Items   []CompileItem `json:"items"`
+}
+
+// Item returns the i-th element as a standalone CompileRequest.
+func (r *CompileBatchRequest) Item(i int) *CompileRequest {
+	return &CompileRequest{Version: r.Version, Loop: r.Items[i].Loop, Options: r.Items[i].Options}
+}
+
 // SimulateRequest is the body of POST /v1/simulate. Exactly one of Hash
 // (a previously compiled artifact) or Loop (compiled inline, through the
 // same cache) must be set.

@@ -192,6 +192,12 @@ type Options struct {
 	Pipeline *bool
 	// Model overrides the target processor (nil = Itanium2()).
 	Model *Machine
+	// Parallelism bounds how many candidate IIs the pipeliner's
+	// speculative II search schedules concurrently; values <= 1 select
+	// the sequential search. Results, traces, and fallback behavior are
+	// bit-identical across settings. DefaultParallelism() returns the
+	// GOMAXPROCS-derived width.
+	Parallelism int
 	// Trace, when non-nil, collects the compiler's full decision trace
 	// (classification, hint translation, II search, fallback ladder,
 	// allocation); nil disables collection with zero overhead. See
@@ -204,6 +210,10 @@ type Trace = obs.Trace
 
 // NewTrace returns an empty decision trace to pass in Options.Trace.
 func NewTrace() *Trace { return obs.New() }
+
+// DefaultParallelism returns the GOMAXPROCS-derived width for the
+// pipeliner's speculative II search (Options.Parallelism).
+func DefaultParallelism() int { return core.DefaultParallelism() }
 
 // Compiled is the result of compiling one loop.
 type Compiled struct {
@@ -274,6 +284,7 @@ func Compile(l *Loop, opts Options) (*Compiled, error) {
 			Model:           m,
 			LatencyTolerant: opts.LatencyTolerant,
 			BoostDelinquent: opts.BoostDelinquent,
+			Parallelism:     opts.Parallelism,
 			Trace:           opts.Trace,
 		})
 		if err == nil {
