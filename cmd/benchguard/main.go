@@ -29,6 +29,7 @@ import (
 	"ltsp"
 	"ltsp/internal/experiments"
 	"ltsp/internal/ir"
+	"ltsp/internal/server"
 )
 
 // Baseline is the checked-in measurement record.
@@ -98,6 +99,30 @@ func measureCompileTime(reps int) float64 {
 	return median(samples)
 }
 
+// measureShedAdmit returns the median ns per admission-control decision
+// on a primed shedder — the cost the resilience layer adds to every
+// uncontended request before it reaches a worker slot.
+func measureShedAdmit(reps, iters int) float64 {
+	sh := server.NewShedder(4)
+	sh.Prime(5 * time.Millisecond)
+	samples := make([]float64, 0, reps)
+	var sink time.Duration
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			wait, ok := sh.Admit(time.Second, 1)
+			if !ok {
+				fmt.Fprintln(os.Stderr, "benchguard: primed shedder rejected an uncontended request")
+				os.Exit(1)
+			}
+			sink += wait
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	_ = sink
+	return median(samples)
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or write)")
@@ -115,8 +140,18 @@ func main() {
 
 	loopNs := measureCompileLoop(*loopReps, *loopIters)
 	ctSec := measureCompileTime(*ctReps)
-	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s (workers %d, cores %d)\n",
-		loopNs, ctSec, experiments.Workers(), runtime.GOMAXPROCS(0))
+	shedNs := measureShedAdmit(*loopReps, 100000)
+	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op (workers %d, cores %d)\n",
+		loopNs, ctSec, shedNs, experiments.Workers(), runtime.GOMAXPROCS(0))
+
+	// The admission-control decision sits on every request's path, so it
+	// is gated absolutely against this run's own compile measurement: the
+	// shedder may not add more than 1% to an uncontended compile.
+	if maxShed := loopNs * 0.01; shedNs > maxShed {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: shed_admit %.1f ns/op exceeds 1%% of compile_loop (%.1f ns)\n", shedNs, maxShed)
+		os.Exit(1)
+	}
 
 	if *write {
 		b := Baseline{

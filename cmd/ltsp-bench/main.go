@@ -9,6 +9,13 @@
 //	ltsp-bench -run fig7       # one experiment: fig5 fig7 fig8 fig9 fig10
 //	                           # casestudy regstats compiletime
 //	ltsp-bench -json           # machine-readable results on stdout
+//
+// Remote mode sweeps the whole workload suite through a running ltspd
+// daemon instead of compiling in-process, batched and retried by the
+// resilient ltspclient package:
+//
+//	ltsp-bench -server http://localhost:8347
+//	ltsp-bench -server http://localhost:8347 -retries 5 -req-timeout 1m
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"ltsp/internal/experiments"
+	"ltsp/ltspclient"
 )
 
 // fig5Out bundles the analytic model with its simulator validation so the
@@ -58,7 +66,35 @@ func main() {
 	var jsonOut = flag.Bool("json", false, "emit machine-readable JSON results on stdout instead of text")
 	var workers = flag.Int("workers", 0, "evaluation worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
 	var cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+
+	// Remote mode, mapped 1:1 onto ltspclient.Config.
+	var server = flag.String("server", "", "sweep the workload suite through a running ltspd daemon at this base URL instead of running experiments locally")
+	var retries = flag.Int("retries", 3, "remote mode: max retries of transient failures (ltspclient MaxRetries)")
+	var backoff = flag.Duration("backoff", 50*time.Millisecond, "remote mode: base retry backoff (ltspclient BackoffBase)")
+	var retryBudget = flag.Duration("retry-budget", 10*time.Second, "remote mode: total backoff sleep budget (ltspclient BackoffBudget)")
+	var reqTimeout = flag.Duration("req-timeout", 30*time.Second, "remote mode: per-attempt timeout, propagated to the server as its deadline (ltspclient RequestTimeout)")
+	var batchTimeout = flag.Duration("batch-timeout", 5*time.Minute, "remote mode: per-batch timeout (ltspclient BatchTimeout) and overall sweep deadline")
 	flag.Parse()
+
+	if *server != "" {
+		client, err := ltspclient.New(ltspclient.Config{
+			BaseURL:        *server,
+			MaxRetries:     *retries,
+			BackoffBase:    *backoff,
+			BackoffBudget:  *retryBudget,
+			RequestTimeout: *reqTimeout,
+			BatchTimeout:   *batchTimeout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runRemote(client, *batchTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *workers > 0 {
 		experiments.SetWorkers(*workers)

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ltsp"
+	"ltsp/internal/wire"
+	"ltsp/internal/workload"
+	"ltsp/ltspclient"
+)
+
+// remoteChunk bounds one compile-batch request; it matches the server's
+// default MaxBatchItems so a full workload sweep never trips the
+// too_large rejection.
+const remoteChunk = 64
+
+// runRemote compiles the whole benchmark-model workload suite against a
+// running ltspd daemon through ltspclient's batched, retrying path, and
+// prints a per-loop outcome summary plus the client's resilience
+// counters. It exercises exactly the surface a build farm would: many
+// loops, chunked batches, per-item errors, shared artifact cache.
+func runRemote(client *ltspclient.Client, timeout time.Duration) error {
+	type entry struct {
+		name string
+		item wire.CompileItem
+	}
+	var entries []entry
+	for _, b := range workload.All() {
+		for i := range b.Loops {
+			req, err := wire.NewCompileRequest(b.Loops[i].Gen(), ltsp.Options{
+				Mode: ltsp.ModeHLO, Prefetch: true, LatencyTolerant: true, TripEstimate: 1000,
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s: %v", b.Name, b.Loops[i].Name, err)
+			}
+			entries = append(entries, entry{
+				name: b.Name + "/" + b.Loops[i].Name,
+				item: wire.CompileItem{Loop: req.Loop, Options: req.Options},
+			})
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	var ok, failed, cached int
+	outcomes := map[string]int{}
+	for base := 0; base < len(entries); base += remoteChunk {
+		end := base + remoteChunk
+		if end > len(entries) {
+			end = len(entries)
+		}
+		items := make([]wire.CompileItem, 0, end-base)
+		for _, e := range entries[base:end] {
+			items = append(items, e.item)
+		}
+		resp, err := client.CompileBatch(ctx, items)
+		if err != nil {
+			return fmt.Errorf("batch [%d,%d): %w", base, end, err)
+		}
+		for j, item := range resp.Items {
+			name := entries[base+j].name
+			if item.Error != "" {
+				failed++
+				fmt.Printf("  %-40s ERROR %s (code %s, retryable %v)\n", name, item.Error, item.ErrorCode, item.Retryable)
+				continue
+			}
+			ok++
+			outcomes[item.Outcome]++
+			if item.Cached {
+				cached++
+			}
+			fmt.Printf("  %-40s II=%-3d stages=%-2d outcome=%s\n", name, item.II, item.Stages, item.Outcome)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\n%d loops in %.2fs: %d ok (%d cached), %d failed\n", len(entries), elapsed.Seconds(), ok, cached, failed)
+	for o, n := range outcomes {
+		fmt.Printf("  outcome %-24s %d\n", o, n)
+	}
+	st := client.Stats()
+	fmt.Printf("client: %d attempts, %d retries, slept %s in backoff\n", st.Attempts, st.Retries, st.BackoffSlept)
+	if failed > 0 {
+		return fmt.Errorf("%d loops failed to compile remotely", failed)
+	}
+	return nil
+}

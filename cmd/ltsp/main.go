@@ -11,24 +11,25 @@
 //	ltsp -loop example -explain            # why each decision was made
 //	ltsp -loop example -explain-json       # the same trace as JSON events
 //
-// Client mode submits the loop to a running ltspd daemon instead of
-// compiling in-process, and -dump writes the wire-format request for use
-// with curl or a loop file:
+// Client mode submits the loop to a running ltspd daemon through the
+// resilient ltspclient package (typed errors, retries with backoff
+// honoring Retry-After, deadline propagation, optional hedging), and
+// -dump writes the wire-format request for use with curl or a loop file:
 //
 //	ltsp -loop example -server http://localhost:8347 -sim-trip 1000
+//	ltsp -loop example -server http://localhost:8347 -retries 5 -hedge 100ms
 //	ltsp -loop example -dump request.json
 //	ltsp -loop-file request.json -server http://localhost:8347
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"ltsp"
 	"ltsp/internal/core"
@@ -37,6 +38,7 @@ import (
 	"ltsp/internal/obs"
 	"ltsp/internal/wire"
 	"ltsp/internal/workload"
+	"ltsp/ltspclient"
 )
 
 func main() {
@@ -53,6 +55,13 @@ func main() {
 		simTrip  = flag.Int64("sim-trip", 0, "in client mode, also simulate the compiled artifact for this trip count")
 		explain  = flag.Bool("explain", false, "print the pipeliner's decision trace (classification, II search, fallbacks)")
 		explainJ = flag.Bool("explain-json", false, "print the decision trace as JSON events")
+
+		// Client resilience flags, mapped 1:1 onto ltspclient.Config.
+		retries     = flag.Int("retries", 3, "client mode: max retries of transient failures (ltspclient MaxRetries)")
+		backoff     = flag.Duration("backoff", 50*time.Millisecond, "client mode: base retry backoff (ltspclient BackoffBase)")
+		retryBudget = flag.Duration("retry-budget", 10*time.Second, "client mode: total backoff sleep budget (ltspclient BackoffBudget)")
+		reqTimeout  = flag.Duration("req-timeout", 30*time.Second, "client mode: per-attempt timeout, propagated to the server as its deadline (ltspclient RequestTimeout)")
+		hedge       = flag.Duration("hedge", 0, "client mode: hedge compile requests after this delay, 0 = off (ltspclient HedgeDelay)")
 	)
 	flag.Parse()
 
@@ -87,7 +96,19 @@ func main() {
 		return
 	}
 	if *serverTo != "" {
-		if err := runClient(*serverTo, *loopName, *loopFile, opts, *simTrip, *explain || *explainJ); err != nil {
+		client, err := ltspclient.New(ltspclient.Config{
+			BaseURL:        *serverTo,
+			MaxRetries:     *retries,
+			BackoffBase:    *backoff,
+			BackoffBudget:  *retryBudget,
+			RequestTimeout: *reqTimeout,
+			HedgeDelay:     *hedge,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runClient(client, *loopName, *loopFile, opts, *simTrip, *explain || *explainJ); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -220,9 +241,10 @@ func dumpRequest(loopName string, opts ltsp.Options, path string) error {
 }
 
 // runClient submits a compile request (from a loop file or a named loop)
-// to a running ltspd daemon and prints the JSON responses. With explain it
-// also fetches the stored decision trace for the compiled artifact.
-func runClient(base, loopName, loopFile string, opts ltsp.Options, simTrip int64, explain bool) error {
+// to a running ltspd daemon through ltspclient — which retries transient
+// failures and propagates deadlines — and prints the JSON responses.
+// With explain it also fetches the stored decision trace.
+func runClient(client *ltspclient.Client, loopName, loopFile string, opts ltsp.Options, simTrip int64, explain bool) error {
 	var req *wire.CompileRequest
 	if loopFile != "" {
 		data, err := os.ReadFile(loopFile)
@@ -244,67 +266,46 @@ func runClient(base, loopName, loopFile string, opts ltsp.Options, simTrip int64
 		}
 	}
 
-	var compiled struct {
-		Hash string `json:"hash"`
-	}
-	body, err := postJSON(base+"/v1/compile", req, &compiled)
+	ctx := context.Background()
+	compiled, err := client.Compile(ctx, req)
 	if err != nil {
 		return err
 	}
-	fmt.Println(string(body))
+	if err := printJSON(compiled); err != nil {
+		return err
+	}
 
 	if explain {
-		resp, err := http.Get(base + "/v1/artifacts/" + compiled.Hash + "/trace")
+		trace, err := client.Trace(ctx, compiled.Hash)
 		if err != nil {
 			return err
 		}
-		trace, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
+		if err := printJSON(trace); err != nil {
 			return err
 		}
-		if resp.StatusCode/100 != 2 {
-			return fmt.Errorf("trace: %s: %s", resp.Status, strings.TrimSpace(string(trace)))
-		}
-		fmt.Println(string(bytes.TrimSpace(trace)))
 	}
 
 	if simTrip > 0 {
-		simReq := wire.SimulateRequest{Version: wire.Version, Hash: compiled.Hash, Trip: simTrip}
-		body, err := postJSON(base+"/v1/simulate", simReq, nil)
+		simResp, err := client.Simulate(ctx, &wire.SimulateRequest{
+			Version: wire.Version, Hash: compiled.Hash, Trip: simTrip,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(body))
+		if err := printJSON(simResp); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// postJSON posts v and returns the raw response body, optionally decoding
-// it into out. Non-2xx responses become errors carrying the body.
-func postJSON(url string, v, out any) ([]byte, error) {
-	payload, err := json.Marshal(v)
+func printJSON(v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		return nil, err
+		return err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
-	}
-	if out != nil {
-		if err := json.Unmarshal(body, out); err != nil {
-			return nil, err
-		}
-	}
-	return bytes.TrimSpace(body), nil
+	fmt.Println(string(data))
+	return nil
 }
 
 // exampleLoop is the paper's Fig. 1 running example with an L3 hint on the

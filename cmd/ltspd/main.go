@@ -9,9 +9,16 @@
 //
 // Endpoints (see internal/server and the README "Service" section):
 //
-//	POST /v1/compile   POST /v1/compile-batch   POST /v1/simulate
-//	GET  /v1/artifacts/{hash}/trace
+//	POST /v2/compile   POST /v2/compile-batch   POST /v2/simulate
+//	GET  /v2/artifacts/{hash}/trace
 //	GET  /healthz      GET /metrics
+//
+// The /v1 prefix serves the same handlers for existing callers; /v2 is
+// the documented resilient surface: every error carries the structured
+// envelope {"error":{"code","message","retryable"}}, requests may carry
+// an X-Request-Deadline-Ms header that the server propagates into the
+// compile, and overload or drain is signaled with 503 + Retry-After
+// before a worker slot is consumed.
 //
 // With -pprof the net/http/pprof profiling handlers are mounted under
 // /debug/pprof/ on the same listener (off by default: profiling
@@ -45,6 +52,8 @@ func main() {
 		queueTO      = flag.Duration("queue-timeout", 5*time.Second, "max wait for a worker slot")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 		maxBodyBytes = flag.Int64("max-body", 8<<20, "max request body bytes")
+		shedOff      = flag.Bool("no-shed", false, "disable deadline-aware admission control (load shedding)")
+		drainRetry   = flag.Duration("drain-retry-after", time.Second, "Retry-After hint sent with 503 draining responses")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logText      = flag.Bool("log-text", false, "log in text form instead of JSON")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
@@ -76,6 +85,8 @@ func main() {
 		SimulateTimeout: *simTO,
 		QueueTimeout:    *queueTO,
 		MaxBodyBytes:    *maxBodyBytes,
+		ShedDisabled:    *shedOff,
+		DrainRetryAfter: *drainRetry,
 		Logger:          logger,
 	})
 	var handlerRoot http.Handler = srv
@@ -126,6 +137,8 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			logger.Error("worker drain", slog.String("err", err.Error()))
 		}
-		logger.Info("drained")
+		// Flush the final metrics snapshot to the log so a scrape that
+		// missed the last interval still sees the totals.
+		logger.Info("drained", slog.Any("metrics", srv.MetricsSnapshot()))
 	}
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ltsp/internal/ddg"
+	"ltsp/internal/ir"
+	"ltsp/internal/machine"
+	"ltsp/internal/modsched"
+)
+
+// cancelLoop is a small pipelinable loop for the cancellation tests.
+func cancelLoop() *ir.Loop {
+	l := ir.NewLoop("cancel")
+	v, bs, bd, r, k := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	ld := ir.Ld(v, bs, 4, 4)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(ld)
+	l.Append(ir.Add(r, v, k))
+	st := ir.St(bd, r, 4, 4)
+	st.Mem.Stride, st.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(st)
+	l.Init(bs, 0x100000)
+	l.Init(bd, 0x200000)
+	l.Init(k, 1)
+	l.LiveOut = []ir.Reg{bs, bd}
+	return l
+}
+
+// TestPipelineCtxPreCanceled: a context that is already done fails the
+// compilation with the context's error before any II is attempted —
+// both in the sequential search and the speculative-parallel one.
+func TestPipelineCtxPreCanceled(t *testing.T) {
+	for _, par := range []int{0, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := PipelineCtx(ctx, cancelLoop(), Options{LatencyTolerant: true, Parallelism: par})
+		if err == nil {
+			t.Fatalf("parallelism %d: pre-canceled compile succeeded", par)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled in the chain", par, err)
+		}
+	}
+}
+
+// TestPipelineCtxNilAndBackground: PipelineCtx with a nil or background
+// context behaves exactly like Pipeline — cancellation is opt-in.
+func TestPipelineCtxNilAndBackground(t *testing.T) {
+	want, err := Pipeline(cancelLoop(), Options{LatencyTolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ctx := range map[string]context.Context{
+		"nil":        nil,
+		"background": context.Background(),
+	} {
+		got, err := PipelineCtx(ctx, cancelLoop(), Options{LatencyTolerant: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.FinalII != want.FinalII || got.Stages != want.Stages {
+			t.Fatalf("%s: II/stages = %d/%d, want %d/%d", name, got.FinalII, got.Stages, want.FinalII, want.Stages)
+		}
+	}
+}
+
+// TestSearchCancellationStopsClaiming: a cancellation observed by the
+// search stops both modes from claiming candidate IIs. The searcher is
+// driven directly so the cancellation point is deterministic: the
+// context is canceled before the search starts, and the searches must
+// return not-done without attempting anything.
+func TestSearchCancellationStopsClaiming(t *testing.T) {
+	l := cancelLoop()
+	m := machine.Itanium2()
+	g, err := ddg.Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resII := modsched.ResMII(m, l.Body)
+	baseLat := BaseLatFn(m)
+	policy := Classify(m, g, resII, g.RecMII(baseLat), true, false)
+	polLat := policy.LatFn()
+	minII := resII
+	if rec := g.RecMII(polLat); rec > minII {
+		minII = rec
+	}
+	maxII := 2*minII + 16
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	se := &iiSearcher{
+		ctx: ctx,
+		l:   l, m: m, g: g, policy: policy,
+		polLat: polLat, baseLat: baseLat,
+		minII: minII, haveBoost: true,
+	}
+
+	var c Compiled
+	ok, serr := se.searchSequential(&c, nil, maxII)
+	if ok || serr != nil {
+		t.Fatalf("sequential under canceled ctx: ok=%v err=%v, want not-done with no attempt error", ok, serr)
+	}
+	if c.Attempts != 0 {
+		t.Fatalf("sequential claimed %d attempts after cancellation", c.Attempts)
+	}
+
+	var cp Compiled
+	ok, serr = se.searchParallel(&cp, nil, maxII, 4)
+	if ok || serr != nil {
+		t.Fatalf("parallel under canceled ctx: ok=%v err=%v", ok, serr)
+	}
+	if cp.Attempts != 0 {
+		t.Fatalf("parallel claimed %d attempts after cancellation", cp.Attempts)
+	}
+}

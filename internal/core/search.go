@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,11 @@ type attemptResult struct {
 // the loop, graph, machine model, or policy, and the graph's cycle memo
 // is warmed (or left untouched) before the search starts.
 type iiSearcher struct {
+	// ctx cancels the search cooperatively: both search modes check it
+	// before claiming another candidate II. A single scheduling attempt
+	// is never interrupted mid-flight, so cancellation granularity is one
+	// (II, latency) attempt.
+	ctx         context.Context
 	l           *ir.Loop
 	m           *machine.Model
 	g           *ddg.Graph
@@ -151,6 +157,9 @@ func (se *iiSearcher) commit(c *Compiled, ii int, res attemptResult) {
 func (se *iiSearcher) searchSequential(c *Compiled, tr *obs.Trace, maxII int) (bool, error) {
 	var lastErr error
 	for ii := se.minII; ii <= maxII; ii++ {
+		if se.ctx.Err() != nil {
+			return false, lastErr
+		}
 		res := se.attempt(ii, tr)
 		c.Attempts += res.attempts
 		if res.err != nil {
@@ -200,6 +209,9 @@ func (se *iiSearcher) searchParallel(c *Compiled, tr *obs.Trace, maxII, workers 
 		go func() {
 			defer wg.Done()
 			for {
+				if se.ctx.Err() != nil {
+					return // search canceled: stop claiming IIs
+				}
 				i := int(next.Add(1) - 1)
 				if i >= n || int64(i) > best.Load() {
 					return // out of range, or a lower II already won

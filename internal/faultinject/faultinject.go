@@ -1,0 +1,164 @@
+// Package faultinject wraps an http.Handler with deterministic,
+// seeded fault injection — latency spikes, injected error responses,
+// connection drops — so the resilience machinery (client retries,
+// hedging, per-item batch errors, goroutine hygiene) can be exercised in
+// ordinary Go tests without flaky sleeps or real network failures.
+//
+// Faults are drawn per request from a seeded PRNG, so a fixed seed
+// replays the identical fault sequence; the chaos CI job pins one.
+package faultinject
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltsp/internal/wire"
+)
+
+// Config selects which faults to inject and how often. Probabilities are
+// in [0, 1] and evaluated independently per request, in the order drop,
+// error, latency (at most one of drop/error fires; latency can combine
+// with a normal response).
+type Config struct {
+	// Seed seeds the fault source (0 = fixed default). Equal seeds give
+	// identical fault sequences over the same request order.
+	Seed int64
+
+	// DropProb aborts the connection mid-response without writing
+	// anything — the client sees a transport error, not an HTTP status.
+	DropProb float64
+
+	// ErrProb replaces the response with an injected v2 error envelope
+	// (status ErrStatus, code "injected", retryable).
+	ErrProb float64
+	// ErrStatus is the status of injected errors (default 503).
+	ErrStatus int
+	// ErrRetryAfterSecs, when positive, stamps injected errors with a
+	// Retry-After header of that many seconds — for exercising clients
+	// that floor their backoff at the server's hint. Zero omits the
+	// header (whole-second floors make tests crawl).
+	ErrRetryAfterSecs int
+
+	// LatencyProb delays handling by a uniform duration in
+	// [LatencyMin, LatencyMax] (default 1–10ms when only the probability
+	// is set).
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+
+	// Exempt returns true for requests the injector must pass through
+	// untouched (e.g. /healthz probes). Nil exempts nothing.
+	Exempt func(*http.Request) bool
+}
+
+// Stats counts the faults actually injected.
+type Stats struct {
+	Requests  int64
+	Drops     int64
+	Errors    int64
+	Latencies int64
+}
+
+// Injector is the fault-injecting middleware. Wrap the real handler and
+// serve the Injector instead.
+type Injector struct {
+	cfg  Config
+	next http.Handler
+
+	mu  sync.Mutex // rand.Rand is not concurrency-safe
+	rng *rand.Rand
+
+	requests  atomic.Int64
+	drops     atomic.Int64
+	errors    atomic.Int64
+	latencies atomic.Int64
+}
+
+// Wrap builds an Injector around next.
+func Wrap(next http.Handler, cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if cfg.ErrStatus == 0 {
+		cfg.ErrStatus = http.StatusServiceUnavailable
+	}
+	if cfg.LatencyProb > 0 && cfg.LatencyMax <= 0 {
+		cfg.LatencyMin, cfg.LatencyMax = time.Millisecond, 10*time.Millisecond
+	}
+	return &Injector{cfg: cfg, next: next, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Requests:  in.requests.Load(),
+		Drops:     in.drops.Load(),
+		Errors:    in.errors.Load(),
+		Latencies: in.latencies.Load(),
+	}
+}
+
+// plan draws this request's faults in one locked section so the fault
+// sequence is a deterministic function of (seed, request order).
+func (in *Injector) plan() (drop, injErr bool, delay time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.DropProb > 0 && in.rng.Float64() < in.cfg.DropProb {
+		return true, false, 0
+	}
+	if in.cfg.ErrProb > 0 && in.rng.Float64() < in.cfg.ErrProb {
+		injErr = true
+	}
+	if in.cfg.LatencyProb > 0 && in.rng.Float64() < in.cfg.LatencyProb {
+		span := int64(in.cfg.LatencyMax - in.cfg.LatencyMin)
+		delay = in.cfg.LatencyMin
+		if span > 0 {
+			delay += time.Duration(in.rng.Int63n(span + 1))
+		}
+	}
+	return drop, injErr, delay
+}
+
+// ServeHTTP implements http.Handler.
+func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if in.cfg.Exempt != nil && in.cfg.Exempt(r) {
+		in.next.ServeHTTP(w, r)
+		return
+	}
+	in.requests.Add(1)
+	drop, injErr, delay := in.plan()
+	if delay > 0 {
+		in.latencies.Add(1)
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+		}
+	}
+	if drop {
+		in.drops.Add(1)
+		// The canonical way to sever the connection from inside a
+		// handler: the http server recovers this sentinel, closes the
+		// socket, and does not log a stack trace.
+		panic(http.ErrAbortHandler)
+	}
+	if injErr {
+		in.errors.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if in.cfg.ErrRetryAfterSecs > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(in.cfg.ErrRetryAfterSecs))
+		}
+		w.WriteHeader(in.cfg.ErrStatus)
+		data, _ := json.Marshal(wire.NewError(wire.CodeInjected, "fault injected by test harness"))
+		_, _ = w.Write(data)
+		return
+	}
+	in.next.ServeHTTP(w, r)
+}

@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func faultSequence(t *testing.T, seed int64, n int) []string {
+	t.Helper()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})
+	inj := Wrap(inner, Config{
+		Seed:     seed,
+		DropProb: 0.2, ErrProb: 0.3,
+		LatencyProb: 0.3, LatencyMin: time.Microsecond, LatencyMax: 10 * time.Microsecond,
+	})
+	ts := httptest.NewServer(inj)
+	defer ts.Close()
+
+	seq := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(ts.URL + "/x")
+		switch {
+		case err != nil:
+			seq = append(seq, "drop")
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			resp.Body.Close()
+			seq = append(seq, "err")
+		default:
+			resp.Body.Close()
+			seq = append(seq, "ok")
+		}
+	}
+	return seq
+}
+
+// TestDeterministicFaultSequence: equal seeds replay the identical fault
+// sequence; a different seed diverges. This is what lets the chaos CI
+// job pin a seed and assert exact outcomes.
+func TestDeterministicFaultSequence(t *testing.T) {
+	const n = 64
+	a := faultSequence(t, 42, n)
+	b := faultSequence(t, 42, n)
+	c := faultSequence(t, 43, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical fault sequence")
+	}
+	var faults int
+	for _, s := range a {
+		if s != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 || faults == n {
+		t.Fatalf("degenerate fault mix: %d/%d faulted", faults, n)
+	}
+}
+
+// TestExemptPassesThrough: exempted paths see no faults at all.
+func TestExemptPassesThrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})
+	inj := Wrap(inner, Config{
+		Seed: 7, DropProb: 1.0,
+		Exempt: func(r *http.Request) bool { return r.URL.Path == "/healthz" },
+	})
+	ts := httptest.NewServer(inj)
+	defer ts.Close()
+
+	for i := 0; i < 8; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("exempt request %d faulted: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if _, err := http.Get(ts.URL + "/compile"); err == nil {
+		t.Fatal("non-exempt request survived DropProb=1")
+	}
+	if st := inj.Stats(); st.Requests != 1 || st.Drops != 1 {
+		t.Fatalf("stats = %+v: exempt requests must not be counted", st)
+	}
+}

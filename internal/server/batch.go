@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"net/http"
 	"sync"
 	"time"
@@ -9,26 +8,34 @@ import (
 	"ltsp/internal/wire"
 )
 
-// BatchItemResult is one element of a CompileBatchResponse: either the
-// embedded compile response fields or a per-item error. Item order
-// matches the request.
-type BatchItemResult struct {
-	*CompileResponse
-	Error string `json:"error,omitempty"`
-}
+// The batch response envelopes live in package wire (shared with
+// ltspclient); the aliases keep existing embedders and tests compiling.
+type (
+	BatchItemResult      = wire.BatchItemResult
+	CompileBatchResponse = wire.CompileBatchResponse
+)
 
-// CompileBatchResponse is the body of POST /v1/compile-batch. The batch
-// succeeds as a whole (HTTP 200) even when individual items fail; each
-// failed item carries its own error.
-type CompileBatchResponse struct {
-	Items []BatchItemResult `json:"items"`
+// batchItemError renders a per-item failure with its envelope code, so a
+// batch client can tell retryable items (deadline, injected faults) from
+// permanently broken ones without parsing message strings.
+func batchItemError(err error) BatchItemResult {
+	code := errCode(err, http.StatusBadRequest)
+	return BatchItemResult{
+		Error:     err.Error(),
+		ErrorCode: code,
+		Retryable: wire.Retryable(code),
+	}
 }
 
 // handleCompileBatch shards a batch of compile items over the server's
 // bounded worker pool: every item competes for the same PoolSize slots
 // as single compiles, goes through the same singleflight artifact cache
 // (duplicate items within one batch compile once), and lands at its
-// request index in the response.
+// request index in the response. Cancellation is per-item: when the
+// batch deadline (or the client) gives up, items still queued fail with
+// code deadline_exceeded while items already running are canceled
+// cooperatively — unless an identical compile is still wanted by another
+// request, in which case the flight continues for them.
 func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.BatchRequests.Add(1)
 	start := time.Now()
@@ -37,30 +44,32 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Version != wire.Version {
-		writeError(w, http.StatusBadRequest, "unsupported request version %d (want %d)", req.Version, wire.Version)
+		writeError(w, http.StatusBadRequest, wire.CodeUnsupportedVersion,
+			"unsupported request version %d (want %d)", req.Version, wire.Version)
 		return
 	}
 	if len(req.Items) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, wire.CodeInvalidRequest, "empty batch")
 		return
 	}
 	if len(req.Items) > s.cfg.MaxBatchItems {
 		s.metrics.Rejected.Add(1)
-		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d items exceeds server limit %d", len(req.Items), s.cfg.MaxBatchItems)
+		writeError(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
+			"batch of %d items exceeds server limit %d", len(req.Items), s.cfg.MaxBatchItems)
 		return
 	}
 	if s.draining.Load() {
 		s.metrics.Rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeUnavailable(w, wire.CodeDraining, s.cfg.DrainRetryAfter, "server is shutting down")
 		return
 	}
 	s.metrics.BatchItems.Add(int64(len(req.Items)))
 
 	// The deadline covers the whole batch: every item gets the single-
 	// compile budget, amortized over the rounds the pool needs to drain
-	// the batch.
+	// the batch. A client-supplied X-Request-Deadline-Ms tightens it.
 	rounds := (len(req.Items) + s.cfg.PoolSize - 1) / s.cfg.PoolSize
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.CompileTimeout*time.Duration(rounds))
+	ctx, cancel := requestCtx(r, s.cfg.CompileTimeout*time.Duration(rounds))
 	defer cancel()
 
 	results := make([]BatchItemResult, len(req.Items))
@@ -74,20 +83,26 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 			case <-ctx.Done():
 				s.metrics.Timeouts.Add(1)
 				s.metrics.BatchItemErrors.Add(1)
-				results[i] = BatchItemResult{Error: "batch deadline exceeded waiting for a worker slot"}
+				results[i] = BatchItemResult{
+					Error:     "batch deadline exceeded waiting for a worker slot",
+					ErrorCode: wire.CodeDeadlineExceeded,
+					Retryable: true,
+				}
 				return
 			}
 			s.work.Add(1)
 			s.metrics.InFlight.Add(1)
+			slotStart := time.Now()
 			defer func() {
+				s.shed.Observe(time.Since(slotStart))
 				s.metrics.InFlight.Add(-1)
 				s.work.Done()
 				<-s.sem
 			}()
-			art, hash, cached, err := s.compileCached(req.Item(i))
+			art, hash, cached, err := s.compileCached(ctx, req.Item(i))
 			if err != nil {
 				s.metrics.BatchItemErrors.Add(1)
-				results[i] = BatchItemResult{Error: err.Error()}
+				results[i] = batchItemError(err)
 				return
 			}
 			results[i] = BatchItemResult{CompileResponse: compileResponse(hash, cached, art.Compiled)}

@@ -2,7 +2,9 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"ltsp"
 	"ltsp/internal/obs"
@@ -39,10 +41,26 @@ type cacheEntry struct {
 	val *Artifact
 }
 
+// flightCall is one in-flight computation. Its context (the one fn
+// receives) is detached from any single request and canceled only when
+// every interested waiter has given up — the refcount covers the creator
+// plus each deduplicated waiter. That is what makes hedged requests safe
+// to cancel: the losing hedge releases its reference, but the flight
+// keeps running as long as anyone still wants the artifact.
 type flightCall struct {
-	done chan struct{}
-	val  *Artifact
-	err  error
+	done   chan struct{}
+	val    *Artifact
+	err    error
+	refs   atomic.Int64
+	cancel context.CancelFunc
+}
+
+// release drops one waiter reference, canceling the computation when the
+// last interested waiter is gone.
+func (f *flightCall) release() {
+	if f.refs.Add(-1) == 0 {
+		f.cancel()
+	}
 }
 
 // NewArtifactCache creates a cache holding at most capacity artifacts
@@ -95,7 +113,15 @@ func (c *ArtifactCache) Peek(key string) (*Artifact, bool) {
 // (a completed entry or an in-flight computation started by another
 // request) rather than from this call's own fn. Errors are returned to
 // every waiter and never cached.
-func (c *ArtifactCache) GetOrCompute(key string, fn func() (*Artifact, error)) (*Artifact, bool, error) {
+//
+// ctx is the caller's interest in the result, not the computation's
+// lifetime: fn receives a flight context that stays alive while ANY
+// waiter (creator or deduplicated) still wants the artifact and is
+// canceled once the last one gives up, so abandoned compilations stop
+// cooperatively instead of burning a worker. A waiter whose own ctx ends
+// while an identical computation is in flight returns ctx.Err()
+// immediately without dooming the flight for the others.
+func (c *ArtifactCache) GetOrCompute(ctx context.Context, key string, fn func(context.Context) (*Artifact, error)) (*Artifact, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -106,16 +132,33 @@ func (c *ArtifactCache) GetOrCompute(key string, fn func() (*Artifact, error)) (
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.metrics.CacheDedups.Add(1)
+		call.refs.Add(1)
 		c.mu.Unlock()
-		<-call.done
-		return call.val, true, call.err
+		select {
+		case <-call.done:
+			call.release()
+			return call.val, true, call.err
+		case <-ctx.Done():
+			call.release()
+			return nil, false, ctx.Err()
+		}
 	}
-	call := &flightCall{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.Background())
+	call := &flightCall{done: make(chan struct{}), cancel: cancel}
+	call.refs.Store(1)
 	c.inflight[key] = call
 	c.metrics.CacheMisses.Add(1)
 	c.mu.Unlock()
 
-	call.val, call.err = fn()
+	// The creator's own reference is released when its ctx ends (freeing
+	// the flight to stop if nobody else is waiting) or, at the latest,
+	// when fn returns.
+	stop := context.AfterFunc(ctx, call.release)
+	call.val, call.err = fn(fctx)
+	if stop() {
+		call.release()
+	}
+	cancel() // flight over either way; free the context's resources
 
 	c.mu.Lock()
 	delete(c.inflight, key)

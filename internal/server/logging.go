@@ -5,7 +5,10 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
+
+	"ltsp/internal/wire"
 )
 
 // statusWriter records the status code and body size a handler wrote so
@@ -39,6 +42,38 @@ func (w *statusWriter) Status() int {
 		return http.StatusOK
 	}
 	return w.status
+}
+
+// muxErrorWriter converts the ServeMux's own plain-text error responses
+// (404 for unrouted paths, 405 for wrong methods) into the structured
+// error envelope, so that EVERY error leaving the server carries it.
+// Handler-written errors are untouched: they set an application/json
+// content type before writing the status, which this writer respects.
+type muxErrorWriter struct {
+	*statusWriter
+	intercepted bool
+}
+
+func (w *muxErrorWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		strings.HasPrefix(w.Header().Get("Content-Type"), "text/plain") {
+		w.intercepted = true
+		code, msg := wire.CodeNotFound, "no such endpoint"
+		if status == http.StatusMethodNotAllowed {
+			code, msg = wire.CodeInvalidRequest, "method not allowed for this endpoint"
+		}
+		writeJSON(w.statusWriter, status, wire.NewError(code, msg))
+		return
+	}
+	w.statusWriter.WriteHeader(status)
+}
+
+func (w *muxErrorWriter) Write(p []byte) (int, error) {
+	if w.intercepted {
+		// Swallow the mux's plain-text body; the envelope is already out.
+		return len(p), nil
+	}
+	return w.statusWriter.Write(p)
 }
 
 // Request IDs are a per-process random prefix plus a sequence number:

@@ -88,8 +88,13 @@ type Metrics struct {
 	BatchItems      atomic.Int64
 	BatchItemErrors atomic.Int64
 	// Rejected counts requests turned away before doing work: queue-full,
-	// oversized body, shutdown in progress.
+	// oversized body, shutdown in progress, load shedding.
 	Rejected atomic.Int64
+	// Shed counts requests rejected by deadline-aware admission control
+	// (a subset of Rejected): the shedder predicted the remaining deadline
+	// could not be met, so the request was refused before consuming a
+	// worker slot.
+	Shed atomic.Int64
 	// Timeouts counts requests abandoned at their deadline.
 	Timeouts atomic.Int64
 	// InFlight is the number of requests currently holding a worker slot.
@@ -157,6 +162,7 @@ type metricsJSON struct {
 	BatchItems       int64         `json:"batch_items"`
 	BatchItemErrors  int64         `json:"batch_item_errors"`
 	Rejected         int64         `json:"rejected"`
+	Shed             int64         `json:"shed"`
 	Timeouts         int64         `json:"timeouts"`
 	InFlight         int64         `json:"in_flight"`
 	CacheHits        int64         `json:"cache_hits"`
@@ -185,6 +191,7 @@ func (m *Metrics) snapshot(cacheEntries int, uptime time.Duration) metricsJSON {
 		BatchItems:       m.BatchItems.Load(),
 		BatchItemErrors:  m.BatchItemErrors.Load(),
 		Rejected:         m.Rejected.Load(),
+		Shed:             m.Shed.Load(),
 		Timeouts:         m.Timeouts.Load(),
 		InFlight:         m.InFlight.Load(),
 		CacheHits:        m.CacheHits.Load(),

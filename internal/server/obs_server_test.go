@@ -224,10 +224,14 @@ func TestRequestLoggingAndIDs(t *testing.T) {
 	}
 }
 
-// TestTimedOutCompileStillPopulatesCache: a compile that exceeds its
-// deadline returns 504, but the compilation finishes in the background and
-// its artifact (with trace) still lands in the cache.
-func TestTimedOutCompileStillPopulatesCache(t *testing.T) {
+// TestTimedOutCompileIsCanceled: a compile whose deadline expires returns
+// 504 with the deadline_exceeded envelope code, and the abandoned
+// compilation is canceled instead of finishing in the background — the
+// cache stays empty and the trace endpoint keeps 404ing. (Before the
+// resilience redesign the server let timed-out compiles run to completion
+// and cache their artifact; cooperative cancellation deliberately changes
+// that so abandoned work stops burning worker slots.)
+func TestTimedOutCompileIsCanceled(t *testing.T) {
 	srv, ts := newTestServer(t, server.Config{CompileTimeout: time.Nanosecond})
 	req := compileRequest(t, copyAddLoop(77))
 	hash, err := req.Hash()
@@ -239,18 +243,28 @@ func TestTimedOutCompileStillPopulatesCache(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("compile under 1ns deadline: got %s (%s), want 504", resp.Status, body)
 	}
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("504 body is not the error envelope: %v: %s", err, body)
+	}
+	if env.Error.Code != "deadline_exceeded" || !env.Error.Retryable {
+		t.Fatalf("504 envelope = %+v, want retryable deadline_exceeded", env.Error)
+	}
 
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Cache().Len() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("background compile never populated the cache")
+	// The canceled compile must NOT land in the cache afterwards.
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if n := srv.Cache().Len(); n != 0 {
+			t.Fatalf("canceled compile populated the cache (%d entries)", n)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-
-	var tr traceDoc
-	get(t, ts.URL+fmt.Sprintf("/v1/artifacts/%s/trace", hash), &tr)
-	if tr.Hash != hash || len(tr.Events) == 0 {
-		t.Fatalf("cached artifact from timed-out compile has no trace: %+v", tr)
+	if resp, _ := http.Get(ts.URL + fmt.Sprintf("/v1/artifacts/%s/trace", hash)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace for canceled compile: got %s, want 404", resp.Status)
 	}
 }

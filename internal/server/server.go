@@ -22,11 +22,29 @@
 //	GET  /metrics     — expvar-style JSON counters, latency histograms,
 //	                    pipeliner outcome counters, uptime and build info.
 //
-// Requests are executed on a bounded worker pool with per-request
-// deadlines; identical compile requests are deduplicated in flight and
-// their artifacts cached under the canonical content hash (see package
-// wire). The server drains gracefully: after Shutdown begins, new work is
-// rejected with 503 while in-flight requests finish.
+// Every POST/trace endpoint is mounted under both /v1 and /v2. The two
+// prefixes share handlers and semantics; /v2 names the redesigned
+// resilient surface every error response of which is the JSON envelope
+// {"error":{"code","message","retryable"}} (v1 paths keep their status
+// codes but return the same body — see package wire). Resilience
+// behaviors, on both prefixes:
+//
+//   - Deadline propagation: the effective deadline is the server's
+//     per-endpoint timeout tightened by the client's X-Request-Deadline-Ms
+//     header; it flows through the worker pool into the pipeliner's II
+//     search, which cancels cooperatively — a timed-out or abandoned
+//     request stops burning CPU instead of finishing in the background.
+//   - Admission control: a load shedder predicts the queueing delay from
+//     queue depth x observed median service time and rejects requests
+//     whose remaining deadline cannot be met with 503 + Retry-After,
+//     before they consume a worker slot.
+//   - Graceful drain: after Shutdown begins, new work is rejected with
+//     503 (code "draining") + Retry-After while in-flight work finishes.
+//
+// Identical compile requests are deduplicated in flight and their
+// artifacts cached under the canonical content hash (see package wire);
+// an in-flight compilation is canceled only when every request waiting
+// on it has given up, which is what makes client-side hedging safe.
 package server
 
 import (
@@ -37,6 +55,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +88,13 @@ type Config struct {
 	MaxBatchItems int
 	// MaxTrip bounds simulated trip counts (default 10M iterations).
 	MaxTrip int64
+	// ShedDisabled turns off deadline-aware admission control (the load
+	// shedder). Shedding is on by default; the uncontended admit check
+	// costs a few nanoseconds (gated by cmd/benchguard).
+	ShedDisabled bool
+	// DrainRetryAfter is the Retry-After hint on 503 responses while the
+	// server is draining (default 1s).
+	DrainRetryAfter time.Duration
 	// Logger receives structured request logs. Nil discards them (tests,
 	// embedders that log elsewhere).
 	Logger *slog.Logger
@@ -96,6 +122,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTrip <= 0 {
 		c.MaxTrip = 10_000_000
 	}
+	if c.DrainRetryAfter <= 0 {
+		c.DrainRetryAfter = time.Second
+	}
 	return c
 }
 
@@ -105,6 +134,7 @@ type Server struct {
 	cfg      Config
 	cache    *ArtifactCache
 	metrics  *Metrics
+	shed     *Shedder
 	logger   *slog.Logger
 	start    time.Time
 	sem      chan struct{}
@@ -123,16 +153,21 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		metrics: &Metrics{},
+		shed:    NewShedder(cfg.PoolSize),
 		logger:  logger,
 		start:   time.Now(),
 		sem:     make(chan struct{}, cfg.PoolSize),
 		mux:     http.NewServeMux(),
 	}
 	s.cache = NewArtifactCache(cfg.CacheCapacity, s.metrics)
-	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
-	s.mux.HandleFunc("POST /v1/compile-batch", s.handleCompileBatch)
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("GET /v1/artifacts/{hash}/trace", s.handleTrace)
+	// /v1 and /v2 share handlers: v2 is the documented resilient surface,
+	// v1 stays wire-compatible for existing clients.
+	for _, v := range []string{"/v1", "/v2"} {
+		s.mux.HandleFunc("POST "+v+"/compile", s.handleCompile)
+		s.mux.HandleFunc("POST "+v+"/compile-batch", s.handleCompileBatch)
+		s.mux.HandleFunc("POST "+v+"/simulate", s.handleSimulate)
+		s.mux.HandleFunc("GET "+v+"/artifacts/{hash}/trace", s.handleTrace)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -141,8 +176,19 @@ func New(cfg Config) *Server {
 // Metrics exposes the server's counters (tests and embedders).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// MetricsSnapshot returns the JSON document GET /metrics serves — the
+// daemon logs it on drain so a terminated replica leaves its final
+// counters in the log stream.
+func (s *Server) MetricsSnapshot() any {
+	return s.metrics.snapshot(s.cache.Len(), time.Since(s.start))
+}
+
 // Cache exposes the artifact cache (tests and embedders).
 func (s *Server) Cache() *ArtifactCache { return s.cache }
+
+// Shedder exposes the admission controller (tests prime it for
+// deterministic decisions; embedders may inspect it).
+func (s *Server) Shedder() *Shedder { return s.shed }
 
 // ServeHTTP implements http.Handler. Every request is tagged with a
 // request ID (echoed in the X-Request-ID response header) and logged
@@ -152,7 +198,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Request-ID", id)
 	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
-	s.mux.ServeHTTP(sw, r)
+	s.mux.ServeHTTP(&muxErrorWriter{statusWriter: sw}, r)
 	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 		slog.String("id", id),
 		slog.String("method", r.Method),
@@ -181,11 +227,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// errorJSON is the error response body.
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -194,41 +235,112 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+// writeError emits the v2 error envelope with an explicit code.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, wire.NewError(code, format, args...))
 }
 
-// acquire takes a worker slot, respecting the queue timeout and drain
-// state. It returns false (with the response already written) on failure.
-func (s *Server) acquire(w http.ResponseWriter, r *http.Request) bool {
+// writeUnavailable emits a 503 envelope with a Retry-After hint.
+func writeUnavailable(w http.ResponseWriter, code string, retryAfter time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+	writeError(w, http.StatusServiceUnavailable, code, format, args...)
+}
+
+// codeForStatus maps a handler-chosen HTTP status to the envelope code
+// used when no more specific code applies.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return wire.CodeInvalidRequest
+	case http.StatusNotFound:
+		return wire.CodeNotFound
+	case http.StatusRequestEntityTooLarge:
+		return wire.CodeTooLarge
+	case http.StatusServiceUnavailable:
+		return wire.CodeOverloaded
+	case http.StatusGatewayTimeout:
+		return wire.CodeDeadlineExceeded
+	default:
+		return wire.CodeInternal
+	}
+}
+
+// requestCtx derives the request's effective work deadline: the server's
+// per-endpoint timeout, tightened by the client's remaining budget when
+// the request carries an X-Request-Deadline-Ms header. The base context
+// is the request's own, so a client disconnect cancels the work too.
+func requestCtx(r *http.Request, serverTO time.Duration) (context.Context, context.CancelFunc) {
+	to := serverTO
+	if h := r.Header.Get(wire.DeadlineHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < to {
+				to = d
+			}
+		}
+	}
+	return context.WithTimeout(r.Context(), to)
+}
+
+// acquire takes a worker slot, respecting drain state, admission control
+// and the queue timeout. ctx must carry the request's effective deadline
+// (requestCtx). It returns false (with the response already written) on
+// failure.
+func (s *Server) acquire(w http.ResponseWriter, ctx context.Context) bool {
 	if s.draining.Load() {
 		s.metrics.Rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeUnavailable(w, wire.CodeDraining, s.cfg.DrainRetryAfter, "server is shutting down")
 		return false
 	}
-	ctx := r.Context()
+	// Load shedding: reject early — before consuming a worker slot —
+	// when the predicted queueing delay already exceeds the request's
+	// remaining deadline. Only requests that declare a deadline can be
+	// shed; the effective deadline from requestCtx always exists, so in
+	// practice this covers every compile/simulate request.
+	if !s.cfg.ShedDisabled {
+		if deadline, ok := ctx.Deadline(); ok {
+			if wait, admit := s.shed.Admit(time.Until(deadline), s.metrics.InFlight.Load()); !admit {
+				s.metrics.Shed.Add(1)
+				s.metrics.Rejected.Add(1)
+				writeUnavailable(w, wire.CodeOverloaded,
+					wait, "predicted queue wait %s exceeds the request deadline", wait.Round(time.Millisecond))
+				return false
+			}
+		}
+	}
+	s.shed.Enqueue()
+	defer s.shed.Dequeue()
+	qctx := ctx
 	if s.cfg.QueueTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueueTimeout)
+		qctx, cancel = context.WithTimeout(ctx, s.cfg.QueueTimeout)
 		defer cancel()
 	}
 	select {
 	case s.sem <- struct{}{}:
 		return true
-	case <-ctx.Done():
+	case <-qctx.Done():
 		s.metrics.Rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "worker pool saturated")
+		if ctx.Err() != nil {
+			// The request's own deadline (or the client) gave up while
+			// queued — that is a deadline failure, not back-pressure.
+			s.metrics.Timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, wire.CodeDeadlineExceeded,
+				"request deadline expired while waiting for a worker slot")
+			return false
+		}
+		wait := s.shed.MedianServiceTime()
+		writeUnavailable(w, wire.CodeOverloaded, wait, "worker pool saturated")
 		return false
 	}
 }
 
-// runBounded executes fn on the calling goroutine's worker slot with the
-// given deadline. On timeout the request fails but fn runs to completion
-// in the background (a compilation result still lands in the cache).
-func (s *Server) runBounded(r *http.Request, timeout time.Duration, fn func() (any, int, error)) (any, int, error) {
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-
+// runBounded executes fn on the calling goroutine's worker slot under
+// ctx (the request's effective deadline). When ctx ends first the
+// request fails with 504 and fn — which receives ctx — is expected to
+// return promptly via cooperative cancellation, releasing the slot; the
+// singleflight cache keeps the computation alive only while other
+// requests still wait on it.
+func (s *Server) runBounded(ctx context.Context, fn func(context.Context) (any, int, error)) (any, int, error) {
 	type outcome struct {
 		v      any
 		status int
@@ -237,13 +349,15 @@ func (s *Server) runBounded(r *http.Request, timeout time.Duration, fn func() (a
 	ch := make(chan outcome, 1)
 	s.work.Add(1)
 	s.metrics.InFlight.Add(1)
+	start := time.Now()
 	go func() {
 		defer func() {
+			s.shed.Observe(time.Since(start))
 			s.metrics.InFlight.Add(-1)
 			s.work.Done()
 			<-s.sem
 		}()
-		v, status, err := fn()
+		v, status, err := fn(ctx)
 		ch <- outcome{v, status, err}
 	}()
 	select {
@@ -251,61 +365,53 @@ func (s *Server) runBounded(r *http.Request, timeout time.Duration, fn func() (a
 		return out.v, out.status, out.err
 	case <-ctx.Done():
 		s.metrics.Timeouts.Add(1)
-		return nil, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded (%s)", timeout)
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded: %w", ctx.Err())
 	}
 }
 
-// LoadReportJSON mirrors core.LoadReport on the wire.
-type LoadReportJSON struct {
-	ID       int    `json:"id"`
-	Critical bool   `json:"critical"`
-	BaseLat  int    `json:"baseLat"`
-	SchedLat int    `json:"schedLat"`
-	ExtraD   int    `json:"extraD"`
-	ClusterK int    `json:"clusterK"`
-	Hint     string `json:"hint"`
+// statusForErr classifies a work-function error: cancellation and
+// deadline errors become 504 (retryable), everything else keeps the
+// handler-chosen status.
+func statusForErr(err error, status int) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return status
 }
 
-// RegStatsJSON mirrors regalloc.Stats on the wire.
-type RegStatsJSON struct {
-	GR     int `json:"gr"`
-	RotGR  int `json:"rotGR"`
-	FR     int `json:"fr"`
-	RotFR  int `json:"rotFR"`
-	PR     int `json:"pr"`
-	RotPR  int `json:"rotPR"`
-	Spills int `json:"spills"`
+// codedError lets a work function pin a specific envelope code; handlers
+// otherwise derive the code from the HTTP status via codeForStatus.
+type codedError struct {
+	code string
+	err  error
 }
 
-// HLOJSON summarizes the prefetcher's decisions on the wire.
-type HLOJSON struct {
-	IIEst           int `json:"iiEst"`
-	PrefetchesAdded int `json:"prefetchesAdded"`
-	HintsSet        int `json:"hintsSet"`
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+// errCode picks the envelope code for a work-function failure.
+func errCode(err error, status int) string {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return wire.CodeDeadlineExceeded
+	}
+	return codeForStatus(status)
 }
 
-// CompileResponse is the body of a successful POST /v1/compile.
-type CompileResponse struct {
-	// Hash is the content-addressed artifact key; POST /v1/simulate
-	// accepts it in place of an inline loop.
-	Hash string `json:"hash"`
-	// Cached reports whether the artifact came from the cache (including
-	// piggybacking on an identical in-flight compilation).
-	Cached    bool             `json:"cached"`
-	Pipelined bool             `json:"pipelined"`
-	II        int              `json:"ii,omitempty"`
-	Stages    int              `json:"stages,omitempty"`
-	ResII     int              `json:"resII,omitempty"`
-	RecII     int              `json:"recII,omitempty"`
-	Reg       RegStatsJSON     `json:"reg"`
-	Loads     []LoadReportJSON `json:"loads,omitempty"`
-	HLO       *HLOJSON         `json:"hlo,omitempty"`
-	// Outcome is the pipeliner result class (obs.Outcome*); the full
-	// decision trace is at GET /v1/artifacts/{hash}/trace.
-	Outcome string `json:"outcome"`
-	Listing string `json:"listing"`
-	Diagram string `json:"diagram,omitempty"`
-}
+// The response envelopes now live in package wire, shared with
+// ltspclient; the aliases keep existing embedders and tests compiling.
+type (
+	LoadReportJSON   = wire.LoadReportJSON
+	RegStatsJSON     = wire.RegStatsJSON
+	HLOJSON          = wire.HLOJSON
+	CompileResponse  = wire.CompileResponse
+	AcctJSON         = wire.AcctJSON
+	SimulateResponse = wire.SimulateResponse
+	TraceResponse    = wire.TraceResponse
+)
 
 func compileResponse(hash string, cached bool, c *ltsp.Compiled) *CompileResponse {
 	resp := &CompileResponse{
@@ -345,9 +451,21 @@ func compileResponse(hash string, cached bool, c *ltsp.Compiled) *CompileRespons
 
 // compileCached compiles the request through the singleflight artifact
 // cache, returning the artifact, its hash, and whether it was served from
-// cache. Each compilation actually executed records its decision trace in
-// the artifact and bumps the matching outcome counter exactly once.
-func (s *Server) compileCached(req *wire.CompileRequest) (*Artifact, string, bool, error) {
+// cache. ctx is this caller's interest in the result — the compilation
+// itself runs under the cache's flight context, which stays alive while
+// any identical request still waits (see ArtifactCache.GetOrCompute).
+// Each compilation actually executed records its decision trace in the
+// artifact and bumps the matching outcome counter exactly once.
+func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*Artifact, string, bool, error) {
+	if err := ctx.Err(); err != nil {
+		// The deadline already expired (e.g. while queued): don't start a
+		// compilation nobody will wait for.
+		return nil, "", false, err
+	}
+	if req.Version != wire.Version {
+		return nil, "", false, &codedError{wire.CodeUnsupportedVersion,
+			fmt.Errorf("unsupported request version %d (want %d)", req.Version, wire.Version)}
+	}
 	hash, err := req.Hash()
 	if err != nil {
 		return nil, "", false, err
@@ -356,14 +474,14 @@ func (s *Server) compileCached(req *wire.CompileRequest) (*Artifact, string, boo
 	if err != nil {
 		return nil, "", false, err
 	}
-	art, cached, err := s.cache.GetOrCompute(hash, func() (*Artifact, error) {
+	art, cached, err := s.cache.GetOrCompute(ctx, hash, func(fctx context.Context) (*Artifact, error) {
 		l, err := req.DecodeLoop()
 		if err != nil {
 			return nil, err
 		}
 		tr := obs.New()
 		opts.Trace = tr
-		c, err := ltsp.Compile(l, opts)
+		c, err := ltsp.CompileContext(fctx, l, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -381,11 +499,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.metrics.CompileErrors.Add(1)
 		return
 	}
-	if !s.acquire(w, r) {
+	ctx, cancel := requestCtx(r, s.cfg.CompileTimeout)
+	defer cancel()
+	if !s.acquire(w, ctx) {
 		return
 	}
-	v, status, err := s.runBounded(r, s.cfg.CompileTimeout, func() (any, int, error) {
-		art, hash, cached, err := s.compileCached(&req)
+	v, status, err := s.runBounded(ctx, func(ctx context.Context) (any, int, error) {
+		art, hash, cached, err := s.compileCached(ctx, &req)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
@@ -394,33 +514,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.metrics.CompileLatency.Observe(time.Since(start))
 	if err != nil {
 		s.metrics.CompileErrors.Add(1)
-		writeError(w, status, "compile: %v", err)
+		status = statusForErr(err, status)
+		writeError(w, status, errCode(err, status), "compile: %v", err)
 		return
 	}
 	writeJSON(w, status, v)
-}
-
-// AcctJSON mirrors sim.Accounting on the wire.
-type AcctJSON struct {
-	Total        int64 `json:"total"`
-	Unstalled    int64 `json:"unstalled"`
-	ExeBubble    int64 `json:"exeBubble"`
-	L1DFPUBubble int64 `json:"l1dFpuBubble"`
-	RSEBubble    int64 `json:"rseBubble"`
-	FlushBubble  int64 `json:"flushBubble"`
-	FEBubble     int64 `json:"feBubble"`
-}
-
-// SimulateResponse is the body of a successful POST /v1/simulate.
-type SimulateResponse struct {
-	Hash          string   `json:"hash"`
-	Cached        bool     `json:"cached"`
-	Cycles        int64    `json:"cycles"`
-	KernelIters   int64    `json:"kernelIters"`
-	Acct          AcctJSON `json:"acct"`
-	LoadsByLevel  [5]int64 `json:"loadsByLevel"`
-	OzQPeak       int      `json:"ozqPeak"`
-	BankConflicts int64    `json:"bankConflicts"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -431,16 +529,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.metrics.SimulateErrors.Add(1)
 		return
 	}
-	if !s.acquire(w, r) {
+	ctx, cancel := requestCtx(r, s.cfg.SimulateTimeout)
+	defer cancel()
+	if !s.acquire(w, ctx) {
 		return
 	}
-	v, status, err := s.runBounded(r, s.cfg.SimulateTimeout, func() (any, int, error) {
-		return s.simulate(&req)
+	v, status, err := s.runBounded(ctx, func(ctx context.Context) (any, int, error) {
+		return s.simulate(ctx, &req)
 	})
 	s.metrics.SimulateLatency.Observe(time.Since(start))
 	if err != nil {
 		s.metrics.SimulateErrors.Add(1)
-		writeError(w, status, "simulate: %v", err)
+		status = statusForErr(err, status)
+		writeError(w, status, errCode(err, status), "simulate: %v", err)
 		return
 	}
 	writeJSON(w, status, v)
@@ -448,9 +549,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 var errUnknownArtifact = errors.New("unknown artifact hash (compile first, or send the loop inline)")
 
-func (s *Server) simulate(req *wire.SimulateRequest) (any, int, error) {
+func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (any, int, error) {
 	if req.Version != wire.Version {
-		return nil, http.StatusBadRequest, fmt.Errorf("unsupported request version %d (want %d)", req.Version, wire.Version)
+		return nil, http.StatusBadRequest, &codedError{wire.CodeUnsupportedVersion,
+			fmt.Errorf("unsupported request version %d (want %d)", req.Version, wire.Version)}
 	}
 	if req.Trip < 1 {
 		return nil, http.StatusBadRequest, fmt.Errorf("trip count %d < 1", req.Trip)
@@ -477,7 +579,7 @@ func (s *Server) simulate(req *wire.SimulateRequest) (any, int, error) {
 	default:
 		creq := &wire.CompileRequest{Version: wire.Version, Loop: req.Loop, Options: req.Options}
 		var art *Artifact
-		art, hash, cached, err = s.compileCached(creq)
+		art, hash, cached, err = s.compileCached(ctx, creq)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
@@ -524,21 +626,14 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.metrics.Rejected.Add(1)
-			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			writeError(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
+				"body exceeds %d bytes", s.cfg.MaxBodyBytes)
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		writeError(w, http.StatusBadRequest, wire.CodeInvalidRequest, "malformed request body: %v", err)
 		return false
 	}
 	return true
-}
-
-// TraceResponse is the body of GET /v1/artifacts/{hash}/trace. Events is
-// the trace's JSON form: an array of kinded decision events.
-type TraceResponse struct {
-	Hash    string     `json:"hash"`
-	Outcome string     `json:"outcome"`
-	Events  *obs.Trace `json:"events"`
 }
 
 // handleTrace serves the decision trace stored with a cached artifact. It
@@ -548,7 +643,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	art, ok := s.cache.Peek(hash)
 	if !ok {
-		writeError(w, http.StatusNotFound, "trace: %v", errUnknownArtifact)
+		writeError(w, http.StatusNotFound, wire.CodeNotFound, "trace: %v", errUnknownArtifact)
 		return
 	}
 	writeJSON(w, http.StatusOK, &TraceResponse{

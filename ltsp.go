@@ -23,6 +23,9 @@
 package ltsp
 
 import (
+	"context"
+	"errors"
+
 	"ltsp/internal/cache"
 	"ltsp/internal/core"
 	"ltsp/internal/hlo"
@@ -263,6 +266,23 @@ func (c *Compiled) Diagram(n int) string {
 // pipeliner on the loop, falling back to an acyclic list schedule when
 // pipelining is infeasible or disabled.
 func Compile(l *Loop, opts Options) (*Compiled, error) {
+	return CompileContext(context.Background(), l, opts)
+}
+
+// CompileContext is Compile with cooperative cancellation: the
+// pipeliner's II search checks ctx between candidate IIs and abandons
+// the compilation with an error wrapping ctx.Err() once the context is
+// done, so callers that stop caring (a timed-out service request, a
+// canceled batch) stop burning CPU. Cancellation never degrades the
+// result: a canceled compilation returns the error rather than falling
+// back to the sequential schedule.
+func CompileContext(ctx context.Context, l *Loop, opts Options) (*Compiled, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := opts.Model
 	if m == nil {
 		m = machine.Itanium2()
@@ -280,7 +300,7 @@ func Compile(l *Loop, opts Options) (*Compiled, error) {
 	pipeline := opts.Pipeline == nil || *opts.Pipeline
 	var pipeErr error
 	if pipeline {
-		c, err := core.Pipeline(l, core.Options{
+		c, err := core.PipelineCtx(ctx, l, core.Options{
 			Model:           m,
 			LatencyTolerant: opts.LatencyTolerant,
 			BoostDelinquent: opts.BoostDelinquent,
@@ -300,6 +320,11 @@ func Compile(l *Loop, opts Options) (*Compiled, error) {
 			return out, nil
 		}
 		if opts.Pipeline != nil {
+			return nil, err
+		}
+		// A canceled search is not "pipelining infeasible": surface the
+		// cancellation instead of silently emitting a sequential schedule.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
 		}
 		pipeErr = err
@@ -352,5 +377,13 @@ func Run(c *Compiled, trip int64, mem *Memory) (*interp.State, error) {
 	return interp.Run(c.Program, trip, mem)
 }
 
+// CacheConfig is the cache hierarchy geometry of the timing simulator
+// (SimConfig.Cache).
+type CacheConfig = cache.Config
+
 // DefaultCacheConfig returns the Itanium 2 cache hierarchy geometry.
-func DefaultCacheConfig() cache.Config { return cache.DefaultItanium2() }
+//
+// Deprecated: use DefaultSimConfig().Cache, which names the same
+// geometry through the simulator configuration that actually consumes
+// it; this accessor remains only for existing callers.
+func DefaultCacheConfig() CacheConfig { return cache.DefaultItanium2() }

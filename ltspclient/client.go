@@ -1,0 +1,425 @@
+// Package ltspclient is the Go client for the ltspd compile-and-simulate
+// service's v2 API. It adds the resilience the raw HTTP surface expects
+// from callers:
+//
+//   - Typed errors: every non-2xx response is decoded from the v2 error
+//     envelope into an *APIError with a machine-readable code; match
+//     codes with errors.Is against the Err* sentinels.
+//   - Retries: transient failures (retryable envelope codes, transport
+//     errors) are retried with exponential backoff and full jitter,
+//     honoring the server's Retry-After hint as a floor and bounded by a
+//     total backoff budget. The jitter source is seeded, so tests are
+//     deterministic.
+//   - Deadlines: every attempt carries the caller's remaining budget in
+//     the X-Request-Deadline-Ms header, so the server can shed requests
+//     it cannot serve in time and cancel work whose deadline expires.
+//   - Hedging: Compile can launch a second identical request after
+//     HedgeDelay to cut tail latency. This is safe — the server
+//     deduplicates identical in-flight compiles by content hash, and an
+//     in-flight compilation is canceled only when every request waiting
+//     on it has given up, so the losing hedge never kills the winner's
+//     work.
+package ltspclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltsp"
+	"ltsp/internal/wire"
+)
+
+// Config parameterizes a Client. The zero value of every field except
+// BaseURL is usable; New applies the documented defaults.
+type Config struct {
+	// BaseURL is the ltspd root, e.g. "http://localhost:8347" (required).
+	BaseURL string
+	// HTTPClient is the underlying transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first (default 3;
+	// negative disables retries).
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries: sleep k is a uniformly jittered fraction of
+	// min(BackoffBase<<k, BackoffMax) — "full jitter" — raised to the
+	// server's Retry-After hint when one was sent (defaults 50ms / 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BackoffBudget bounds the total time spent sleeping between retries
+	// of one logical call (default 10s). A retry whose sleep would
+	// exceed the remaining budget is not attempted.
+	BackoffBudget time.Duration
+	// RequestTimeout bounds each individual attempt (default 30s). The
+	// caller's ctx bounds the logical call across all attempts.
+	RequestTimeout time.Duration
+	// BatchTimeout bounds a CompileBatch call (default 5m): batches are
+	// long-running by design, so they get their own per-attempt bound.
+	BatchTimeout time.Duration
+	// HedgeDelay, when positive, makes Compile launch a second identical
+	// request after this delay and take whichever answer arrives first
+	// (default off).
+	HedgeDelay time.Duration
+	// Seed seeds the jitter source (0 = a fixed default seed). Equal
+	// seeds give identical backoff sequences — tests rely on this.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.BackoffBudget <= 0 {
+		c.BackoffBudget = 10 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Stats counts what the client's resilience machinery actually did;
+// read it after a call (or a test) to assert on retry behavior.
+type Stats struct {
+	// Attempts is the number of HTTP requests sent (including hedges).
+	Attempts int64
+	// Retries is the number of attempts that were re-sends after a
+	// retryable failure.
+	Retries int64
+	// Hedges is the number of hedge requests launched; HedgeWins counts
+	// the hedged calls the second request won.
+	Hedges    int64
+	HedgeWins int64
+	// BackoffSlept is the total time spent sleeping between retries.
+	BackoffSlept time.Duration
+}
+
+// Client is a resilient ltspd v2 API client. It is safe for concurrent
+// use.
+type Client struct {
+	cfg  Config
+	base string
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	attempts  atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	sleptNs   atomic.Int64
+}
+
+// New builds a Client. The only required field is Config.BaseURL.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("ltspclient: Config.BaseURL is required")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Client{
+		cfg:  cfg.withDefaults(),
+		base: strings.TrimRight(cfg.BaseURL, "/"),
+		rng:  rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Stats returns a snapshot of the client's resilience counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Attempts:     c.attempts.Load(),
+		Retries:      c.retries.Load(),
+		Hedges:       c.hedges.Load(),
+		HedgeWins:    c.hedgeWins.Load(),
+		BackoffSlept: time.Duration(c.sleptNs.Load()),
+	}
+}
+
+// Compile submits one compile request. With Config.HedgeDelay set, a
+// second identical request is hedged after the delay and the first
+// answer wins; the loser's attempt is canceled.
+func (c *Client) Compile(ctx context.Context, req *wire.CompileRequest) (*wire.CompileResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out := new(wire.CompileResponse)
+	if c.cfg.HedgeDelay > 0 {
+		err = c.hedge(ctx, "/v2/compile", body, out)
+	} else {
+		err = c.do(ctx, http.MethodPost, "/v2/compile", body, c.cfg.RequestTimeout, out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CompileLoop builds the wire request for (loop, options) and submits it
+// via Compile.
+func (c *Client) CompileLoop(ctx context.Context, l *ltsp.Loop, opts ltsp.Options) (*wire.CompileResponse, error) {
+	req, err := wire.NewCompileRequest(l, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compile(ctx, req)
+}
+
+// CompileBatch submits a batch of compile items. The batch as a whole
+// retries like a single call (the server's response is 200 even when
+// individual items fail; inspect each item's ErrorCode/Retryable to
+// resubmit just the transient failures).
+func (c *Client) CompileBatch(ctx context.Context, items []wire.CompileItem) (*wire.CompileBatchResponse, error) {
+	body, err := json.Marshal(&wire.CompileBatchRequest{Version: wire.Version, Items: items})
+	if err != nil {
+		return nil, err
+	}
+	out := new(wire.CompileBatchResponse)
+	if err := c.do(ctx, http.MethodPost, "/v2/compile-batch", body, c.cfg.BatchTimeout, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Simulate runs (or compiles inline and runs) a simulation.
+func (c *Client) Simulate(ctx context.Context, req *wire.SimulateRequest) (*wire.SimulateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out := new(wire.SimulateResponse)
+	if err := c.do(ctx, http.MethodPost, "/v2/simulate", body, c.cfg.RequestTimeout, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Trace fetches the decision trace of a cached artifact.
+func (c *Client) Trace(ctx context.Context, hash string) (*wire.TraceResponse, error) {
+	out := new(wire.TraceResponse)
+	if err := c.do(ctx, http.MethodGet, "/v2/artifacts/"+hash+"/trace", nil, c.cfg.RequestTimeout, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health reports the server's /healthz status ("ok" or "draining") and
+// build version. Health does not retry: it is itself the probe.
+func (c *Client) Health(ctx context.Context) (status, version string, err error) {
+	var out struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	if err := c.once(ctx, http.MethodGet, "/healthz", nil, c.cfg.RequestTimeout, &out); err != nil {
+		return "", "", err
+	}
+	return out.Status, out.Version, nil
+}
+
+// do runs the retry loop around once: send, classify, back off, resend.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, attemptTO time.Duration, out any) error {
+	budget := c.cfg.BackoffBudget
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		lastErr = c.once(ctx, method, path, body, attemptTO, out)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller's own deadline is gone; whatever the attempt
+			// returned, retrying is pointless.
+			return lastErr
+		}
+		if attempt >= c.cfg.MaxRetries || !IsRetryable(lastErr) {
+			return lastErr
+		}
+		sleep := c.backoff(attempt, lastErr)
+		if sleep > budget {
+			return lastErr // budget exhausted: surface the last failure
+		}
+		budget -= sleep
+		c.sleptNs.Add(int64(sleep))
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return lastErr
+		}
+	}
+}
+
+// backoff computes the sleep before retry number attempt (0-based):
+// full-jittered exponential, floored at the server's Retry-After hint.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	max := c.cfg.BackoffBase << attempt
+	if max > c.cfg.BackoffMax || max <= 0 {
+		max = c.cfg.BackoffMax
+	}
+	c.mu.Lock()
+	sleep := time.Duration(c.rng.Int63n(int64(max)) + 1)
+	c.mu.Unlock()
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > sleep {
+		sleep = ae.RetryAfter
+	}
+	return sleep
+}
+
+// once sends a single HTTP attempt under its own timeout, propagating
+// the caller's remaining deadline budget in the X-Request-Deadline-Ms
+// header and decoding either the success body into out or the error
+// envelope into an *APIError.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, attemptTO time.Duration, out any) error {
+	c.attempts.Add(1)
+	actx, cancel := context.WithTimeout(ctx, attemptTO)
+	defer cancel()
+
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if deadline, ok := actx.Deadline(); ok {
+		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+			req.Header.Set(wire.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("ltspclient: decoding %s response: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// apiError decodes a non-2xx response into an *APIError. A body that is
+// not the v2 envelope (a proxy's HTML error page, a truncated response)
+// degrades to code "internal" with retryability inferred from the
+// status, so the retry loop still behaves sensibly.
+func apiError(resp *http.Response, body []byte) error {
+	ae := &APIError{Status: resp.StatusCode}
+	var env wire.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+		ae.Retryable = env.Error.Retryable
+	} else {
+		ae.Code = wire.CodeInternal
+		ae.Message = strings.TrimSpace(string(body))
+		ae.Retryable = resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusGatewayTimeout ||
+			resp.StatusCode >= 500
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
+// hedge runs the hedged compile: a first leg immediately, a second
+// identical one HedgeDelay later, first answer wins and the loser is
+// canceled. Errors don't win — a leg that fails simply leaves the race
+// to the other; only when both legs have failed does hedge return the
+// first leg's error.
+func (c *Client) hedge(ctx context.Context, path string, body []byte, out *wire.CompileResponse) error {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		resp *wire.CompileResponse
+		err  error
+		leg  int
+	}
+	results := make(chan result, 2)
+	leg := func(n int) {
+		v := new(wire.CompileResponse)
+		err := c.do(hctx, http.MethodPost, path, body, c.cfg.RequestTimeout, v)
+		results <- result{v, err, n}
+	}
+
+	go leg(0)
+	timer := time.NewTimer(c.cfg.HedgeDelay)
+	defer timer.Stop()
+
+	launched := 1
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				c.hedges.Add(1)
+				go leg(1)
+			}
+		case r := <-results:
+			if r.err == nil {
+				if r.leg == 1 {
+					c.hedgeWins.Add(1)
+				}
+				*out = *r.resp
+				return nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			launched--
+			if launched == 0 {
+				// Every launched leg failed. If the hedge never fired
+				// (first leg failed fast), don't wait for the timer.
+				return firstErr
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package ltspclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ltsp/internal/wire"
+)
+
+func newClient(t *testing.T, handler http.HandlerFunc, mut func(*Config)) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	cfg := Config{
+		BaseURL:     ts.URL,
+		Seed:        1,
+		MaxRetries:  3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ts
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wire.NewError(code, "test"))
+}
+
+func okCompile(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&wire.CompileResponse{Hash: "abc", Pipelined: true})
+}
+
+// TestRetriesTransientThenSucceeds: retryable envelope codes are retried
+// until the server recovers; the result and the retry accounting both
+// come out right.
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeEnvelope(w, http.StatusServiceUnavailable, wire.CodeOverloaded)
+			return
+		}
+		okCompile(w)
+	}, nil)
+
+	resp, err := client.Compile(context.Background(), &wire.CompileRequest{Version: wire.Version})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Hash != "abc" {
+		t.Fatalf("hash = %q", resp.Hash)
+	}
+	st := client.Stats()
+	if st.Attempts != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 attempts / 2 retries", st)
+	}
+}
+
+// TestPermanentErrorNotRetried: a non-retryable code fails immediately
+// as the matching typed sentinel.
+func TestPermanentErrorNotRetried(t *testing.T) {
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, http.StatusBadRequest, wire.CodeInvalidRequest)
+	}, nil)
+
+	_, err := client.Compile(context.Background(), &wire.CompileRequest{Version: wire.Version})
+	if !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("err = %v, want ErrInvalidRequest", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest || ae.Retryable {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if st := client.Stats(); st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry of a permanent error)", st.Attempts)
+	}
+}
+
+// TestTypedErrorMapping: each envelope code round-trips to its sentinel.
+func TestTypedErrorMapping(t *testing.T) {
+	cases := []struct {
+		status   int
+		code     string
+		sentinel *APIError
+	}{
+		{http.StatusNotFound, wire.CodeNotFound, ErrNotFound},
+		{http.StatusBadRequest, wire.CodeUnsupportedVersion, ErrUnsupportedVersion},
+		{http.StatusRequestEntityTooLarge, wire.CodeTooLarge, ErrTooLarge},
+		{http.StatusGatewayTimeout, wire.CodeDeadlineExceeded, ErrDeadlineExceeded},
+		{http.StatusServiceUnavailable, wire.CodeDraining, ErrDraining},
+		{http.StatusServiceUnavailable, wire.CodeInjected, ErrInjected},
+	}
+	for _, tc := range cases {
+		client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+			writeEnvelope(w, tc.status, tc.code)
+		}, func(c *Config) { c.MaxRetries = -1 })
+		_, err := client.Trace(context.Background(), "deadbeef")
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("code %s: err %v does not match its sentinel", tc.code, err)
+		}
+	}
+}
+
+// TestRetryAfterFloorsBackoff: the server's Retry-After hint raises the
+// sleep above the jittered exponential backoff.
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sleeps a full Retry-After second")
+	}
+	var calls atomic.Int64
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			writeEnvelope(w, http.StatusServiceUnavailable, wire.CodeOverloaded)
+			return
+		}
+		okCompile(w)
+	}, nil)
+
+	start := time.Now()
+	if _, err := client.Compile(context.Background(), &wire.CompileRequest{Version: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %s, before the server's Retry-After of 1s", elapsed)
+	}
+	if st := client.Stats(); st.BackoffSlept < time.Second {
+		t.Fatalf("BackoffSlept = %s, want >= 1s", st.BackoffSlept)
+	}
+}
+
+// TestBackoffBudgetBounds: when every attempt fails retryably, the total
+// sleep is bounded by BackoffBudget and the loop gives up early rather
+// than sleeping past it.
+func TestBackoffBudgetBounds(t *testing.T) {
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1") // 1s floor vs a 100ms budget
+		writeEnvelope(w, http.StatusServiceUnavailable, wire.CodeOverloaded)
+	}, func(c *Config) {
+		c.MaxRetries = 50
+		c.BackoffBudget = 100 * time.Millisecond
+	})
+
+	start := time.Now()
+	_, err := client.Compile(context.Background(), &wire.CompileRequest{Version: wire.Version})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	st := client.Stats()
+	if st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1: the first 1s-floored sleep already exceeds the 100ms budget", st.Attempts)
+	}
+	if st.BackoffSlept != 0 {
+		t.Fatalf("BackoffSlept = %s, want 0 (the over-budget sleep must not happen)", st.BackoffSlept)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("gave up after %s; the budget should have cut retries off immediately", elapsed)
+	}
+}
+
+// TestDeadlineHeaderPropagates: each attempt advertises the remaining
+// ctx budget via X-Request-Deadline-Ms so the server can shed and cancel.
+func TestDeadlineHeaderPropagates(t *testing.T) {
+	var gotMs atomic.Int64
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		ms, _ := json.Number(r.Header.Get(wire.DeadlineHeader)).Int64()
+		gotMs.Store(ms)
+		okCompile(w)
+	}, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := client.Compile(ctx, &wire.CompileRequest{Version: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	ms := gotMs.Load()
+	if ms <= 0 || ms > 5000 {
+		t.Fatalf("%s = %dms, want in (0, 5000]", wire.DeadlineHeader, ms)
+	}
+}
+
+// TestCallerContextStopsRetries: once the caller's own context is done,
+// the retry loop stops — a canceled caller never generates more load.
+func TestCallerContextStopsRetries(t *testing.T) {
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, http.StatusServiceUnavailable, wire.CodeOverloaded)
+	}, func(c *Config) {
+		c.MaxRetries = 1000
+		c.BackoffBase = 50 * time.Millisecond
+		c.BackoffMax = 50 * time.Millisecond
+		c.BackoffBudget = time.Hour
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	_, err := client.Compile(ctx, &wire.CompileRequest{Version: wire.Version})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if st := client.Stats(); st.Attempts > 5 {
+		t.Fatalf("attempts = %d after ctx expiry, want a handful at most", st.Attempts)
+	}
+}
+
+// TestHedgeSecondRequestWins: when the first attempt stalls past
+// HedgeDelay, the hedge fires, wins, and the caller gets its answer
+// without waiting out the stall.
+func TestHedgeSecondRequestWins(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// First leg stalls until the test ends (or the client
+			// cancels it after the hedge wins).
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			writeEnvelope(w, http.StatusServiceUnavailable, wire.CodeOverloaded)
+			return
+		}
+		okCompile(w)
+	}, func(c *Config) { c.HedgeDelay = 10 * time.Millisecond })
+	defer close(release)
+
+	start := time.Now()
+	resp, err := client.Compile(context.Background(), &wire.CompileRequest{Version: wire.Version})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Hash != "abc" {
+		t.Fatalf("hash = %q", resp.Hash)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedged call took %s; the hedge should have won quickly", elapsed)
+	}
+	st := client.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge / 1 hedge win", st)
+	}
+}
+
+// TestNonEnvelopeErrorDegrades: a non-JSON error body (a proxy page)
+// still produces a usable APIError with retryability inferred from the
+// status code.
+func TestNonEnvelopeErrorDegrades(t *testing.T) {
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "<html>bad gateway</html>", http.StatusBadGateway)
+	}, func(c *Config) { c.MaxRetries = -1 })
+
+	_, err := client.Compile(context.Background(), &wire.CompileRequest{Version: wire.Version})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if ae.Status != http.StatusBadGateway || ae.Code != wire.CodeInternal || !ae.Retryable {
+		t.Fatalf("degraded APIError = %+v", ae)
+	}
+}
+
+// TestHealthDoesNotRetry: the health probe reports what it sees, once.
+func TestHealthDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining", "version": "test"})
+	}, nil)
+
+	status, version, err := client.Health(context.Background())
+	if err != nil || status != "draining" || version != "test" {
+		t.Fatalf("health = %q/%q/%v", status, version, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("health probed %d times, want 1", calls.Load())
+	}
+}

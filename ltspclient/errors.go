@@ -1,0 +1,72 @@
+package ltspclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ltsp/internal/wire"
+)
+
+// APIError is a non-2xx ltspd response decoded from the v2 error envelope
+// {"error":{"code","message","retryable"}}. Match it structurally with
+// errors.As, or match a specific code with errors.Is against one of the
+// Err* sentinels:
+//
+//	if errors.Is(err, ltspclient.ErrOverloaded) { ... back off ... }
+type APIError struct {
+	// Status is the HTTP status code of the response.
+	Status int
+	// Code is the machine-readable envelope code ("overloaded",
+	// "deadline_exceeded", "invalid_request", ...).
+	Code string
+	// Message is the human-readable envelope message.
+	Message string
+	// Retryable reports whether the server says resubmitting the
+	// identical request may succeed. The client's retry loop obeys it.
+	Retryable bool
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ltspd: %s (code %s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// Is matches another *APIError by code alone, so the Err* sentinels work
+// with errors.Is regardless of status, message, or Retry-After.
+func (e *APIError) Is(target error) bool {
+	var t *APIError
+	if !errors.As(target, &t) {
+		return false
+	}
+	return t.Code == e.Code
+}
+
+// Sentinel errors for errors.Is matching, one per envelope code.
+var (
+	ErrInvalidRequest     = &APIError{Code: wire.CodeInvalidRequest}
+	ErrUnsupportedVersion = &APIError{Code: wire.CodeUnsupportedVersion}
+	ErrNotFound           = &APIError{Code: wire.CodeNotFound}
+	ErrTooLarge           = &APIError{Code: wire.CodeTooLarge}
+	ErrDeadlineExceeded   = &APIError{Code: wire.CodeDeadlineExceeded}
+	ErrOverloaded         = &APIError{Code: wire.CodeOverloaded}
+	ErrDraining           = &APIError{Code: wire.CodeDraining}
+	ErrInternal           = &APIError{Code: wire.CodeInternal}
+	ErrInjected           = &APIError{Code: wire.CodeInjected}
+)
+
+// IsRetryable reports whether err describes a transient failure worth
+// resubmitting: a retryable APIError, a transport error, or a
+// client-side timeout of one attempt (but not of the caller's own
+// context — the do loop never retries once ctx is done).
+func IsRetryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable
+	}
+	// Transport-level failures (connection reset, EOF mid-body) are
+	// retryable: the request may not have reached a healthy worker.
+	return err != nil && !errors.Is(err, context.Canceled)
+}
