@@ -99,6 +99,31 @@ func measureCompileTime(reps int) float64 {
 	return median(samples)
 }
 
+// measureVerify returns the median ns of one full verification pass —
+// structural re-derivation plus the semantic differential oracle — of
+// the running example's compilation. Amortized by the default sampling
+// rate, this is what trust-but-verify adds to each compile.
+func measureVerify(reps, iters int) float64 {
+	opts := ltsp.Options{Mode: ltsp.ModeHLO, Prefetch: true, LatencyTolerant: true}
+	c, err := ltsp.Compile(exampleLoop(), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: compile: %v\n", err)
+		os.Exit(1)
+	}
+	samples := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := c.Verify(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchguard: verify rejected a clean compilation: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	return median(samples)
+}
+
 // measureShedAdmit returns the median ns per admission-control decision
 // on a primed shedder — the cost the resilience layer adds to every
 // uncontended request before it reaches a worker slot.
@@ -141,8 +166,9 @@ func main() {
 	loopNs := measureCompileLoop(*loopReps, *loopIters)
 	ctSec := measureCompileTime(*ctReps)
 	shedNs := measureShedAdmit(*loopReps, 100000)
-	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op (workers %d, cores %d)\n",
-		loopNs, ctSec, shedNs, experiments.Workers(), runtime.GOMAXPROCS(0))
+	verifyNs := measureVerify(*loopReps, 200)
+	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op, verify %.0f ns/op (workers %d, cores %d)\n",
+		loopNs, ctSec, shedNs, verifyNs, experiments.Workers(), runtime.GOMAXPROCS(0))
 
 	// The admission-control decision sits on every request's path, so it
 	// is gated absolutely against this run's own compile measurement: the
@@ -150,6 +176,18 @@ func main() {
 	if maxShed := loopNs * 0.01; shedNs > maxShed {
 		fmt.Fprintf(os.Stderr,
 			"benchguard: shed_admit %.1f ns/op exceeds 1%% of compile_loop (%.1f ns)\n", shedNs, maxShed)
+		os.Exit(1)
+	}
+
+	// Sampled verification is likewise gated absolutely: at the server's
+	// default sampling rate, the amortized verifier cost may not exceed 5%
+	// of a compile. A full verification pass is allowed to be expensive —
+	// only its sampled share of the request stream is on the hot path.
+	amortized := verifyNs * server.DefaultVerifySample
+	if maxVerify := loopNs * 0.05; amortized > maxVerify {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: sampled verify %.1f ns/op (%.0f ns at rate %.2g) exceeds 5%% of compile_loop (%.1f ns)\n",
+			amortized, verifyNs, server.DefaultVerifySample, maxVerify)
 		os.Exit(1)
 	}
 

@@ -35,7 +35,10 @@ import (
 	"ltsp/internal/core"
 	"ltsp/internal/hlo"
 	"ltsp/internal/ir"
+	"ltsp/internal/machine"
 	"ltsp/internal/obs"
+	"ltsp/internal/repro"
+	"ltsp/internal/verify"
 	"ltsp/internal/wire"
 	"ltsp/internal/workload"
 	"ltsp/ltspclient"
@@ -55,6 +58,8 @@ func main() {
 		simTrip  = flag.Int64("sim-trip", 0, "in client mode, also simulate the compiled artifact for this trip count")
 		explain  = flag.Bool("explain", false, "print the pipeliner's decision trace (classification, II search, fallbacks)")
 		explainJ = flag.Bool("explain-json", false, "print the decision trace as JSON events")
+		verifyF  = flag.Bool("verify", false, "independently verify the compiled kernel: structural schedule checks plus the semantic differential oracle")
+		reproF   = flag.String("repro", "", "replay a repro bundle written by ltspd (-repro-dir) and report whether the failure reproduces")
 
 		// Client resilience flags, mapped 1:1 onto ltspclient.Config.
 		retries     = flag.Int("retries", 3, "client mode: max retries of transient failures (ltspclient MaxRetries)")
@@ -64,6 +69,14 @@ func main() {
 		hedge       = flag.Duration("hedge", 0, "client mode: hedge compile requests after this delay, 0 = off (ltspclient HedgeDelay)")
 	)
 	flag.Parse()
+
+	if *reproF != "" {
+		if err := replayBundle(*reproF); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("example                      (the paper's running example, Fig. 1)")
@@ -174,6 +187,24 @@ func main() {
 	st := c.Assignment.Stats
 	fmt.Printf("  registers: GR %d (rot %d), FR %d (rot %d), PR %d (rot %d)\n",
 		st.TotalGR(), st.RotGR, st.TotalFR(), st.RotFR, st.TotalPR(), st.RotPR)
+
+	if *verifyF {
+		fmt.Printf("\n=== verification ===\n")
+		if c.Schedule != nil {
+			if err := verify.Schedule(machine.Itanium2(), c.Loop(), c.Schedule, c.Assignment); err != nil {
+				fmt.Fprintln(os.Stderr, "verify (structural):", err)
+				os.Exit(1)
+			}
+			fmt.Println("  structural: dependences, resources and register lifetimes re-derived and checked")
+		} else {
+			fmt.Println("  structural: compiled sequentially, no modulo schedule to check")
+		}
+		if err := verify.Kernel(l, c.Program, verify.Config{Seed: 1}); err != nil {
+			fmt.Fprintln(os.Stderr, "verify (oracle):", err)
+			os.Exit(1)
+		}
+		fmt.Println("  semantic: kernel matches the reference interpreter on seeded random inputs")
+	}
 
 	if *explain {
 		fmt.Printf("\n=== decision trace ===\n")
@@ -296,6 +327,36 @@ func runClient(client *ltspclient.Client, loopName, loopFile string, opts ltsp.O
 			return err
 		}
 	}
+	return nil
+}
+
+// replayBundle re-runs a repro bundle captured by ltspd and reports
+// whether the recorded failure still reproduces offline.
+func replayBundle(path string) error {
+	b, err := repro.Load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bundle: kind=%s minimized=%v", b.Kind, b.Minimized)
+	if b.Minimized {
+		fmt.Printf(" (body %d -> %d instructions)", b.OrigBodyLen, b.MinBodyLen)
+	}
+	fmt.Println()
+	if b.PanicValue != "" {
+		fmt.Printf("recorded panic: %s\n", b.PanicValue)
+	}
+	if b.Error != "" {
+		fmt.Printf("recorded error: %s\n", b.Error)
+	}
+	res, err := b.Replay()
+	if err != nil {
+		return err
+	}
+	if res.Reproduced {
+		fmt.Printf("replay: failure REPRODUCED: %s\n", res.Detail)
+		return nil
+	}
+	fmt.Printf("replay: not reproduced: %s\n", res.Detail)
 	return nil
 }
 

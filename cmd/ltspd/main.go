@@ -53,6 +53,8 @@ func main() {
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 		maxBodyBytes = flag.Int64("max-body", 8<<20, "max request body bytes")
 		shedOff      = flag.Bool("no-shed", false, "disable deadline-aware admission control (load shedding)")
+		verifySample = flag.Float64("verify-sample", server.DefaultVerifySample, "fraction of compilations independently verified (structural checks + differential oracle); <0 disables, >=1 verifies all")
+		reproDir     = flag.String("repro-dir", "", "directory for minimized repro bundles from panics and verification failures (empty = off)")
 		drainRetry   = flag.Duration("drain-retry-after", time.Second, "Retry-After hint sent with 503 draining responses")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logText      = flag.Bool("log-text", false, "log in text form instead of JSON")
@@ -78,6 +80,11 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	// On the command line 0 means "off" (Config treats 0 as "use the
+	// default", which is right for embedders but surprising for a flag).
+	if *verifySample == 0 {
+		*verifySample = -1
+	}
 	srv := server.New(server.Config{
 		PoolSize:        *pool,
 		CacheCapacity:   *cacheCap,
@@ -87,6 +94,8 @@ func main() {
 		MaxBodyBytes:    *maxBodyBytes,
 		ShedDisabled:    *shedOff,
 		DrainRetryAfter: *drainRetry,
+		VerifySample:    *verifySample,
+		ReproDir:        *reproDir,
 		Logger:          logger,
 	})
 	var handlerRoot http.Handler = srv

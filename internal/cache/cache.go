@@ -11,8 +11,6 @@
 // OzQ-pressure relief) L2 only.
 package cache
 
-import "fmt"
-
 // LevelConfig describes one cache level.
 type LevelConfig struct {
 	Name      string
@@ -233,7 +231,9 @@ func (h *Hierarchy) fillUpper(addr, ready int64, useL1 bool, kind AccessKind) {
 }
 
 // Contains reports whether addr's line is present (valid) at the given
-// level (1-3), regardless of fill time. For tests.
+// level (1-3), regardless of fill time. A level the hierarchy does not
+// have contains nothing, so Contains reports false rather than panicking —
+// the level number is caller data, not an internal invariant.
 func (h *Hierarchy) Contains(levelN int, addr int64) bool {
 	var l *level
 	switch levelN {
@@ -244,7 +244,7 @@ func (h *Hierarchy) Contains(levelN int, addr int64) bool {
 	case 3:
 		l = h.l3
 	default:
-		panic(fmt.Sprintf("cache: no level %d", levelN))
+		return false
 	}
 	tag := addr >> l.cfg.LineShift
 	set := l.sets[tag&int64(l.cfg.Sets-1)]

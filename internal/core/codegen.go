@@ -9,12 +9,13 @@ import (
 	"ltsp/internal/regalloc"
 )
 
-// genKernel produces the executable kernel-only pipelined program:
+// GenKernel produces the executable kernel-only pipelined program:
 // instructions grouped by kernel slot, virtual registers rewritten to
 // physical ones (rotating uses read base+delta), stage predicates attached
 // to unpredicated instructions, and setup values mapped to their physical
-// homes.
-func genKernel(l *ir.Loop, s *modsched.Schedule, asn *regalloc.Assignment) (*interp.Program, error) {
+// homes. It is exported so the verification layer can regenerate code for
+// deliberately corrupted schedules in its mutation tests.
+func GenKernel(l *ir.Loop, s *modsched.Schedule, asn *regalloc.Assignment) (*interp.Program, error) {
 	groups := make([][]*ir.Instr, s.II)
 
 	physDef := func(r ir.Reg) (ir.Reg, error) {

@@ -91,7 +91,7 @@ func (se *iiSearcher) tryAt(res *attemptResult, ii int, lat ddg.LatencyFn, reduc
 			}
 			return false, false
 		}
-		p, err := genKernel(se.l, s, a)
+		p, err := GenKernel(se.l, s, a)
 		if err != nil {
 			// Cross-stage in-place reads and similar structural issues:
 			// treat like an allocation failure and keep searching.

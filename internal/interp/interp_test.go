@@ -165,7 +165,7 @@ func TestPredicatedOffSkipsSideEffects(t *testing.T) {
 	s.GR[4] = 0x1000
 	off := ir.PR(5)
 	ld := ir.Predicated(off, ir.Ld(ir.GR(6), ir.GR(4), 8, 8))
-	eff := s.Exec(ld)
+	eff, _ := s.Exec(ld)
 	if eff.Executed {
 		t.Error("predicated-off load executed")
 	}
@@ -241,7 +241,7 @@ func TestExecMemOps(t *testing.T) {
 	s := NewState()
 	s.GR[4] = 0x3000
 	s.Mem.Store(0x3000, 4, 77)
-	eff := s.Exec(ir.Ld(ir.GR(6), ir.GR(4), 4, 4))
+	eff, _ := s.Exec(ir.Ld(ir.GR(6), ir.GR(4), 4, 4))
 	if !eff.Executed || !eff.IsLoad || eff.Addr != 0x3000 {
 		t.Errorf("load effect = %+v", eff)
 	}
@@ -249,14 +249,14 @@ func TestExecMemOps(t *testing.T) {
 		t.Errorf("load result %d, base %#x", s.GR[6], s.GR[4])
 	}
 	s.GR[7] = 55
-	eff = s.Exec(ir.St(ir.GR(4), ir.GR(7), 4, 4))
+	eff, _ = s.Exec(ir.St(ir.GR(4), ir.GR(7), 4, 4))
 	if !eff.IsStore || eff.Addr != 0x3004 {
 		t.Errorf("store effect = %+v", eff)
 	}
 	if s.Mem.Load(0x3004, 4) != 55 || s.GR[4] != 0x3008 {
 		t.Error("store semantics wrong")
 	}
-	eff = s.Exec(ir.Lfetch(ir.GR(4), 8, ir.HintL2))
+	eff, _ = s.Exec(ir.Lfetch(ir.GR(4), 8, ir.HintL2))
 	if !eff.IsPrefetch || eff.Addr != 0x3008 || s.GR[4] != 0x3010 {
 		t.Errorf("lfetch effect = %+v base=%#x", eff, s.GR[4])
 	}
@@ -266,7 +266,7 @@ func TestFPLoadEffect(t *testing.T) {
 	s := NewState()
 	s.GR[4] = 0x4000
 	s.Mem.StoreF(0x4000, 2.5)
-	eff := s.Exec(ir.LdF(ir.FR(6), ir.GR(4), 8))
+	eff, _ := s.Exec(ir.LdF(ir.FR(6), ir.GR(4), 8))
 	if !eff.FP || !eff.IsLoad {
 		t.Errorf("ldf effect = %+v", eff)
 	}
@@ -371,5 +371,20 @@ func TestFMovIAndNaN(t *testing.T) {
 	s.Exec(ir.FMovI(ir.FR(4), math.Inf(1)))
 	if !math.IsInf(s.FR[4], 1) {
 		t.Error("fmovi inf lost")
+	}
+}
+
+// TestUnknownOpIsError: an op outside the executable set — reachable from
+// adversarial wire input — reports an error instead of panicking, both
+// from a direct Exec and through Run.
+func TestUnknownOpIsError(t *testing.T) {
+	s := NewState()
+	bad := &ir.Instr{Op: ir.Op(250)}
+	if _, err := s.Exec(bad); err == nil {
+		t.Fatal("Exec of unknown op: want error")
+	}
+	p := &Program{Name: "bad", Groups: [][]*ir.Instr{{bad}}}
+	if _, err := Run(p, 1, nil); err == nil {
+		t.Fatal("Run of unknown op: want error")
 	}
 }

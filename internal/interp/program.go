@@ -124,7 +124,9 @@ func Run(p *Program, trip int64, mem *Memory) (*State, error) {
 		s.EC = int64(p.Stages)
 		for iters := int64(0); iters < maxIters; iters++ {
 			for _, g := range p.Groups {
-				s.Group(g)
+				if _, err := s.Group(g); err != nil {
+					return nil, err
+				}
 			}
 			if !s.Wtop(p.WhileQP) {
 				break
@@ -140,7 +142,9 @@ func Run(p *Program, trip int64, mem *Memory) (*State, error) {
 	kernel:
 		for {
 			for c, g := range p.Groups {
-				s.Group(g)
+				if _, err := s.Group(g); err != nil {
+					return nil, err
+				}
 				if (c+1)%rotEvery == 0 {
 					if !s.Ctop() {
 						break kernel
@@ -151,7 +155,9 @@ func Run(p *Program, trip int64, mem *Memory) (*State, error) {
 	case !p.WhileQP.IsNone():
 		for iters := int64(0); iters < maxIters; iters++ {
 			for _, g := range p.Groups {
-				s.Group(g)
+				if _, err := s.Group(g); err != nil {
+					return nil, err
+				}
 			}
 			if !s.PR[s.PhysIndex(p.WhileQP)] {
 				break
@@ -160,7 +166,9 @@ func Run(p *Program, trip int64, mem *Memory) (*State, error) {
 	default:
 		for {
 			for _, g := range p.Groups {
-				s.Group(g)
+				if _, err := s.Group(g); err != nil {
+					return nil, err
+				}
 			}
 			if !s.Cloop() {
 				break

@@ -59,7 +59,7 @@ func TestSelRotating(t *testing.T) {
 func TestChkIsNoOp(t *testing.T) {
 	s := NewState()
 	s.GR[4] = 42
-	eff := s.Exec(ir.Chk(ir.GR(4)))
+	eff, _ := s.Exec(ir.Chk(ir.GR(4)))
 	if !eff.Executed || eff.IsMem {
 		t.Errorf("chk effect = %+v", eff)
 	}

@@ -1,0 +1,179 @@
+package ir_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ltsp/internal/ir"
+)
+
+// encode marshals a loop without the decode-side validation (EncodeLoop
+// is purely syntactic), producing wire bytes for adversarial decoding.
+func encode(t *testing.T, l *ir.Loop) []byte {
+	t.Helper()
+	data, err := ir.EncodeLoop(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func validSmallLoop() *ir.Loop {
+	l := ir.NewLoop("ok")
+	v, b := l.NewGR(), l.NewGR()
+	ld := ir.Ld(v, b, 4, 4)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(ld)
+	l.Init(b, 0x100000)
+	l.LiveOut = []ir.Reg{b}
+	return l
+}
+
+// TestDecodeRejectsAdversarialLoops feeds syntactically valid but
+// semantically broken loops through the wire codec and checks each comes
+// back as a structured *InvalidLoopError instead of flowing on to code
+// that would panic.
+func TestDecodeRejectsAdversarialLoops(t *testing.T) {
+	cases := []struct {
+		name string
+		l    *ir.Loop
+		want string // substring of the validation message
+	}{
+		{
+			name: "duplicate-virtual-def",
+			l: func() *ir.Loop {
+				l := ir.NewLoop("dup")
+				r := l.NewGR()
+				l.Append(ir.MovI(r, 1))
+				l.Append(ir.MovI(r, 2))
+				l.LiveOut = []ir.Reg{r}
+				return l
+			}(),
+			want: "single definition",
+		},
+		{
+			name: "duplicate-postinc-base-def",
+			l: func() *ir.Loop {
+				l := ir.NewLoop("dupbase")
+				v, b := l.NewGR(), l.NewGR()
+				l.Append(ir.Ld(v, b, 4, 4))
+				l.Append(ir.AddI(b, b, 8))
+				l.LiveOut = []ir.Reg{v}
+				return l
+			}(),
+			want: "single definition",
+		},
+		{
+			name: "negative-memdep-distance",
+			l: func() *ir.Loop {
+				l := validSmallLoop()
+				l.MemDeps = []ir.MemDep{{From: 0, To: 0, Distance: -3}}
+				return l
+			}(),
+			want: "",
+		},
+		{
+			name: "memdep-out-of-range",
+			l: func() *ir.Loop {
+				l := validSmallLoop()
+				l.MemDeps = []ir.MemDep{{From: 0, To: 99}}
+				return l
+			}(),
+			want: "",
+		},
+		{
+			name: "physical-gr-outside-file",
+			l: func() *ir.Loop {
+				l := validSmallLoop()
+				l.Body[0].Srcs[0] = ir.Reg{Class: ir.ClassGR, N: 4096}
+				return l
+			}(),
+			want: "file",
+		},
+		{
+			name: "physical-pr-outside-file",
+			l: func() *ir.Loop {
+				l := validSmallLoop()
+				l.Body[0].Pred = ir.Reg{Class: ir.ClassPR, N: 64}
+				return l
+			}(),
+			want: "file",
+		},
+		{
+			name: "virtual-id-absurd",
+			l: func() *ir.Loop {
+				l := validSmallLoop()
+				l.LiveOut = append(l.LiveOut, ir.VGR(1<<24))
+				return l
+			}(),
+			want: "exceeds limit",
+		},
+		{
+			name: "empty-body",
+			l: func() *ir.Loop {
+				return ir.NewLoop("empty")
+			}(),
+			want: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ir.DecodeLoop(encode(t, tc.l))
+			if err == nil {
+				t.Fatal("adversarial loop decoded without error")
+			}
+			var inv *ir.InvalidLoopError
+			if !errors.As(err, &inv) {
+				t.Fatalf("error is %T (%v), want *ir.InvalidLoopError", err, err)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateSemanticsNonFinite covers the non-finite constant checks
+// directly (encoding/json cannot transport NaN/Inf, so these are
+// unreachable through the wire but guard in-process callers).
+func TestValidateSemanticsNonFinite(t *testing.T) {
+	l := ir.NewLoop("nan")
+	f := l.NewFR()
+	l.Append(ir.FMovI(f, math.NaN()))
+	l.LiveOut = []ir.Reg{f}
+	if err := ir.ValidateSemantics(l); err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("NaN immediate: err = %v", err)
+	}
+
+	l2 := validSmallLoop()
+	l2.InitF(l2.NewFR(), math.Inf(1))
+	if err := ir.ValidateSemantics(l2); err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("Inf setup value: err = %v", err)
+	}
+}
+
+// TestValidateSemanticsBodyCap: absurdly long bodies are rejected before
+// quadratic analyses run over them.
+func TestValidateSemanticsBodyCap(t *testing.T) {
+	l := ir.NewLoop("huge")
+	b := l.NewGR()
+	for i := 0; i < 5000; i++ {
+		v := l.NewGR()
+		l.Append(ir.MovI(v, int64(i)))
+		_ = v
+	}
+	l.Init(b, 0)
+	if err := ir.ValidateSemantics(l); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("5000-instruction body: err = %v", err)
+	}
+}
+
+// TestDecodeAcceptsValidLoop: the validation pass does not reject the
+// loops the rest of the suite round-trips.
+func TestDecodeAcceptsValidLoop(t *testing.T) {
+	if _, err := ir.DecodeLoop(encode(t, validSmallLoop())); err != nil {
+		t.Fatalf("valid loop rejected: %v", err)
+	}
+}

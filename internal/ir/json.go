@@ -351,6 +351,9 @@ func DecodeLoop(data []byte) (*Loop, error) {
 		l.While = &WhileInfo{Cond: r}
 	}
 	l.rebuildVirtCounters()
+	if err := ValidateSemantics(l); err != nil {
+		return nil, &InvalidLoopError{Err: err}
+	}
 	return l, nil
 }
 

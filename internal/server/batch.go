@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -98,6 +99,21 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 				s.metrics.InFlight.Add(-1)
 				s.work.Done()
 				<-s.sem
+			}()
+			// Outer panic safety net for the item goroutine (compile
+			// panics are contained with repro capture in compileCached):
+			// the item fails with code "internal", the rest of the batch
+			// is unaffected, and the slot is still released.
+			defer func() {
+				if r := recover(); r != nil {
+					s.metrics.PanicsRecovered.Add(1)
+					s.metrics.BatchItemErrors.Add(1)
+					results[i] = BatchItemResult{
+						Error:     fmt.Sprintf("worker panic: %v", r),
+						ErrorCode: wire.CodeInternal,
+						Retryable: true,
+					}
+				}
 			}()
 			art, hash, cached, err := s.compileCached(ctx, req.Item(i))
 			if err != nil {

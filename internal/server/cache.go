@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -108,6 +109,20 @@ func (c *ArtifactCache) Peek(key string) (*Artifact, bool) {
 	return nil, false
 }
 
+// runFlight invokes fn with panic containment. Without it, a panicking
+// computation would escape GetOrCompute with the in-flight entry still
+// registered and its done channel never closed — every current and future
+// waiter on the key would block forever. The panic becomes an error
+// delivered to all waiters instead.
+func runFlight(fctx context.Context, fn func(context.Context) (*Artifact, error)) (art *Artifact, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			art, err = nil, fmt.Errorf("in-flight computation panicked: %v", r)
+		}
+	}()
+	return fn(fctx)
+}
+
 // GetOrCompute returns the artifact for key, computing it with fn on a
 // miss. The bool result reports whether the artifact came from the cache
 // (a completed entry or an in-flight computation started by another
@@ -154,7 +169,7 @@ func (c *ArtifactCache) GetOrCompute(ctx context.Context, key string, fn func(co
 	// the flight to stop if nobody else is waiting) or, at the latest,
 	// when fn returns.
 	stop := context.AfterFunc(ctx, call.release)
-	call.val, call.err = fn(fctx)
+	call.val, call.err = runFlight(fctx, fn)
 	if stop() {
 		call.release()
 	}

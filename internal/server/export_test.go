@@ -1,0 +1,14 @@
+package server
+
+import (
+	"ltsp"
+	"ltsp/internal/ir"
+)
+
+// SetTestCompileHook installs (or, with nil, clears) the compile-flight
+// hook tests use to seed panics behind the containment boundary.
+func SetTestCompileHook(fn func(*ir.Loop)) { testCompileHook = fn }
+
+// SetTestVerifyHook installs (or clears) the verification verdict
+// override tests use to exercise the verify-failure path.
+func SetTestVerifyHook(fn func(*ltsp.Compiled) error) { testVerifyHook = fn }

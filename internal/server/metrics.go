@@ -109,6 +109,17 @@ type Metrics struct {
 	CacheMisses    atomic.Int64
 	CacheEvictions atomic.Int64
 
+	// VerifyRuns counts compilations put through sampled independent
+	// verification; VerifyFailures counts the ones the verifier rejected
+	// (each also fails the request with code "internal" and, when a repro
+	// directory is configured, leaves a bundle on disk).
+	VerifyRuns     atomic.Int64
+	VerifyFailures atomic.Int64
+	// PanicsRecovered counts panics caught at the containment boundaries
+	// (compile flight, worker goroutines, batch items) and converted into
+	// error envelopes instead of crashing the process.
+	PanicsRecovered atomic.Int64
+
 	// Pipeliner outcomes, incremented once per compilation actually
 	// executed (cache hits and singleflight piggybacks do not recount).
 	OutcomePipelined      atomic.Int64
@@ -170,6 +181,9 @@ type metricsJSON struct {
 	CacheMisses      int64         `json:"cache_misses"`
 	CacheEvictions   int64         `json:"cache_evictions"`
 	CacheEntries     int           `json:"cache_entries"`
+	VerifyRuns       int64         `json:"verify_runs"`
+	VerifyFailures   int64         `json:"verify_failures"`
+	PanicsRecovered  int64         `json:"panics_recovered"`
 	CompileOutcomes  outcomesJSON  `json:"compile_outcomes"`
 	CompileLatency   histogramJSON `json:"compile_latency"`
 	SimulateLatency  histogramJSON `json:"simulate_latency"`
@@ -199,6 +213,9 @@ func (m *Metrics) snapshot(cacheEntries int, uptime time.Duration) metricsJSON {
 		CacheMisses:      m.CacheMisses.Load(),
 		CacheEvictions:   m.CacheEvictions.Load(),
 		CacheEntries:     cacheEntries,
+		VerifyRuns:       m.VerifyRuns.Load(),
+		VerifyFailures:   m.VerifyFailures.Load(),
+		PanicsRecovered:  m.PanicsRecovered.Load(),
 		CompileOutcomes: outcomesJSON{
 			Pipelined:      m.OutcomePipelined.Load(),
 			ReducedLatency: m.OutcomeReducedLatency.Load(),

@@ -60,9 +60,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"runtime/debug"
+
 	"ltsp"
 	"ltsp/internal/buildinfo"
+	"ltsp/internal/ir"
 	"ltsp/internal/obs"
+	"ltsp/internal/repro"
 	"ltsp/internal/sim"
 	"ltsp/internal/wire"
 )
@@ -95,6 +99,17 @@ type Config struct {
 	// DrainRetryAfter is the Retry-After hint on 503 responses while the
 	// server is draining (default 1s).
 	DrainRetryAfter time.Duration
+	// VerifySample is the fraction of executed compilations put through
+	// independent verification (structural schedule checks plus the
+	// semantic differential oracle; see package verify). 0 means
+	// DefaultVerifySample; negative disables sampling; >= 1 verifies every
+	// compilation. Sampling is deterministic (every ~1/rate-th compile),
+	// not random, so tests and replay runs are reproducible.
+	VerifySample float64
+	// ReproDir, when non-empty, is where compiler panics and verification
+	// failures are written as minimized replayable bundles (package
+	// repro). Empty disables bundle capture.
+	ReproDir string
 	// Logger receives structured request logs. Nil discards them (tests,
 	// embedders that log elsewhere).
 	Logger *slog.Logger
@@ -125,8 +140,18 @@ func (c Config) withDefaults() Config {
 	if c.DrainRetryAfter <= 0 {
 		c.DrainRetryAfter = time.Second
 	}
+	if c.VerifySample == 0 {
+		c.VerifySample = DefaultVerifySample
+	}
 	return c
 }
+
+// DefaultVerifySample is the default verification sampling rate: one in
+// every 500 executed compilations. A full pass (structural re-derivation
+// plus the differential oracle's interpreter runs) costs several compile
+// times, so the rate is set to keep the amortized overhead well under 5%
+// of aggregate compile cost (gated by cmd/benchguard).
+const DefaultVerifySample = 0.002
 
 // Server is the ltspd HTTP service. It is an http.Handler; wrap it in an
 // http.Server to serve traffic.
@@ -141,6 +166,51 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	work     sync.WaitGroup
+	// verifyTick drives deterministic verification sampling: the first
+	// compilation and every ~1/VerifySample-th after it are verified.
+	verifyTick atomic.Uint64
+}
+
+// testCompileHook, when non-nil, runs on the decoded loop inside the
+// compile flight before the compiler proper. Tests use it to seed panics
+// and exercise the containment boundary; it is never set in production.
+var testCompileHook func(*ir.Loop)
+
+// testVerifyHook, when non-nil, supplies the sampled-verification verdict
+// instead of Compiled.Verify. Tests use it to exercise the
+// verification-failure path without needing a real miscompile; it is
+// never set in production.
+var testVerifyHook func(*ltsp.Compiled) error
+
+// shouldVerify applies the deterministic sampling policy.
+func (s *Server) shouldVerify() bool {
+	rate := s.cfg.VerifySample
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	stride := uint64(1 / rate)
+	return s.verifyTick.Add(1)%stride == 1
+}
+
+// writeRepro minimizes and persists a failure bundle, best-effort: a
+// capture that cannot be written is logged and dropped, never surfaced to
+// the client. It returns the bundle path ("" when capture is disabled or
+// failed).
+func (s *Server) writeRepro(b *repro.Bundle) string {
+	if s.cfg.ReproDir == "" {
+		return ""
+	}
+	b.Minimize(48)
+	path, err := b.Write(s.cfg.ReproDir)
+	if err != nil {
+		s.logger.Warn("repro bundle write failed", "kind", b.Kind, "err", err)
+		return ""
+	}
+	s.logger.Warn("wrote repro bundle", "kind", b.Kind, "path", path, "minimized", b.Minimized)
+	return path
 }
 
 // New creates a Server with the given configuration.
@@ -357,6 +427,17 @@ func (s *Server) runBounded(ctx context.Context, fn func(context.Context) (any, 
 			s.work.Done()
 			<-s.sem
 		}()
+		// A panic escaping the work function must not kill the process or
+		// leak the worker slot: convert it to an internal-error outcome.
+		// (Compile panics are already contained closer to the compiler,
+		// with repro capture; this is the outer safety net.)
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.PanicsRecovered.Add(1)
+				ch <- outcome{nil, http.StatusInternalServerError,
+					&codedError{wire.CodeInternal, fmt.Errorf("worker panic: %v", r)}}
+			}
+		}()
 		v, status, err := fn(ctx)
 		ch <- outcome{v, status, err}
 	}()
@@ -370,11 +451,16 @@ func (s *Server) runBounded(ctx context.Context, fn func(context.Context) (any, 
 }
 
 // statusForErr classifies a work-function error: cancellation and
-// deadline errors become 504 (retryable), everything else keeps the
-// handler-chosen status.
+// deadline errors become 504 (retryable), contained panics and
+// verification failures (code "internal") become 500, everything else
+// keeps the handler-chosen status.
 func statusForErr(err error, status int) int {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
+	}
+	var ce *codedError
+	if errors.As(err, &ce) && ce.code == wire.CodeInternal {
+		return http.StatusInternalServerError
 	}
 	return status
 }
@@ -468,16 +554,30 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 	}
 	hash, err := req.Hash()
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", false, mapLoopErr(err)
 	}
 	opts, err := req.Options.ToOptions()
 	if err != nil {
 		return nil, "", false, err
 	}
-	art, cached, err := s.cache.GetOrCompute(ctx, hash, func(fctx context.Context) (*Artifact, error) {
+	art, cached, err := s.cache.GetOrCompute(ctx, hash, func(fctx context.Context) (art *Artifact, err error) {
 		l, err := req.DecodeLoop()
 		if err != nil {
-			return nil, err
+			return nil, mapLoopErr(err)
+		}
+		// Panic containment: a panic anywhere in the compiler (or the
+		// verifier) becomes a retryable "internal" error envelope plus a
+		// replayable on-disk bundle — the process, the worker pool and the
+		// other flights are unaffected.
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.PanicsRecovered.Add(1)
+				s.writeRepro(repro.Capture(repro.KindPanic, req, r, debug.Stack(), nil))
+				art, err = nil, &codedError{wire.CodeInternal, fmt.Errorf("compiler panic: %v", r)}
+			}
+		}()
+		if hook := testCompileHook; hook != nil {
+			hook(l)
 		}
 		tr := obs.New()
 		opts.Trace = tr
@@ -485,10 +585,37 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 		if err != nil {
 			return nil, err
 		}
+		// Trust but verify: a sampled slice of successful compilations is
+		// re-checked by the independent structural verifier and the
+		// semantic differential oracle. A failure here means the compiler
+		// produced a wrong kernel — fail the request rather than serve it.
+		if s.shouldVerify() {
+			s.metrics.VerifyRuns.Add(1)
+			check := (*ltsp.Compiled).Verify
+			if hook := testVerifyHook; hook != nil {
+				check = hook
+			}
+			if verr := check(c); verr != nil {
+				s.metrics.VerifyFailures.Add(1)
+				s.writeRepro(repro.Capture(repro.KindVerifyFailure, req, nil, nil, verr))
+				return nil, &codedError{wire.CodeInternal, fmt.Errorf("kernel verification failed: %v", verr)}
+			}
+		}
 		s.metrics.CountOutcome(c.Outcome())
 		return &Artifact{Compiled: c, Trace: tr}, nil
 	})
 	return art, hash, cached, err
+}
+
+// mapLoopErr pins the invalid_loop envelope code on semantic loop
+// validation failures (ir.InvalidLoopError), which would otherwise render
+// as generic invalid_request.
+func mapLoopErr(err error) error {
+	var inv *ir.InvalidLoopError
+	if errors.As(err, &inv) {
+		return &codedError{wire.CodeInvalidLoop, err}
+	}
+	return err
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {

@@ -233,7 +233,7 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 		st.PR[interp.RotPRLo] = true
 	}
 
-	runGroup := func(group []*ir.Instr) {
+	runGroup := func(group []*ir.Instr) error {
 		// Stall-on-use: the whole issue group waits for every source of
 		// every enabled instruction (and for all qualifying predicates).
 		// stallSite tracks the load that produced the latest-ready source,
@@ -341,7 +341,10 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 			}
 		}
 
-		effs := st.Group(group)
+		effs, err := st.Group(group)
+		if err != nil {
+			return err
+		}
 
 		if bankOf != nil {
 			for k := range bankOf {
@@ -450,6 +453,7 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 			}
 		}
 		t++
+		return nil
 	}
 
 	maxIters := trip + int64(p.Stages) + 4 // runaway cap for while loops
@@ -458,7 +462,9 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 		st.EC = int64(p.Stages)
 		for res.KernelIters < maxIters {
 			for _, g := range p.Groups {
-				runGroup(g)
+				if err := runGroup(g); err != nil {
+					return nil, err
+				}
 			}
 			res.KernelIters++
 			if !st.Wtop(p.WhileQP) {
@@ -473,7 +479,9 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 	kernel:
 		for {
 			for c, g := range p.Groups {
-				runGroup(g)
+				if err := runGroup(g); err != nil {
+					return nil, err
+				}
 				if (c+1)%rotEvery == 0 {
 					res.KernelIters++
 					if !st.Ctop() {
@@ -485,7 +493,9 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 	case !p.WhileQP.IsNone():
 		for res.KernelIters < maxIters {
 			for _, g := range p.Groups {
-				runGroup(g)
+				if err := runGroup(g); err != nil {
+					return nil, err
+				}
 			}
 			res.KernelIters++
 			if !st.PR[st.PhysIndex(p.WhileQP)] {
@@ -495,7 +505,9 @@ func (r *Runner) Run(p *interp.Program, trip int64, mem *interp.Memory) (*Result
 	default:
 		for {
 			for _, g := range p.Groups {
-				runGroup(g)
+				if err := runGroup(g); err != nil {
+					return nil, err
+				}
 			}
 			res.KernelIters++
 			if !st.Cloop() {

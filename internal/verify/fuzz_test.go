@@ -1,0 +1,60 @@
+package verify_test
+
+import (
+	"testing"
+
+	"ltsp/internal/core"
+	"ltsp/internal/machine"
+	"ltsp/internal/verify"
+)
+
+// FuzzVerifyKernel exercises the trust-but-verify contract end to end on
+// fuzzed random loops: a fresh compilation must be accepted by both the
+// structural verifier and the semantic oracle, and a corrupted schedule
+// must never panic the verifier (it is allowed to reject or, for
+// resource-only moves, accept — what matters is a structured answer).
+func FuzzVerifyKernel(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(3))
+	f.Add(int64(42), uint8(9))
+	f.Add(int64(-11), uint8(255))
+	m := machine.Itanium2()
+	f.Fuzz(func(t *testing.T, seed int64, mut uint8) {
+		g := newRandLoop(seed, int(mut%12)+2)
+		c, err := core.Pipeline(g.l.Clone(), core.Options{
+			LatencyTolerant: seed%2 == 0,
+			BoostDelinquent: seed%4 == 0,
+		})
+		if err != nil {
+			t.Skip()
+		}
+		if c.Schedule != nil {
+			if err := verify.Schedule(m, c.Loop(), c.Schedule, c.Assignment); err != nil {
+				t.Fatalf("seed %d: verifier rejected a fresh schedule: %v", seed, err)
+			}
+		}
+		trips := []int64{1, int64(c.Stages) + 2}
+		if err := verify.Kernel(c.Loop(), c.Program, verify.Config{
+			Seed: seed, InitMem: g.memInit, Trips: trips,
+		}); err != nil {
+			t.Fatalf("seed %d: oracle rejected a fresh kernel: %v", seed, err)
+		}
+
+		if c.Schedule == nil || len(c.Schedule.Time) == 0 {
+			return
+		}
+		// Move one op by one kernel row; the verifier must handle the
+		// corruption without panicking.
+		bad := *c.Schedule
+		bad.Time = append([]int(nil), c.Schedule.Time...)
+		bad.Time[int(mut)%len(bad.Time)]++
+		maxT := 0
+		for _, tt := range bad.Time {
+			if tt > maxT {
+				maxT = tt
+			}
+		}
+		bad.Stages = maxT/bad.II + 1
+		_ = verify.Schedule(m, c.Loop(), &bad, c.Assignment)
+	})
+}

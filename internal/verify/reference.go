@@ -1,0 +1,263 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"ltsp/internal/interp"
+	"ltsp/internal/ir"
+)
+
+// ErrUnterminated reports that a data-terminated (while) loop did not
+// reach its exit condition within the runaway cap under the seeded inputs,
+// so the differential comparison for that trip count is inconclusive.
+var ErrUnterminated = errors.New("verify: while loop did not terminate within the runaway cap")
+
+// refState is the oracle's reference machine: virtual registers held
+// directly in maps, the body executed strictly in program order one
+// instruction at a time. It deliberately has no issue groups, no rotation
+// and no renaming — it is the plain reading of the straight-line loop
+// body, the semantics every compiled form must preserve.
+type refState struct {
+	gr  map[ir.Reg]int64
+	fr  map[ir.Reg]float64
+	pr  map[ir.Reg]bool
+	mem *interp.Memory
+}
+
+func newRefState(mem *interp.Memory) *refState {
+	return &refState{
+		gr:  map[ir.Reg]int64{},
+		fr:  map[ir.Reg]float64{},
+		pr:  map[ir.Reg]bool{},
+		mem: mem,
+	}
+}
+
+// Architectural constants mirror interp: physical r0/f0 read 0, f1 reads
+// 1.0, p0 reads true, and writes to them are discarded.
+func fixedGR(r ir.Reg) bool { return !r.Virtual && r.N == 0 }
+func fixedFR(r ir.Reg) bool { return !r.Virtual && r.N <= 1 }
+func fixedPR(r ir.Reg) bool { return !r.Virtual && r.N == 0 }
+
+func (s *refState) readGR(r ir.Reg) int64 {
+	if fixedGR(r) {
+		return 0
+	}
+	return s.gr[r]
+}
+
+func (s *refState) readFR(r ir.Reg) float64 {
+	if fixedFR(r) {
+		if r.N == 1 {
+			return 1.0
+		}
+		return 0
+	}
+	return s.fr[r]
+}
+
+func (s *refState) readPR(r ir.Reg) bool {
+	if fixedPR(r) {
+		return true
+	}
+	return s.pr[r]
+}
+
+func (s *refState) writeGR(r ir.Reg, v int64) {
+	if !fixedGR(r) {
+		s.gr[r] = v
+	}
+}
+
+func (s *refState) writeFR(r ir.Reg, v float64) {
+	if !fixedFR(r) {
+		s.fr[r] = v
+	}
+}
+
+func (s *refState) writePR(r ir.Reg, v bool) {
+	if !fixedPR(r) {
+		s.pr[r] = v
+	}
+}
+
+func (s *refState) predOn(in *ir.Instr) bool {
+	return in.Pred.IsNone() || s.readPR(in.Pred)
+}
+
+func (s *refState) applySetup(inits []ir.RegInit) {
+	for _, init := range inits {
+		switch init.Reg.Class {
+		case ir.ClassGR:
+			s.writeGR(init.Reg, init.Val)
+		case ir.ClassFR:
+			s.writeFR(init.Reg, init.FVal)
+		case ir.ClassPR:
+			s.writePR(init.Reg, init.Val != 0)
+		}
+	}
+}
+
+func (s *refState) comparePR(in *ir.Instr, res bool) {
+	if !in.Dsts[0].IsNone() {
+		s.writePR(in.Dsts[0], res)
+	}
+	if !in.Dsts[1].IsNone() {
+		s.writePR(in.Dsts[1], !res)
+	}
+}
+
+// exec interprets one instruction. The operation semantics mirror
+// internal/interp exactly (including cmp.unc clearing of both destination
+// predicates when the qualifying predicate is off); what differs is only
+// the register model.
+func (s *refState) exec(in *ir.Instr) error {
+	if !s.predOn(in) {
+		switch in.Op {
+		case ir.OpCmpEq, ir.OpCmpLt, ir.OpCmpEqI, ir.OpCmpLtI, ir.OpFCmpLt:
+			for _, d := range in.Dsts {
+				if !d.IsNone() {
+					s.writePR(d, false)
+				}
+			}
+		}
+		return nil
+	}
+	switch in.Op {
+	case ir.OpNop:
+	case ir.OpMovI:
+		s.writeGR(in.Dsts[0], in.Imm)
+	case ir.OpMov:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0]))
+	case ir.OpAdd:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0])+s.readGR(in.Srcs[1]))
+	case ir.OpSub:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0])-s.readGR(in.Srcs[1]))
+	case ir.OpAddI:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0])+in.Imm)
+	case ir.OpAnd:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0])&s.readGR(in.Srcs[1]))
+	case ir.OpOr:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0])|s.readGR(in.Srcs[1]))
+	case ir.OpXor:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0])^s.readGR(in.Srcs[1]))
+	case ir.OpShlI:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0])<<uint(in.Imm&63))
+	case ir.OpShrI:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0])>>uint(in.Imm&63))
+	case ir.OpShladd:
+		s.writeGR(in.Dsts[0], (s.readGR(in.Srcs[0])<<uint(in.Imm&63))+s.readGR(in.Srcs[1]))
+	case ir.OpMul:
+		s.writeGR(in.Dsts[0], s.readGR(in.Srcs[0])*s.readGR(in.Srcs[1]))
+	case ir.OpCmpEq:
+		s.comparePR(in, s.readGR(in.Srcs[0]) == s.readGR(in.Srcs[1]))
+	case ir.OpCmpLt:
+		s.comparePR(in, s.readGR(in.Srcs[0]) < s.readGR(in.Srcs[1]))
+	case ir.OpCmpEqI:
+		s.comparePR(in, s.readGR(in.Srcs[0]) == in.Imm)
+	case ir.OpCmpLtI:
+		s.comparePR(in, s.readGR(in.Srcs[0]) < in.Imm)
+	case ir.OpFMovI:
+		s.writeFR(in.Dsts[0], in.FImm)
+	case ir.OpFMov:
+		s.writeFR(in.Dsts[0], s.readFR(in.Srcs[0]))
+	case ir.OpFAdd:
+		s.writeFR(in.Dsts[0], s.readFR(in.Srcs[0])+s.readFR(in.Srcs[1]))
+	case ir.OpFSub:
+		s.writeFR(in.Dsts[0], s.readFR(in.Srcs[0])-s.readFR(in.Srcs[1]))
+	case ir.OpFMul:
+		s.writeFR(in.Dsts[0], s.readFR(in.Srcs[0])*s.readFR(in.Srcs[1]))
+	case ir.OpFMA:
+		s.writeFR(in.Dsts[0], s.readFR(in.Srcs[0])*s.readFR(in.Srcs[1])+s.readFR(in.Srcs[2]))
+	case ir.OpFCmpLt:
+		s.comparePR(in, s.readFR(in.Srcs[0]) < s.readFR(in.Srcs[1]))
+	case ir.OpGetF:
+		s.writeGR(in.Dsts[0], int64(s.readFR(in.Srcs[0])))
+	case ir.OpSetF:
+		s.writeFR(in.Dsts[0], float64(s.readGR(in.Srcs[0])))
+	case ir.OpSel:
+		if s.readPR(in.Srcs[0]) {
+			s.writeGR(in.Dsts[0], s.readGR(in.Srcs[1]))
+		} else {
+			s.writeGR(in.Dsts[0], s.readGR(in.Srcs[2]))
+		}
+	case ir.OpFSel:
+		if s.readPR(in.Srcs[0]) {
+			s.writeFR(in.Dsts[0], s.readFR(in.Srcs[1]))
+		} else {
+			s.writeFR(in.Dsts[0], s.readFR(in.Srcs[2]))
+		}
+	case ir.OpChk:
+		// Data speculation always succeeds in this model.
+	case ir.OpLd:
+		base := in.BaseReg()
+		addr := s.readGR(base)
+		v := s.mem.Load(addr, in.Mem.Size)
+		if in.Mem.PostInc != 0 {
+			s.writeGR(base, addr+in.Mem.PostInc)
+		}
+		s.writeGR(in.Dsts[0], v)
+	case ir.OpLdF:
+		base := in.BaseReg()
+		addr := s.readGR(base)
+		v := s.mem.LoadF(addr)
+		if in.Mem.PostInc != 0 {
+			s.writeGR(base, addr+in.Mem.PostInc)
+		}
+		s.writeFR(in.Dsts[0], v)
+	case ir.OpSt:
+		base := in.BaseReg()
+		addr := s.readGR(base)
+		s.mem.Store(addr, in.Mem.Size, s.readGR(in.Srcs[0]))
+		if in.Mem.PostInc != 0 {
+			s.writeGR(base, addr+in.Mem.PostInc)
+		}
+	case ir.OpStF:
+		base := in.BaseReg()
+		addr := s.readGR(base)
+		s.mem.StoreF(addr, s.readFR(in.Srcs[0]))
+		if in.Mem.PostInc != 0 {
+			s.writeGR(base, addr+in.Mem.PostInc)
+		}
+	case ir.OpLfetch:
+		base := in.BaseReg()
+		addr := s.readGR(base)
+		_ = addr
+		if in.Mem.PostInc != 0 {
+			s.writeGR(base, addr+in.Mem.PostInc)
+		}
+	default:
+		return fmt.Errorf("verify: reference interpreter cannot execute %v", in.Op)
+	}
+	return nil
+}
+
+// runReference executes the loop on the reference machine: Setup applied,
+// then the body in program order per iteration. Counted loops run exactly
+// trip iterations. While loops run until the condition computed by the
+// trailing compare goes false, with a runaway cap of trip+4 iterations —
+// the same budget interp.Run grants a sequential data-terminated loop —
+// returning ErrUnterminated when the cap is hit.
+func runReference(l *ir.Loop, trip int64, mem *interp.Memory) (*refState, error) {
+	s := newRefState(mem)
+	s.applySetup(l.Setup)
+	iters := trip
+	if l.While != nil {
+		iters = trip + 4
+	}
+	for k := int64(0); k < iters; k++ {
+		for _, in := range l.Body {
+			if err := s.exec(in); err != nil {
+				return nil, err
+			}
+		}
+		if l.While != nil && !s.readPR(l.While.Cond) {
+			return s, nil
+		}
+	}
+	if l.While != nil {
+		return nil, ErrUnterminated
+	}
+	return s, nil
+}

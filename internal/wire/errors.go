@@ -15,6 +15,11 @@ const (
 	// invalid (bad JSON, unknown hint mode, undecodable loop, trip count
 	// out of range). Resubmitting the same bytes cannot succeed.
 	CodeInvalidRequest = "invalid_request"
+	// CodeInvalidLoop: the embedded loop decoded but failed semantic
+	// validation (duplicate register definitions, non-finite constants,
+	// registers outside the machine files, malformed memory dependences).
+	// Resubmitting the same loop cannot succeed.
+	CodeInvalidLoop = "invalid_loop"
 	// CodeUnsupportedVersion: the request envelope version is not
 	// supported by this server.
 	CodeUnsupportedVersion = "unsupported_version"

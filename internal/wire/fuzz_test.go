@@ -1,0 +1,56 @@
+package wire_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ltsp"
+	"ltsp/internal/wire"
+	"ltsp/internal/workload"
+)
+
+// FuzzCompileLoop throws arbitrary bytes at the full wire path — JSON
+// decode, loop decode with semantic validation, option parsing, and the
+// compiler itself with verification enabled. Malformed input must come
+// back as an error; any panic is a finding. This is the service's actual
+// attack surface: every byte here is reachable from an HTTP body.
+func FuzzCompileLoop(f *testing.F) {
+	for _, s := range []struct {
+		size int64
+		opts ltsp.Options
+	}{
+		{16, ltsp.Options{Mode: ltsp.ModeHLO, Prefetch: true, LatencyTolerant: true, TripEstimate: 100}},
+		{64, ltsp.Options{LatencyTolerant: true}},
+		{4, ltsp.Options{}},
+	} {
+		gen, _ := workload.IntCopyAdd(s.size)
+		req, err := wire.NewCompileRequest(gen(), s.opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1,"loop":{}}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req wire.CompileRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			t.Skip()
+		}
+		l, err := req.DecodeLoop()
+		if err != nil {
+			return
+		}
+		opts, err := req.Options.ToOptions()
+		if err != nil {
+			return
+		}
+		opts.Verify = true
+		_, _ = ltsp.Compile(l, opts) // errors are fine; panics are crashes
+	})
+}

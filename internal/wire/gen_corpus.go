@@ -1,0 +1,51 @@
+//go:build ignore
+
+// gen_corpus regenerates the committed seed corpus for FuzzCompileLoop
+// from real marshaled compile requests:
+//
+//	go run gen_corpus.go
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ltsp"
+	"ltsp/internal/wire"
+	"ltsp/internal/workload"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCompileLoop")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	seeds := []struct {
+		name string
+		size int64
+		opts ltsp.Options
+	}{
+		{"seed-hlo", 16, ltsp.Options{Mode: ltsp.ModeHLO, Prefetch: true, LatencyTolerant: true, TripEstimate: 100}},
+		{"seed-latency-tolerant", 64, ltsp.Options{LatencyTolerant: true}},
+		{"seed-defaults", 4, ltsp.Options{}},
+	}
+	for _, s := range seeds {
+		gen, _ := workload.IntCopyAdd(s.size)
+		req, err := wire.NewCompileRequest(gen(), s.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

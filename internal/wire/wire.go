@@ -14,6 +14,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"ltsp"
 	"ltsp/internal/hlo"
@@ -91,6 +92,14 @@ func (w Options) ToOptions() (ltsp.Options, error) {
 	mode, err := ParseMode(w.Mode)
 	if err != nil {
 		return ltsp.Options{}, err
+	}
+	if math.IsNaN(w.TripEstimate) || math.IsInf(w.TripEstimate, 0) {
+		return ltsp.Options{}, fmt.Errorf("wire: non-finite trip estimate %v", w.TripEstimate)
+	}
+	// No real loop runs 10^12 iterations per invocation; beyond that the
+	// estimate is adversarial and risks float->int overflow downstream.
+	if w.TripEstimate > 1e12 {
+		return ltsp.Options{}, fmt.Errorf("wire: absurd trip estimate %v", w.TripEstimate)
 	}
 	return ltsp.Options{
 		Mode:            mode,

@@ -36,6 +36,7 @@ import (
 	"ltsp/internal/obs"
 	"ltsp/internal/regalloc"
 	"ltsp/internal/sim"
+	"ltsp/internal/verify"
 )
 
 // Core IR types, re-exported for library users.
@@ -206,6 +207,11 @@ type Options struct {
 	// allocation); nil disables collection with zero overhead. See
 	// package obs.
 	Trace *Trace
+	// Verify runs the independent verification layer (package verify) on
+	// the compiled program before returning it: the structural schedule
+	// checker plus the semantic differential oracle against the source
+	// loop. A verification failure fails the compilation.
+	Verify bool
 }
 
 // Trace is the compiler's structured decision trace (package obs).
@@ -241,7 +247,9 @@ type Compiled struct {
 	LatencyReduced bool
 	IIBumps        int
 
-	core *core.Compiled
+	core  *core.Compiled
+	loop  *ir.Loop // HLO-processed source loop, retained for verification
+	model *Machine
 }
 
 // Outcome names the compilation outcome: obs.OutcomePipelined,
@@ -296,7 +304,7 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Compiled, erro
 	if err != nil {
 		return nil, err
 	}
-	out := &Compiled{HLO: rep}
+	out := &Compiled{HLO: rep, loop: l, model: m}
 	pipeline := opts.Pipeline == nil || *opts.Pipeline
 	var pipeErr error
 	if pipeline {
@@ -317,6 +325,11 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Compiled, erro
 			out.LatencyReduced = c.LatencyReduced
 			out.IIBumps = c.IIBumps
 			out.core = c
+			if opts.Verify {
+				if verr := out.Verify(); verr != nil {
+					return nil, verr
+				}
+			}
 			return out, nil
 		}
 		if opts.Pipeline != nil {
@@ -341,7 +354,36 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Compiled, erro
 		}
 		opts.Trace.Emit(ev)
 	}
+	if opts.Verify {
+		if verr := out.Verify(); verr != nil {
+			return nil, verr
+		}
+	}
 	return out, nil
+}
+
+// Verify re-checks the compilation with the independent verification
+// layer: for pipelined programs the structural schedule verifier
+// (dependences, resources, stage count and register lifetimes re-derived
+// from scratch), then — for every compilation — the semantic differential
+// oracle, which executes the source loop and the compiled program on
+// identical seeded memory images across a battery of trip counts
+// (including trips shorter than the pipeline's stage count) and compares
+// final memory and live-out values. It returns the first discrepancy.
+func (c *Compiled) Verify() error {
+	if c.loop == nil || c.Program == nil {
+		return errors.New("ltsp: compilation retains no source loop to verify against")
+	}
+	m := c.model
+	if m == nil {
+		m = machine.Itanium2()
+	}
+	if c.core != nil && c.core.Schedule != nil {
+		if err := verify.Schedule(m, c.core.Loop(), c.core.Schedule, c.core.Assignment); err != nil {
+			return err
+		}
+	}
+	return verify.Kernel(c.loop, c.Program, verify.Config{Seed: 1})
 }
 
 // DefaultSimConfig returns the simulator configuration used throughout the
