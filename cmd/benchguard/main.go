@@ -30,12 +30,17 @@ import (
 	"ltsp/internal/experiments"
 	"ltsp/internal/ir"
 	"ltsp/internal/server"
+	"ltsp/internal/store"
+	"ltsp/internal/wire"
 )
 
 // Baseline is the checked-in measurement record.
 type Baseline struct {
 	CompileLoopNsOp float64 `json:"compile_loop_ns_op"`
 	CompileTimeSec  float64 `json:"compile_time_seconds"`
+	// DiskHitNsOp is one artifact read from the persistent store —
+	// decode + checksum + integrity check — the warm-restart hot path.
+	DiskHitNsOp float64 `json:"disk_hit_ns_op,omitempty"`
 	// Cores records GOMAXPROCS at measurement time: compile_time_seconds
 	// scales with it, so cross-machine comparisons need the context.
 	Cores int    `json:"cores"`
@@ -148,6 +153,86 @@ func measureShedAdmit(reps, iters int) float64 {
 	return median(samples)
 }
 
+// measureCacheHit returns the median ns per in-memory artifact-cache
+// hit — the fast path every repeated compile request takes, which the
+// disk/peer layering underneath must not slow down.
+func measureCacheHit(reps, iters int) float64 {
+	opts := ltsp.Options{Mode: ltsp.ModeHLO, Prefetch: true, LatencyTolerant: true}
+	c, err := ltsp.Compile(exampleLoop(), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: compile: %v\n", err)
+		os.Exit(1)
+	}
+	cache := server.NewArtifactCache(16, &server.Metrics{})
+	const key = "bench"
+	cache.Add(key, &server.Artifact{Compiled: c, Size: 1})
+	samples := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, ok := cache.Get(key); !ok {
+				fmt.Fprintln(os.Stderr, "benchguard: cache lost its only artifact")
+				os.Exit(1)
+			}
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	return median(samples)
+}
+
+// measureDiskHit returns the median ns per persistent-store read of the
+// running example's artifact — file read, decode, checksum — i.e. the
+// per-artifact cost of a warm restart.
+func measureDiskHit(reps, iters int) float64 {
+	dir, err := os.MkdirTemp("", "benchguard-store")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	defer st.Close()
+
+	loopData, err := ir.EncodeLoop(exampleLoop())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	req := wire.CompileRequest{Version: wire.Version, Loop: loopData,
+		Options: wire.Options{Mode: "hlo", Prefetch: true, LatencyTolerant: true}}
+	canon, err := req.Canonical()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	hash := wire.HashOf(canon)
+	if err := st.Put(&store.Entry{
+		Hash:     hash,
+		Request:  canon,
+		Response: json.RawMessage(`{"hash":"` + hash + `","outcome":"pipelined"}`),
+		Trace:    json.RawMessage(`[]`),
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	samples := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := st.Get(hash); err != nil {
+				fmt.Fprintf(os.Stderr, "benchguard: disk hit: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	return median(samples)
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or write)")
@@ -167,8 +252,10 @@ func main() {
 	ctSec := measureCompileTime(*ctReps)
 	shedNs := measureShedAdmit(*loopReps, 100000)
 	verifyNs := measureVerify(*loopReps, 200)
-	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op, verify %.0f ns/op (workers %d, cores %d)\n",
-		loopNs, ctSec, shedNs, verifyNs, experiments.Workers(), runtime.GOMAXPROCS(0))
+	hitNs := measureCacheHit(*loopReps, 100000)
+	diskNs := measureDiskHit(*loopReps, 500)
+	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op, verify %.0f ns/op, cache_hit %.1f ns/op, disk_hit %.0f ns/op (workers %d, cores %d)\n",
+		loopNs, ctSec, shedNs, verifyNs, hitNs, diskNs, experiments.Workers(), runtime.GOMAXPROCS(0))
 
 	// The admission-control decision sits on every request's path, so it
 	// is gated absolutely against this run's own compile measurement: the
@@ -191,10 +278,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The in-memory hit path is what the new disk/peer layers sit under;
+	// the acceptance bar is that a memory hit stays under 1% of a compile.
+	// (The layers only run on a miss, so this catches accidental work —
+	// hashing, allocation, lock widening — added to the hit itself.)
+	if maxHit := loopNs * 0.01; hitNs > maxHit {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: cache_hit %.1f ns/op exceeds 1%% of compile_loop (%.1f ns)\n", hitNs, maxHit)
+		os.Exit(1)
+	}
+
+	// The disk hit carries a fixed integrity tax (file read + decode +
+	// sha256) that is in the same ballpark as compiling the tiny running
+	// example, so it is not gated against compile_loop — its payoff grows
+	// with loop size and with what recompiling cannot restore (the trace,
+	// cross-restart and cross-peer sharing). It gets an absolute sanity
+	// budget here and a baseline-relative regression check below.
+	const maxDiskNs = 1e6 // 1 ms: a disk hit must stay far below any RPC
+	if diskNs > maxDiskNs {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: disk_hit %.0f ns/op exceeds the %0.f ns sanity budget\n", diskNs, maxDiskNs)
+		os.Exit(1)
+	}
+
 	if *write {
 		b := Baseline{
 			CompileLoopNsOp: loopNs,
 			CompileTimeSec:  ctSec,
+			DiskHitNsOp:     diskNs,
 			Cores:           runtime.GOMAXPROCS(0),
 			Note:            "written by cmd/benchguard -write; refresh deliberately, not to silence the gate",
 		}
@@ -234,6 +345,7 @@ func main() {
 	}
 	check("compile_loop_ns_op", loopNs, base.CompileLoopNsOp)
 	check("compile_time_seconds", ctSec*1000, base.CompileTimeSec*1000)
+	check("disk_hit_ns_op", diskNs, base.DiskHitNsOp)
 	if fail {
 		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.0f%% threshold\n", *threshold)
 		os.Exit(1)

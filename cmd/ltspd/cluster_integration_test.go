@@ -1,0 +1,264 @@
+package main
+
+// Multi-process cluster integration: three real ltspd processes on
+// loopback sharing work through the consistent-hash ring and their
+// persistent stores. The test builds the binary, boots the fleet,
+// compiles on one node, hits the artifact from another, then kills and
+// restarts the first node and proves it warm-starts from disk.
+//
+// Gated behind LTSP_CLUSTER_IT: it spawns processes and binds ports, so
+// plain `go test ./...` stays hermetic. CI runs it as its own job:
+//
+//	LTSP_CLUSTER_IT=1 go test -run TestClusterIntegration -v ./cmd/ltspd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"ltsp/internal/cluster"
+	"ltsp/internal/ir"
+	"ltsp/internal/wire"
+)
+
+func TestClusterIntegration(t *testing.T) {
+	if os.Getenv("LTSP_CLUSTER_IT") == "" {
+		t.Skip("set LTSP_CLUSTER_IT=1 to run the multi-process cluster test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "ltspd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	const nodes = 3
+	ports := freePorts(t, nodes)
+	peers := make([]cluster.Peer, nodes)
+	peerFlag := ""
+	for i, p := range ports {
+		id := string(rune('a' + i))
+		peers[i] = cluster.Peer{ID: id, Addr: fmt.Sprintf("http://127.0.0.1:%d", p)}
+		if i > 0 {
+			peerFlag += ","
+		}
+		peerFlag += fmt.Sprintf("%s=%s", id, peers[i].Addr)
+	}
+
+	dirs := make([]string, nodes)
+	procs := make([]*exec.Cmd, nodes)
+	startNode := func(i int) {
+		t.Helper()
+		cmd := exec.Command(bin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-data-dir", dirs[i],
+			"-peers", peerFlag,
+			"-self", peers[i].ID,
+			"-replication", "2",
+			"-log-text", "-log-level", "warn",
+		)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start node %s: %v", peers[i].ID, err)
+		}
+		procs[i] = cmd
+		waitHealthy(t, peers[i].Addr)
+	}
+	stopNode := func(i int) {
+		t.Helper()
+		_ = procs[i].Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- procs[i].Wait() }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = procs[i].Process.Kill()
+			<-done
+		}
+		procs[i] = nil
+	}
+	for i := 0; i < nodes; i++ {
+		dirs[i] = t.TempDir()
+		startNode(i)
+	}
+	t.Cleanup(func() {
+		for i, p := range procs {
+			if p != nil {
+				stopNode(i)
+			}
+		}
+	})
+
+	// Pick a loop whose replica set is {a, c}: compiled on a, it must
+	// reach b only through a peer cache-fill.
+	ring := cluster.New(cluster.Static(peers), 0)
+	var req *wire.CompileRequest
+	var hash string
+	for k := int64(0); k < 1024; k++ {
+		r, h := exampleRequest(t, 700+k)
+		owners := ring.Owners(h, 2)
+		if len(owners) == 2 && owners[0].ID == "a" && !ownersContain(owners, "b") {
+			req, hash = r, h
+			break
+		}
+	}
+	if req == nil {
+		t.Fatal("no loop variant with replica set {a, c}")
+	}
+
+	// Compile on a.
+	var cr wire.CompileResponse
+	postJSON(t, peers[0].Addr+"/v2/compile", req, &cr)
+	if cr.Hash != hash || cr.Cached {
+		t.Fatalf("compile on a: hash %s cached %v, want %s uncached", cr.Hash, cr.Cached, hash)
+	}
+
+	// Hit on b: not an owner, so this is a cross-peer fill.
+	postJSON(t, peers[1].Addr+"/v2/compile", req, &cr)
+	if !cr.Cached {
+		t.Fatal("compile on b not served from the cluster")
+	}
+	var m struct {
+		Cluster struct {
+			PeerHits int64 `json:"peer_hits"`
+		} `json:"cluster"`
+	}
+	getJSON(t, peers[1].Addr+"/metrics", &m)
+	if m.Cluster.PeerHits < 1 {
+		t.Fatalf("node b peer_hits = %d, want >= 1", m.Cluster.PeerHits)
+	}
+
+	// Kill a and bring it back on the same data dir: the artifact must
+	// survive the restart and be served without recompiling.
+	stopNode(0)
+	startNode(0)
+	postJSON(t, peers[0].Addr+"/v2/compile", req, &cr)
+	if !cr.Cached {
+		t.Fatal("restarted node a recompiled instead of warm-starting from disk")
+	}
+	var ma struct {
+		DiskHits int64 `json:"disk_hits"`
+	}
+	getJSON(t, peers[0].Addr+"/metrics", &ma)
+	if ma.DiskHits < 1 {
+		t.Fatalf("restarted node a disk_hits = %d, want >= 1", ma.DiskHits)
+	}
+}
+
+func ownersContain(ps []cluster.Peer, id string) bool {
+	for _, p := range ps {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// freePorts reserves n distinct loopback ports. The listeners close
+// before the daemons bind — a small race, harmless on a CI box.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = l.Addr().(*net.TCPAddr).Port
+		l.Close()
+	}
+	return ports
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("node %s never became healthy", base)
+}
+
+// exampleRequest builds the paper's running example with a
+// distinguishing constant k, so each k is a distinct artifact.
+func exampleRequest(t *testing.T, k int64) (*wire.CompileRequest, string) {
+	t.Helper()
+	l := ir.NewLoop("copyadd")
+	v, bs, bd, r, kr := l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR(), l.NewGR()
+	ld := ir.Ld(v, bs, 4, 4)
+	ld.Mem.Stride, ld.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(ld)
+	l.Append(ir.Add(r, v, kr))
+	st := ir.St(bd, r, 4, 4)
+	st.Mem.Stride, st.Mem.StrideBytes = ir.StrideUnit, 4
+	l.Append(st)
+	l.Init(bs, 0x100000)
+	l.Init(bd, 0x200000)
+	l.Init(kr, k)
+	l.LiveOut = []ir.Reg{bs, bd}
+	data, err := ir.EncodeLoop(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &wire.CompileRequest{Version: wire.Version, Loop: data,
+		Options: wire.Options{Mode: "hlo", Prefetch: true, LatencyTolerant: true}}
+	hash, err := req.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req, hash
+}
+
+func postJSON(t *testing.T, url string, body, out any) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %s: %s", url, resp.Status, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,10 +7,18 @@
 //
 //	ltspd -addr :8347 -pool 8 -cache 512
 //
+// With -data-dir the artifact cache is backed by a content-addressed
+// persistent store: compiled artifacts survive restarts and are served
+// from disk without recompiling. With -peers (plus -self) the daemon
+// joins a cluster: loop hashes are owned by replica sets on a shared
+// consistent-hash ring, and a node asks the owners for an artifact —
+// GET /v2/artifacts/{hash} — before compiling locally. See the README
+// "Running a cluster" section for a 3-node quickstart.
+//
 // Endpoints (see internal/server and the README "Service" section):
 //
 //	POST /v2/compile   POST /v2/compile-batch   POST /v2/simulate
-//	GET  /v2/artifacts/{hash}/trace
+//	GET  /v2/artifacts/{hash}   GET /v2/artifacts/{hash}/trace
 //	GET  /healthz      GET /metrics
 //
 // The /v1 prefix serves the same handlers for existing callers; /v2 is
@@ -39,7 +47,9 @@ import (
 	"time"
 
 	"ltsp/internal/buildinfo"
+	"ltsp/internal/cluster"
 	"ltsp/internal/server"
+	"ltsp/internal/store"
 )
 
 func main() {
@@ -55,6 +65,15 @@ func main() {
 		shedOff      = flag.Bool("no-shed", false, "disable deadline-aware admission control (load shedding)")
 		verifySample = flag.Float64("verify-sample", server.DefaultVerifySample, "fraction of compilations independently verified (structural checks + differential oracle); <0 disables, >=1 verifies all")
 		reproDir     = flag.String("repro-dir", "", "directory for minimized repro bundles from panics and verification failures (empty = off)")
+		dataDir      = flag.String("data-dir", "", "directory for the persistent content-addressed artifact store (empty = memory only)")
+		storeMax     = flag.Int64("store-max-bytes", 1<<30, "disk budget for the artifact store; LRU entries are evicted beyond it (0 = unbounded)")
+		storeFsync   = flag.Bool("store-fsync", false, "fsync artifact writes (durability over write latency)")
+		storeScan    = flag.Duration("store-scan-interval", time.Minute, "background store scan interval, reconciling external changes and enforcing the budget (0 = off)")
+		peerList     = flag.String("peers", "", "comma-separated cluster membership incl. this node: addr or id=addr (empty = single node)")
+		self         = flag.String("self", "", "this node's peer ID on the ring (required with -peers; must match one entry)")
+		replication  = flag.Int("replication", 2, "replica-set size for artifact ownership")
+		peerTO       = flag.Duration("peer-timeout", 2*time.Second, "budget for one whole peer cache-fill (all hedged legs)")
+		peerHedge    = flag.Duration("peer-hedge-delay", 50*time.Millisecond, "stagger before hedging a peer fill to the next replica")
 		drainRetry   = flag.Duration("drain-retry-after", time.Second, "Retry-After hint sent with 503 draining responses")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logText      = flag.Bool("log-text", false, "log in text form instead of JSON")
@@ -80,6 +99,55 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{
+			MaxBytes:     *storeMax,
+			Fsync:        *storeFsync,
+			ScanInterval: *storeScan,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ltspd: opening -data-dir: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("artifact store open",
+			slog.String("dir", *dataDir),
+			slog.Int("entries", st.Len()),
+			slog.Int64("bytes", st.Bytes()),
+		)
+	}
+
+	var peers []cluster.Peer
+	if *peerList != "" {
+		var err error
+		peers, err = cluster.ParsePeers(*peerList)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ltspd: bad -peers: %v\n", err)
+			os.Exit(2)
+		}
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "ltspd: -peers requires -self (this node's peer ID)")
+			os.Exit(2)
+		}
+		found := false
+		for _, p := range peers {
+			if p.ID == *self {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "ltspd: -self %q is not in -peers\n", *self)
+			os.Exit(2)
+		}
+		logger.Info("cluster mode",
+			slog.String("self", *self),
+			slog.Int("peers", len(peers)),
+			slog.Int("replication", *replication),
+		)
+	}
+
 	// On the command line 0 means "off" (Config treats 0 as "use the
 	// default", which is right for embedders but surprising for a flag).
 	if *verifySample == 0 {
@@ -96,6 +164,12 @@ func main() {
 		DrainRetryAfter: *drainRetry,
 		VerifySample:    *verifySample,
 		ReproDir:        *reproDir,
+		Store:           st,
+		Peers:           peers,
+		Self:            *self,
+		Replication:     *replication,
+		PeerTimeout:     *peerTO,
+		PeerHedgeDelay:  *peerHedge,
 		Logger:          logger,
 	})
 	var handlerRoot http.Handler = srv
@@ -134,6 +208,9 @@ func main() {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("serve failed", slog.String("err", err.Error()))
+			if st != nil {
+				st.Close()
+			}
 			os.Exit(1)
 		}
 	case sig := <-sigCh:
@@ -149,5 +226,8 @@ func main() {
 		// Flush the final metrics snapshot to the log so a scrape that
 		// missed the last interval still sees the totals.
 		logger.Info("drained", slog.Any("metrics", srv.MetricsSnapshot()))
+	}
+	if st != nil {
+		st.Close()
 	}
 }

@@ -121,7 +121,7 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 				results[i] = batchItemError(err)
 				return
 			}
-			results[i] = BatchItemResult{CompileResponse: compileResponse(hash, cached, art.Compiled)}
+			results[i] = BatchItemResult{CompileResponse: respondCompile(hash, cached || art.Thin(), art)}
 		}(i)
 	}
 	wg.Wait()

@@ -3,22 +3,57 @@ package server
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"ltsp"
 	"ltsp/internal/obs"
+	"ltsp/internal/store"
+	"ltsp/internal/wire"
 )
 
-// Artifact is one cached compilation: the compiled program plus the
-// decision trace the compiler emitted while producing it. The trace is
-// retained with the artifact so GET /v1/artifacts/{hash}/trace can answer
-// "why did the pipeliner do that?" for anything the cache still holds.
+// Artifact is one cached compilation. A "full" artifact was compiled in
+// this process and carries the executable program plus the live decision
+// trace; a "thin" artifact was filled from the disk store or a cluster
+// peer and carries the serialized compile response and trace instead —
+// enough to answer compile and trace requests without recompiling. A
+// thin artifact is materialized (recompiled from its canonical request)
+// lazily, only when something needs the executable program (simulate).
 type Artifact struct {
+	// Compiled is the executable compilation; nil for thin artifacts.
 	Compiled *ltsp.Compiled
-	Trace    *obs.Trace
+	// Trace is the live decision trace (full artifacts).
+	Trace *obs.Trace
+
+	// Request is the canonical compile request the artifact answers —
+	// the preimage of the content hash. Always retained: it is what peer
+	// cache-fill serves and what materialization recompiles.
+	Request json.RawMessage
+	// Response is the serialized compile response (thin artifacts; also
+	// set on full artifacts once persisted, so repeated serves and peer
+	// fills skip re-marshaling).
+	Response *wire.CompileResponse
+	// TraceRaw is the serialized decision trace (thin artifacts).
+	TraceRaw json.RawMessage
+	// Verify is the verification metadata recorded at compile time.
+	Verify store.VerifyMeta
+	// CreatedUnix is when the artifact was first compiled (Unix
+	// seconds). Retained so an artifact served to a peer carries the
+	// same metadata — and encodes to the same bytes — whether it comes
+	// from memory or from the disk store.
+	CreatedUnix int64
+	// Size is the artifact's byte-accounting weight: the total size of
+	// its serialized sections, identical to what the entry occupies (or
+	// would occupy) in the disk store, so the in-memory LRU and the disk
+	// store report commensurable size metrics.
+	Size int64
 }
+
+// Thin reports whether the artifact lacks an executable program (it was
+// filled from disk or a peer and has not been materialized).
+func (a *Artifact) Thin() bool { return a.Compiled == nil }
 
 // ArtifactCache is a content-addressed, LRU-evicting cache of compiled
 // loop artifacts keyed by the canonical request hash (wire.CompileRequest.
@@ -34,12 +69,14 @@ type ArtifactCache struct {
 	ll       *list.List // front = most recently used
 	entries  map[string]*list.Element
 	inflight map[string]*flightCall
+	bytes    int64 // sum of cached artifacts' Size
 	metrics  *Metrics
 }
 
 type cacheEntry struct {
-	key string
-	val *Artifact
+	key  string
+	val  *Artifact
+	size int64
 }
 
 // flightCall is one in-flight computation. Its context (the one fn
@@ -81,6 +118,73 @@ func (c *ArtifactCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// CacheStats describes the cache's current contents. Bytes uses the same
+// accounting as the disk store (the serialized entry size), so /metrics
+// reports commensurable size/entries numbers for both layers.
+type CacheStats struct {
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	Capacity int   `json:"capacity"`
+}
+
+// Stats returns a snapshot of the cache's contents accounting.
+func (c *ArtifactCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Bytes: c.bytes, Capacity: c.capacity}
+}
+
+// Add inserts an artifact under key (most recently used), evicting LRU
+// entries beyond capacity. It is the cache-fill path for artifacts that
+// arrived outside a compile flight (a disk hit on the simulate or trace
+// path); an existing entry is replaced in place.
+func (c *ArtifactCache) Add(key string, val *Artifact) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, val)
+}
+
+// Replace swaps the artifact stored under key (preserving its LRU
+// position) if the key is present — the materialization path upgrades a
+// thin artifact to its compiled form in place. It does not touch hit or
+// miss counters.
+func (c *ArtifactCache) Replace(key string, val *Artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		ce := el.Value.(*cacheEntry)
+		c.bytes += val.Size - ce.size
+		ce.val, ce.size = val, val.Size
+	}
+}
+
+// insertLocked pushes a new entry (replacing in place if the key landed
+// in the cache through another path meanwhile) and enforces capacity.
+// Caller holds c.mu and has checked capacity > 0.
+func (c *ArtifactCache) insertLocked(key string, val *Artifact) {
+	if el, ok := c.entries[key]; ok {
+		ce := el.Value.(*cacheEntry)
+		c.bytes += val.Size - ce.size
+		ce.val, ce.size = val, val.Size
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, val: val, size: val.Size})
+	c.entries[key] = el
+	c.bytes += val.Size
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		ce := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.entries, ce.key)
+		c.bytes -= ce.size
+		c.metrics.CacheEvictions.Add(1)
+	}
 }
 
 // Get returns the cached artifact for key, if present, marking it
@@ -178,14 +282,7 @@ func (c *ArtifactCache) GetOrCompute(ctx context.Context, key string, fn func(co
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if call.err == nil && c.capacity > 0 {
-		el := c.ll.PushFront(&cacheEntry{key: key, val: call.val})
-		c.entries[key] = el
-		for c.ll.Len() > c.capacity {
-			oldest := c.ll.Back()
-			c.ll.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
-			c.metrics.CacheEvictions.Add(1)
-		}
+		c.insertLocked(key, call.val)
 	}
 	c.mu.Unlock()
 	close(call.done)

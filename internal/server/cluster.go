@@ -1,0 +1,316 @@
+package server
+
+// Cluster mode: consistent-hash ownership of loop hashes across ltspd
+// peers, with peer cache-fill over the wire protocol.
+//
+// Every peer (and every fleet-aware client) builds the same hash ring
+// from the shared peer list, so each loop hash has a deterministic
+// replica set. A node that receives a compile request for a hash it does
+// not own asks the owners for the finished artifact — GET
+// /v2/artifacts/{hash} — before compiling locally. The lookup is hedged
+// across the replica set (staggered by PeerHedgeDelay, failing over
+// immediately on error) and bounded by PeerTimeout; it runs inside the
+// refcounted singleflight flight, so concurrent identical requests share
+// one lookup, a slow peer never blocks past the budget (the node just
+// compiles locally), and an abandoned flight cancels the lookup.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ltsp"
+	"ltsp/internal/cluster"
+	"ltsp/internal/obs"
+	"ltsp/internal/store"
+	"ltsp/internal/wire"
+)
+
+// peerFill asks the replica set that owns hash for the finished
+// artifact, hedged and bounded. It returns nil when no peer had it (or
+// none answered in time) — the caller then compiles locally. ctx is the
+// flight context: it ends when every waiter has given up.
+func (s *Server) peerFill(ctx context.Context, hash string) *store.Entry {
+	owners := s.ring.Owners(hash, s.cfg.Replication)
+	targets := make([]cluster.Peer, 0, len(owners))
+	for _, p := range owners {
+		if p.ID != s.cfg.Self {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
+	defer cancel()
+	start := time.Now()
+
+	type result struct {
+		e   *store.Entry
+		err error
+	}
+	// Buffered to the fan-out width so a late responder never blocks:
+	// every launched goroutine can complete its send and exit even after
+	// peerFill has returned.
+	results := make(chan result, len(targets))
+	launched := 0
+	launch := func() {
+		p := targets[launched]
+		launched++
+		go func() {
+			e, err := s.fetchArtifact(ctx, p, hash)
+			results <- result{e, err}
+		}()
+	}
+	launch()
+	hedge := time.NewTimer(s.cfg.PeerHedgeDelay)
+	defer hedge.Stop()
+
+	for pending := 1; pending > 0; {
+		select {
+		case <-hedge.C:
+			// The current leader is slow: hedge to the next replica.
+			if launched < len(targets) {
+				pending++
+				launch()
+				hedge.Reset(s.cfg.PeerHedgeDelay)
+			}
+		case r := <-results:
+			pending--
+			if r.err == nil && r.e != nil {
+				s.metrics.PeerHits.Add(1)
+				s.metrics.PeerFillLatency.Observe(time.Since(start))
+				return r.e
+			}
+			if r.err != nil {
+				s.metrics.PeerErrors.Add(1)
+				s.logger.Debug("peer artifact fetch failed", "hash", hash[:12], "err", r.err)
+			}
+			// A definitive miss or error fails over immediately — no
+			// point waiting out the hedge stagger.
+			if launched < len(targets) {
+				pending++
+				launch()
+			}
+		case <-ctx.Done():
+			// Budget exhausted (or every waiter gave up): compile locally.
+			s.metrics.PeerMisses.Add(1)
+			return nil
+		}
+	}
+	s.metrics.PeerMisses.Add(1)
+	return nil
+}
+
+// fetchArtifact retrieves one artifact from one peer. A clean 404
+// (the peer does not have it) returns (nil, nil); anything else that
+// isn't a valid artifact is an error.
+func (s *Server) fetchArtifact(ctx context.Context, p cluster.Peer, hash string) (*store.Entry, error) {
+	url := strings.TrimRight(p.Addr, "/") + "/v2/artifacts/" + hash
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
+			req.Header.Set(wire.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer %s: status %d", p.ID, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	var ar wire.ArtifactResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		return nil, fmt.Errorf("peer %s: undecodable artifact: %v", p.ID, err)
+	}
+	if ar.Hash != hash {
+		return nil, fmt.Errorf("peer %s: sent artifact %s for request %s", p.ID, ar.Hash, hash)
+	}
+	// Trust but verify the transfer: normalize away the transfer
+	// formatting, then the canonical request must really hash to the key
+	// we asked for, or the fill is poisoning the cache.
+	if err := ar.Normalize(); err != nil {
+		return nil, fmt.Errorf("peer %s: %v", p.ID, err)
+	}
+	if err := ar.CheckIntegrity(); err != nil {
+		return nil, fmt.Errorf("peer %s: %v", p.ID, err)
+	}
+	return entryFromWire(&ar), nil
+}
+
+// entryFromWire converts a received artifact envelope to a store entry.
+func entryFromWire(ar *wire.ArtifactResponse) *store.Entry {
+	return &store.Entry{
+		Hash:        ar.Hash,
+		Request:     ar.Request,
+		Response:    ar.Response,
+		Trace:       ar.Trace,
+		Verify:      store.VerifyMeta{Sampled: ar.Verify.Sampled, Passed: ar.Verify.Passed},
+		CreatedUnix: ar.CreatedUnix,
+	}
+}
+
+// wireFromEntry converts a store entry to the artifact envelope.
+func wireFromEntry(e *store.Entry) *wire.ArtifactResponse {
+	return &wire.ArtifactResponse{
+		Hash:        e.Hash,
+		Request:     e.Request,
+		Response:    e.Response,
+		Trace:       e.Trace,
+		Verify:      wire.ArtifactVerify{Sampled: e.Verify.Sampled, Passed: e.Verify.Passed},
+		CreatedUnix: e.CreatedUnix,
+	}
+}
+
+// thinArtifact builds a cache artifact from a persisted or transferred
+// entry: servable for compile and trace requests, materialized on demand
+// for simulate.
+func thinArtifact(e *store.Entry) (*Artifact, error) {
+	resp := new(wire.CompileResponse)
+	if err := json.Unmarshal(e.Response, resp); err != nil {
+		return nil, fmt.Errorf("stored response undecodable: %v", err)
+	}
+	return &Artifact{
+		Request:     e.Request,
+		Response:    resp,
+		TraceRaw:    e.Trace,
+		Verify:      e.Verify,
+		CreatedUnix: e.CreatedUnix,
+		Size:        store.EncodedSize(e),
+	}, nil
+}
+
+// persist writes an entry through to the disk store, best-effort: a
+// failed write is logged and the artifact stays memory-only.
+func (s *Server) persist(e *store.Entry) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(e); err != nil {
+		s.metrics.DiskWriteErrors.Add(1)
+		s.logger.Warn("artifact persist failed", "hash", e.Hash[:12], "err", err)
+	}
+}
+
+// artifactWire renders a cached artifact as the transfer envelope,
+// serializing the response and trace when the artifact holds only their
+// live forms.
+func artifactWire(hash string, art *Artifact) (*wire.ArtifactResponse, error) {
+	respJSON, traceJSON, err := artifactSections(hash, art)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.ArtifactResponse{
+		Hash:        hash,
+		Request:     art.Request,
+		Response:    respJSON,
+		Trace:       traceJSON,
+		Verify:      wire.ArtifactVerify{Sampled: art.Verify.Sampled, Passed: art.Verify.Passed},
+		CreatedUnix: art.CreatedUnix,
+	}, nil
+}
+
+// artifactSections returns the serialized response and trace of an
+// artifact, marshaling from the live forms when needed.
+func artifactSections(hash string, art *Artifact) (respJSON, traceJSON json.RawMessage, err error) {
+	switch {
+	case art.Response != nil:
+		respJSON, err = json.Marshal(art.Response)
+	case art.Compiled != nil:
+		respJSON, err = json.Marshal(compileResponse(hash, false, art.Compiled))
+	default:
+		err = fmt.Errorf("artifact has neither response nor compilation")
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case art.TraceRaw != nil:
+		traceJSON = art.TraceRaw
+	case art.Trace != nil:
+		traceJSON, err = json.Marshal(art.Trace)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		traceJSON = json.RawMessage("[]")
+	}
+	return respJSON, traceJSON, nil
+}
+
+// handleArtifact serves the artifact-transfer envelope for a hash: the
+// peer cache-fill endpoint (and a useful introspection surface). Reads
+// go through Peek/store without perturbing LRU order of the compile
+// path's metrics.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	s.metrics.ArtifactRequests.Add(1)
+	if art, ok := s.cache.Peek(hash); ok && len(art.Request) > 0 {
+		ar, err := artifactWire(hash, art)
+		if err == nil {
+			writeJSON(w, http.StatusOK, ar)
+			return
+		}
+		s.logger.Warn("artifact render failed", "hash", hash[:min(12, len(hash))], "err", err)
+	}
+	if s.store != nil {
+		if e, err := s.store.Get(hash); err == nil {
+			writeJSON(w, http.StatusOK, wireFromEntry(e))
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, wire.CodeNotFound, "artifact: %v", errUnknownArtifact)
+}
+
+// materialize recompiles a thin artifact's canonical request so the
+// executable program exists in this process (the simulate path needs
+// it), upgrading the cache entry in place. The recompilation is not a
+// new compilation decision — the artifact's stored response stays
+// authoritative — so it does not bump the compile outcome counters.
+// Concurrent materializations of the same hash waste at most one
+// compile each; they converge on identical programs (compilation is
+// deterministic).
+func (s *Server) materialize(ctx context.Context, hash string, art *Artifact) (*ltsp.Compiled, error) {
+	var creq wire.CompileRequest
+	if err := json.Unmarshal(art.Request, &creq); err != nil {
+		return nil, &codedError{wire.CodeInternal, fmt.Errorf("stored request undecodable: %v", err)}
+	}
+	l, err := creq.DecodeLoop()
+	if err != nil {
+		return nil, &codedError{wire.CodeInternal, fmt.Errorf("stored loop undecodable: %v", err)}
+	}
+	opts, err := creq.Options.ToOptions()
+	if err != nil {
+		return nil, &codedError{wire.CodeInternal, fmt.Errorf("stored options invalid: %v", err)}
+	}
+	tr := obs.New()
+	opts.Trace = tr
+	c, err := ltsp.CompileContext(ctx, l, opts)
+	if err != nil {
+		return nil, err
+	}
+	full := *art
+	full.Compiled = c
+	full.Trace = tr
+	s.cache.Replace(hash, &full)
+	s.metrics.Materializations.Add(1)
+	return c, nil
+}

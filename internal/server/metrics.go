@@ -109,6 +109,28 @@ type Metrics struct {
 	CacheMisses    atomic.Int64
 	CacheEvictions atomic.Int64
 
+	// Disk-store layer, counted at the server's lookup sites (the store
+	// keeps its own internal counters, reported in the /metrics "disk"
+	// section): DiskHits are artifacts served from the persistent store
+	// without recompiling; DiskWriteErrors are failed write-throughs (the
+	// artifact stayed memory-only).
+	DiskHits        atomic.Int64
+	DiskMisses      atomic.Int64
+	DiskWriteErrors atomic.Int64
+	// Peer cache-fill layer: PeerHits are artifacts obtained from a
+	// cluster peer instead of compiling; PeerMisses are fills that came
+	// back empty (every peer missed, errored or timed out); PeerErrors
+	// counts individual failed peer fetches (several can contribute to
+	// one miss).
+	PeerHits   atomic.Int64
+	PeerMisses atomic.Int64
+	PeerErrors atomic.Int64
+	// ArtifactRequests counts GET /v2/artifacts/{hash} serves (peer
+	// cache-fill traffic arriving at this node). Materializations counts
+	// thin artifacts recompiled on demand for the simulate path.
+	ArtifactRequests atomic.Int64
+	Materializations atomic.Int64
+
 	// VerifyRuns counts compilations put through sampled independent
 	// verification; VerifyFailures counts the ones the verifier rejected
 	// (each also fails the request with code "internal" and, when a repro
@@ -130,6 +152,9 @@ type Metrics struct {
 	CompileLatency  Histogram
 	SimulateLatency Histogram
 	BatchLatency    Histogram
+	// PeerFillLatency observes successful peer cache-fills, first request
+	// byte to verified artifact.
+	PeerFillLatency Histogram
 }
 
 // CountOutcome bumps the counter matching an obs.Outcome* string.
@@ -161,6 +186,31 @@ type outcomesJSON struct {
 	Sequential     int64 `json:"sequential"`
 }
 
+// diskJSON is the /metrics "disk" section: the persistent artifact
+// store's own accounting. Entries/bytes use the same byte accounting as
+// the in-memory cache section, so the layers are directly comparable.
+type diskJSON struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Writes    int64 `json:"writes"`
+	Evictions int64 `json:"evictions"`
+	Corrupt   int64 `json:"corrupt"`
+	Scans     int64 `json:"scans"`
+}
+
+// clusterJSON is the /metrics "cluster" section.
+type clusterJSON struct {
+	Self        string        `json:"self"`
+	Peers       int           `json:"peers"` // ring size
+	Replication int           `json:"replication"`
+	PeerHits    int64         `json:"peer_hits"`
+	PeerMisses  int64         `json:"peer_misses"`
+	PeerErrors  int64         `json:"peer_errors"`
+	FillLatency histogramJSON `json:"fill_latency"`
+}
+
 // metricsJSON is the /metrics document.
 type metricsJSON struct {
 	BuildInfo        buildInfoJSON `json:"build_info"`
@@ -181,6 +231,13 @@ type metricsJSON struct {
 	CacheMisses      int64         `json:"cache_misses"`
 	CacheEvictions   int64         `json:"cache_evictions"`
 	CacheEntries     int           `json:"cache_entries"`
+	CacheBytes       int64         `json:"cache_bytes"`
+	CacheCapacity    int           `json:"cache_capacity"`
+	DiskHits         int64         `json:"disk_hits"`
+	DiskMisses       int64         `json:"disk_misses"`
+	DiskWriteErrors  int64         `json:"disk_write_errors"`
+	ArtifactRequests int64         `json:"artifact_requests"`
+	Materializations int64         `json:"materializations"`
 	VerifyRuns       int64         `json:"verify_runs"`
 	VerifyFailures   int64         `json:"verify_failures"`
 	PanicsRecovered  int64         `json:"panics_recovered"`
@@ -188,9 +245,11 @@ type metricsJSON struct {
 	CompileLatency   histogramJSON `json:"compile_latency"`
 	SimulateLatency  histogramJSON `json:"simulate_latency"`
 	BatchLatency     histogramJSON `json:"batch_latency"`
+	Disk             *diskJSON     `json:"disk,omitempty"`
+	Cluster          *clusterJSON  `json:"cluster,omitempty"`
 }
 
-func (m *Metrics) snapshot(cacheEntries int, uptime time.Duration) metricsJSON {
+func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSON, uptime time.Duration) metricsJSON {
 	return metricsJSON{
 		BuildInfo: buildInfoJSON{
 			Version: buildinfo.Version,
@@ -212,7 +271,14 @@ func (m *Metrics) snapshot(cacheEntries int, uptime time.Duration) metricsJSON {
 		CacheDedups:      m.CacheDedups.Load(),
 		CacheMisses:      m.CacheMisses.Load(),
 		CacheEvictions:   m.CacheEvictions.Load(),
-		CacheEntries:     cacheEntries,
+		CacheEntries:     cache.Entries,
+		CacheBytes:       cache.Bytes,
+		CacheCapacity:    cache.Capacity,
+		DiskHits:         m.DiskHits.Load(),
+		DiskMisses:       m.DiskMisses.Load(),
+		DiskWriteErrors:  m.DiskWriteErrors.Load(),
+		ArtifactRequests: m.ArtifactRequests.Load(),
+		Materializations: m.Materializations.Load(),
 		VerifyRuns:       m.VerifyRuns.Load(),
 		VerifyFailures:   m.VerifyFailures.Load(),
 		PanicsRecovered:  m.PanicsRecovered.Load(),
@@ -225,5 +291,7 @@ func (m *Metrics) snapshot(cacheEntries int, uptime time.Duration) metricsJSON {
 		CompileLatency:  m.CompileLatency.snapshot(),
 		SimulateLatency: m.SimulateLatency.snapshot(),
 		BatchLatency:    m.BatchLatency.snapshot(),
+		Disk:            disk,
+		Cluster:         cluster,
 	}
 }

@@ -64,10 +64,12 @@ import (
 
 	"ltsp"
 	"ltsp/internal/buildinfo"
+	"ltsp/internal/cluster"
 	"ltsp/internal/ir"
 	"ltsp/internal/obs"
 	"ltsp/internal/repro"
 	"ltsp/internal/sim"
+	"ltsp/internal/store"
 	"ltsp/internal/wire"
 )
 
@@ -110,6 +112,33 @@ type Config struct {
 	// failures are written as minimized replayable bundles (package
 	// repro). Empty disables bundle capture.
 	ReproDir string
+	// Store, when non-nil, is the persistent content-addressed artifact
+	// store layered under the in-memory cache: every executed compilation
+	// is written through, and cache misses are served from disk without
+	// recompiling, so the daemon warm-starts across restarts. The caller
+	// (cmd/ltspd, tests) owns opening and closing it.
+	Store *store.Store
+	// Peers is the cluster membership, including this node; empty
+	// disables cluster mode. Self is this node's peer ID (must match an
+	// entry in Peers to claim ownership of its ring arcs).
+	Peers []cluster.Peer
+	Self  string
+	// Replication is the replica-set size used for ownership decisions
+	// and peer cache-fill fan-out (default 2, clamped to the peer count
+	// by the ring).
+	Replication int
+	// VNodes is the virtual-node count per peer on the hash ring
+	// (default cluster.DefaultVNodes). All nodes and fleet-aware clients
+	// must agree on it.
+	VNodes int
+	// PeerTimeout bounds a whole peer cache-fill attempt (all hedged
+	// legs; default 2s). PeerHedgeDelay is the stagger before asking the
+	// next replica while the previous one is still pending (default 50ms).
+	PeerTimeout    time.Duration
+	PeerHedgeDelay time.Duration
+	// PeerHTTP is the client used for peer fetches (default: a dedicated
+	// http.Client; per-request deadlines come from PeerTimeout).
+	PeerHTTP *http.Client
 	// Logger receives structured request logs. Nil discards them (tests,
 	// embedders that log elsewhere).
 	Logger *slog.Logger
@@ -140,6 +169,15 @@ func (c Config) withDefaults() Config {
 	if c.DrainRetryAfter <= 0 {
 		c.DrainRetryAfter = time.Second
 	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
+	if c.PeerHedgeDelay <= 0 {
+		c.PeerHedgeDelay = 50 * time.Millisecond
+	}
 	if c.VerifySample == 0 {
 		c.VerifySample = DefaultVerifySample
 	}
@@ -158,6 +196,9 @@ const DefaultVerifySample = 0.002
 type Server struct {
 	cfg      Config
 	cache    *ArtifactCache
+	store    *store.Store  // nil when persistence is disabled
+	ring     *cluster.Ring // nil when cluster mode is disabled
+	peerHTTP *http.Client
 	metrics  *Metrics
 	shed     *Shedder
 	logger   *slog.Logger
@@ -230,12 +271,21 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.cache = NewArtifactCache(cfg.CacheCapacity, s.metrics)
+	s.store = cfg.Store
+	if len(cfg.Peers) > 0 {
+		s.ring = cluster.New(cluster.Static(cfg.Peers), cfg.VNodes)
+	}
+	s.peerHTTP = cfg.PeerHTTP
+	if s.peerHTTP == nil {
+		s.peerHTTP = &http.Client{}
+	}
 	// /v1 and /v2 share handlers: v2 is the documented resilient surface,
 	// v1 stays wire-compatible for existing clients.
 	for _, v := range []string{"/v1", "/v2"} {
 		s.mux.HandleFunc("POST "+v+"/compile", s.handleCompile)
 		s.mux.HandleFunc("POST "+v+"/compile-batch", s.handleCompileBatch)
 		s.mux.HandleFunc("POST "+v+"/simulate", s.handleSimulate)
+		s.mux.HandleFunc("GET "+v+"/artifacts/{hash}", s.handleArtifact)
 		s.mux.HandleFunc("GET "+v+"/artifacts/{hash}/trace", s.handleTrace)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -250,7 +300,36 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // daemon logs it on drain so a terminated replica leaves its final
 // counters in the log stream.
 func (s *Server) MetricsSnapshot() any {
-	return s.metrics.snapshot(s.cache.Len(), time.Since(s.start))
+	return s.snapshotJSON()
+}
+
+// snapshotJSON assembles the /metrics document: request counters plus
+// the per-layer cache sections (memory, disk, cluster) with consistent
+// byte accounting.
+func (s *Server) snapshotJSON() metricsJSON {
+	var disk *diskJSON
+	if s.store != nil {
+		st := s.store.Stats()
+		disk = &diskJSON{
+			Entries: st.Entries, Bytes: st.Bytes,
+			Hits: st.Hits, Misses: st.Misses,
+			Writes: st.Writes, Evictions: st.Evictions,
+			Corrupt: st.Corrupt, Scans: st.Scans,
+		}
+	}
+	var clus *clusterJSON
+	if s.ring != nil {
+		clus = &clusterJSON{
+			Self:        s.cfg.Self,
+			Peers:       s.ring.Len(),
+			Replication: s.cfg.Replication,
+			PeerHits:    s.metrics.PeerHits.Load(),
+			PeerMisses:  s.metrics.PeerMisses.Load(),
+			PeerErrors:  s.metrics.PeerErrors.Load(),
+			FillLatency: s.metrics.PeerFillLatency.snapshot(),
+		}
+	}
+	return s.metrics.snapshot(s.cache.Stats(), disk, clus, time.Since(s.start))
 }
 
 // Cache exposes the artifact cache (tests and embedders).
@@ -535,13 +614,29 @@ func compileResponse(hash string, cached bool, c *ltsp.Compiled) *CompileRespons
 	return resp
 }
 
-// compileCached compiles the request through the singleflight artifact
-// cache, returning the artifact, its hash, and whether it was served from
-// cache. ctx is this caller's interest in the result — the compilation
-// itself runs under the cache's flight context, which stays alive while
-// any identical request still waits (see ArtifactCache.GetOrCompute).
-// Each compilation actually executed records its decision trace in the
-// artifact and bumps the matching outcome counter exactly once.
+// respondCompile renders an artifact as a compile response, whether it
+// was compiled in this process or filled thin from disk or a peer. The
+// shallow copy re-stamps only the Cached flag; the nested slices are
+// shared and read-only.
+func respondCompile(hash string, cached bool, art *Artifact) *CompileResponse {
+	if art.Response != nil {
+		r := *art.Response
+		r.Cached = cached
+		return &r
+	}
+	return compileResponse(hash, cached, art.Compiled)
+}
+
+// compileCached resolves the request through the layered artifact cache
+// — memory, then disk store, then peer cache-fill (when another node
+// owns the hash), then a local compilation — returning the artifact, its
+// hash, and whether it was served from any cache layer rather than
+// compiled by this call. ctx is this caller's interest in the result —
+// the fill itself runs under the cache's flight context, which stays
+// alive while any identical request still waits (see
+// ArtifactCache.GetOrCompute). Each compilation actually executed
+// records its decision trace in the artifact, bumps the matching outcome
+// counter exactly once, and is written through to the disk store.
 func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*Artifact, string, bool, error) {
 	if err := ctx.Err(); err != nil {
 		// The deadline already expired (e.g. while queued): don't start a
@@ -552,15 +647,44 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 		return nil, "", false, &codedError{wire.CodeUnsupportedVersion,
 			fmt.Errorf("unsupported request version %d (want %d)", req.Version, wire.Version)}
 	}
-	hash, err := req.Hash()
+	canon, err := req.Canonical()
 	if err != nil {
 		return nil, "", false, mapLoopErr(err)
 	}
+	hash := wire.HashOf(canon)
 	opts, err := req.Options.ToOptions()
 	if err != nil {
 		return nil, "", false, err
 	}
 	art, cached, err := s.cache.GetOrCompute(ctx, hash, func(fctx context.Context) (art *Artifact, err error) {
+		// Layer 2: the persistent store. A disk hit yields a thin artifact
+		// that serves compile and trace requests without recompiling.
+		if s.store != nil {
+			if e, derr := s.store.Get(hash); derr == nil {
+				if a, aerr := thinArtifact(e); aerr == nil {
+					s.metrics.DiskHits.Add(1)
+					return a, nil
+				} else {
+					s.logger.Warn("disk artifact unusable", "hash", hash[:12], "err", aerr)
+				}
+			}
+			s.metrics.DiskMisses.Add(1)
+		}
+		// Layer 3: peer cache-fill. When another replica set owns this
+		// hash, its members have probably compiled (or will compile) it —
+		// ask them before burning a local compile, and write a fill through
+		// to disk so it survives restarts.
+		if s.ring != nil && !s.ring.IsOwner(s.cfg.Self, hash, s.cfg.Replication) {
+			if e := s.peerFill(fctx, hash); e != nil {
+				if a, aerr := thinArtifact(e); aerr == nil {
+					s.persist(e)
+					return a, nil
+				} else {
+					s.logger.Warn("peer artifact unusable", "hash", hash[:12], "err", aerr)
+				}
+			}
+		}
+		// Layer 4: compile locally.
 		l, err := req.DecodeLoop()
 		if err != nil {
 			return nil, mapLoopErr(err)
@@ -589,7 +713,8 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 		// re-checked by the independent structural verifier and the
 		// semantic differential oracle. A failure here means the compiler
 		// produced a wrong kernel — fail the request rather than serve it.
-		if s.shouldVerify() {
+		sampled := s.shouldVerify()
+		if sampled {
 			s.metrics.VerifyRuns.Add(1)
 			check := (*ltsp.Compiled).Verify
 			if hook := testVerifyHook; hook != nil {
@@ -602,7 +727,34 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 			}
 		}
 		s.metrics.CountOutcome(c.Outcome())
-		return &Artifact{Compiled: c, Trace: tr}, nil
+		a := &Artifact{Compiled: c, Trace: tr, Request: canon,
+			Verify: store.VerifyMeta{Sampled: sampled, Passed: sampled}}
+		// Serialize the artifact once: the serialized sections weight the
+		// in-memory LRU, feed the write-through below, and let repeated
+		// serves and peer fills skip re-marshaling. A serialization failure
+		// (never expected) leaves the artifact memory-only.
+		resp := compileResponse(hash, false, c)
+		respJSON, jerr := json.Marshal(resp)
+		traceJSON, terr := json.Marshal(tr)
+		if jerr == nil && terr == nil {
+			entry := &store.Entry{
+				Hash:        hash,
+				Request:     canon,
+				Response:    respJSON,
+				Trace:       traceJSON,
+				Verify:      a.Verify,
+				CreatedUnix: time.Now().Unix(),
+			}
+			a.Response = resp
+			a.TraceRaw = traceJSON
+			a.CreatedUnix = entry.CreatedUnix
+			a.Size = store.EncodedSize(entry)
+			s.persist(entry)
+		} else {
+			s.logger.Warn("artifact serialization failed", "hash", hash[:12],
+				"response_err", jerr, "trace_err", terr)
+		}
+		return a, nil
 	})
 	return art, hash, cached, err
 }
@@ -636,7 +788,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
-		return compileResponse(hash, cached, art.Compiled), http.StatusOK, nil
+		// A thin artifact is by definition a cache serve (disk or peer),
+		// even on the flight that filled it.
+		return respondCompile(hash, cached || art.Thin(), art), http.StatusOK, nil
 	})
 	s.metrics.CompileLatency.Observe(time.Since(start))
 	if err != nil {
@@ -699,10 +853,31 @@ func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (any, 
 		return nil, http.StatusBadRequest, fmt.Errorf("set either hash or loop, not both")
 	case req.Hash != "":
 		art, ok := s.cache.Get(req.Hash)
+		if !ok && s.store != nil {
+			// Memory miss: fall through to the persistent store and warm
+			// the memory cache with the thin artifact.
+			if e, derr := s.store.Get(req.Hash); derr == nil {
+				if a, aerr := thinArtifact(e); aerr == nil {
+					s.metrics.DiskHits.Add(1)
+					s.cache.Add(req.Hash, a)
+					art, ok = a, true
+				}
+			} else {
+				s.metrics.DiskMisses.Add(1)
+			}
+		}
 		if !ok {
 			return nil, http.StatusNotFound, errUnknownArtifact
 		}
 		c, hash, cached = art.Compiled, req.Hash, true
+		if art.Thin() {
+			// Simulation needs the executable program: recompile the stored
+			// canonical request, upgrading the cache entry in place.
+			c, err = s.materialize(ctx, req.Hash, art)
+			if err != nil {
+				return nil, http.StatusBadRequest, err
+			}
+		}
 	default:
 		creq := &wire.CompileRequest{Version: wire.Version, Loop: req.Loop, Options: req.Options}
 		var art *Artifact
@@ -763,20 +938,47 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// handleTrace serves the decision trace stored with a cached artifact. It
-// reads through Peek so introspection neither reorders the LRU list nor
-// inflates the cache-hit counters.
+// handleTrace serves the decision trace stored with a cached artifact,
+// falling through to the persistent store when the artifact is not in
+// memory (a warm restart serves traces straight from disk, and the disk
+// hit re-warms the memory cache). It reads through Peek so introspection
+// neither reorders the LRU list nor inflates the cache-hit counters.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	art, ok := s.cache.Peek(hash)
+	if !ok && s.store != nil {
+		if e, err := s.store.Get(hash); err == nil {
+			if a, aerr := thinArtifact(e); aerr == nil {
+				s.metrics.DiskHits.Add(1)
+				s.cache.Add(hash, a)
+				art, ok = a, true
+			}
+		} else {
+			s.metrics.DiskMisses.Add(1)
+		}
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, wire.CodeNotFound, "trace: %v", errUnknownArtifact)
 		return
 	}
-	writeJSON(w, http.StatusOK, &TraceResponse{
+	if art.Trace != nil {
+		writeJSON(w, http.StatusOK, &TraceResponse{
+			Hash:    hash,
+			Outcome: art.Compiled.Outcome(),
+			Events:  art.Trace,
+		})
+		return
+	}
+	// Thin artifact: the trace exists only in its serialized form, and
+	// the outcome comes from the stored response.
+	events := art.TraceRaw
+	if events == nil {
+		events = json.RawMessage("[]")
+	}
+	writeJSON(w, http.StatusOK, &wire.TraceRawResponse{
 		Hash:    hash,
-		Outcome: art.Compiled.Outcome(),
-		Events:  art.Trace,
+		Outcome: art.Response.Outcome,
+		Events:  events,
 	})
 }
 
@@ -792,5 +994,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.Len(), time.Since(s.start)))
+	writeJSON(w, http.StatusOK, s.snapshotJSON())
 }

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// This file defines the artifact-transfer envelope of the cluster mode:
+// GET /v2/artifacts/{hash} returns the complete persisted artifact —
+// canonical request, compile response, decision trace, verification
+// metadata — so a peer can fill its own cache (memory and disk) without
+// recompiling. The same envelope is what a fleet-aware client sees when
+// it asks a replica for an artifact directly.
+
+// ArtifactVerify mirrors the store's verification metadata on the wire.
+type ArtifactVerify struct {
+	// Sampled reports whether the compilation went through independent
+	// verification on the node that compiled it; Passed is the verdict.
+	Sampled bool `json:"sampled,omitempty"`
+	Passed  bool `json:"passed,omitempty"`
+}
+
+// ArtifactResponse is the body of a successful GET /v2/artifacts/{hash}.
+type ArtifactResponse struct {
+	// Hash is the content-addressed key: the hex sha256 of Request.
+	Hash string `json:"hash"`
+	// Request is the canonical compile request the artifact answers.
+	Request json.RawMessage `json:"request"`
+	// Response is the wire CompileResponse of the compilation.
+	Response json.RawMessage `json:"response"`
+	// Trace is the compiler's decision trace (JSON event array).
+	Trace json.RawMessage `json:"trace,omitempty"`
+	// Verify carries the verification metadata recorded at compile time.
+	Verify ArtifactVerify `json:"verify"`
+	// CreatedUnix is when the artifact was first compiled (Unix seconds).
+	CreatedUnix int64 `json:"createdUnix,omitempty"`
+}
+
+// Normalize rewrites the envelope's JSON sections to their compact
+// forms. The content address is defined over the compact canonical
+// request encoding, but the transfer encoding is free to reformat
+// (ltspd pretty-prints every response body), so a receiver must
+// normalize before hashing — and before persisting, so its stored copy
+// is byte-identical to the sender's.
+func (a *ArtifactResponse) Normalize() error {
+	for _, s := range []*json.RawMessage{&a.Request, &a.Response, &a.Trace} {
+		if len(*s) == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, *s); err != nil {
+			return fmt.Errorf("wire: artifact section is not valid JSON: %v", err)
+		}
+		*s = append(json.RawMessage(nil), buf.Bytes()...)
+	}
+	return nil
+}
+
+// CheckIntegrity verifies that the envelope's Request really hashes to
+// its Hash — the receiving peer's defense against a corrupt or lying
+// sender: a filled cache entry must be exactly as content-addressed as a
+// locally compiled one. Call Normalize first: the hash is defined over
+// the compact encoding.
+func (a *ArtifactResponse) CheckIntegrity() error {
+	sum := sha256.Sum256(a.Request)
+	if got := hex.EncodeToString(sum[:]); got != a.Hash {
+		return fmt.Errorf("wire: artifact request hashes to %s, envelope says %s", got, a.Hash)
+	}
+	return nil
+}
+
+// TraceRawResponse is wire-identical to TraceResponse but carries the
+// trace in its serialized form — what a node serves when the artifact
+// was filled from the disk store or a peer, where the trace exists only
+// as the JSON recorded by the node that compiled it.
+type TraceRawResponse struct {
+	Hash    string          `json:"hash"`
+	Outcome string          `json:"outcome"`
+	Events  json.RawMessage `json:"events"`
+}
+
+// HashOf returns the content-addressed artifact key of an
+// already-canonical request encoding (see CompileRequest.Canonical):
+// the hex sha256 of the bytes. Callers that need both the canonical
+// bytes and the hash use Canonical + HashOf instead of Canonical + Hash
+// to avoid canonicalizing twice.
+func HashOf(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])
+}

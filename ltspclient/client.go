@@ -19,6 +19,13 @@
 //     in-flight compilation is canceled only when every request waiting
 //     on it has given up, so the losing hedge never kills the winner's
 //     work.
+//   - Fleet awareness: with Config.Peers set, the client builds the same
+//     consistent-hash ring as the servers and routes each call to the
+//     replica set that owns its content hash — the nodes most likely to
+//     already hold the artifact. Retries fail over to the next replica,
+//     hedge legs start on different replicas, and batches are sharded by
+//     owner, so a fleet shares compilation work instead of every node
+//     compiling everything.
 package ltspclient
 
 import (
@@ -37,14 +44,30 @@ import (
 	"time"
 
 	"ltsp"
+	"ltsp/internal/cluster"
 	"ltsp/internal/wire"
 )
 
 // Config parameterizes a Client. The zero value of every field except
 // BaseURL is usable; New applies the documented defaults.
 type Config struct {
-	// BaseURL is the ltspd root, e.g. "http://localhost:8347" (required).
+	// BaseURL is the ltspd root, e.g. "http://localhost:8347" (required
+	// unless Peers is set; with Peers it is the fallback target for calls
+	// that have no content hash to route by, defaulting to the first
+	// peer).
 	BaseURL string
+	// Peers enables fleet-aware mode: the cluster membership, in the same
+	// form ltspd's -peers flag takes (see cluster.ParsePeers). The client
+	// builds the servers' consistent-hash ring from it and routes each
+	// call to the replica set owning the call's content hash, primary
+	// first, failing over to the next replica on retry.
+	Peers []cluster.Peer
+	// Replication is the replica-set size; it must match the servers'
+	// -replication for routing to land on owners (default 2).
+	Replication int
+	// VNodes is the ring's virtual-node count per peer; it must match the
+	// servers' (default cluster.DefaultVNodes).
+	VNodes int
 	// HTTPClient is the underlying transport (default http.DefaultClient).
 	HTTPClient *http.Client
 	// MaxRetries bounds retry attempts after the first (default 3;
@@ -100,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchTimeout <= 0 {
 		c.BatchTimeout = 5 * time.Minute
 	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
 	return c
 }
 
@@ -124,6 +150,7 @@ type Stats struct {
 type Client struct {
 	cfg  Config
 	base string
+	ring *cluster.Ring // nil outside fleet-aware mode
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand
@@ -135,20 +162,49 @@ type Client struct {
 	sleptNs   atomic.Int64
 }
 
-// New builds a Client. The only required field is Config.BaseURL.
+// New builds a Client. The only required field is Config.BaseURL
+// (or Config.Peers for fleet-aware mode).
 func New(cfg Config) (*Client, error) {
-	if cfg.BaseURL == "" {
-		return nil, errors.New("ltspclient: Config.BaseURL is required")
+	if cfg.BaseURL == "" && len(cfg.Peers) == 0 {
+		return nil, errors.New("ltspclient: Config.BaseURL or Config.Peers is required")
 	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	return &Client{
+	base := cfg.BaseURL
+	if base == "" {
+		base = cfg.Peers[0].Addr
+	}
+	c := &Client{
 		cfg:  cfg.withDefaults(),
-		base: strings.TrimRight(cfg.BaseURL, "/"),
+		base: strings.TrimRight(base, "/"),
 		rng:  rand.New(rand.NewSource(seed)),
-	}, nil
+	}
+	if len(cfg.Peers) > 0 {
+		c.ring = cluster.New(cluster.Static(cfg.Peers), cfg.VNodes)
+	}
+	return c, nil
+}
+
+// targetsFor returns the ordered base URLs a content-hashed call should
+// try: in fleet-aware mode, the hash's replica set primary-first (the
+// nodes that own — and so most likely already hold — the artifact);
+// otherwise just the configured BaseURL. Retries and hedge legs walk
+// this list.
+func (c *Client) targetsFor(hash string) []string {
+	if c.ring == nil || hash == "" {
+		return []string{c.base}
+	}
+	owners := c.ring.Owners(hash, c.cfg.Replication)
+	if len(owners) == 0 {
+		return []string{c.base}
+	}
+	out := make([]string, len(owners))
+	for i, p := range owners {
+		out[i] = strings.TrimRight(p.Addr, "/")
+	}
+	return out
 }
 
 // Stats returns a snapshot of the client's resilience counters.
@@ -170,11 +226,17 @@ func (c *Client) Compile(ctx context.Context, req *wire.CompileRequest) (*wire.C
 	if err != nil {
 		return nil, err
 	}
+	targets := []string{c.base}
+	if c.ring != nil {
+		if hash, herr := req.Hash(); herr == nil {
+			targets = c.targetsFor(hash)
+		}
+	}
 	out := new(wire.CompileResponse)
 	if c.cfg.HedgeDelay > 0 {
-		err = c.hedge(ctx, "/v2/compile", body, out)
+		err = c.hedge(ctx, "/v2/compile", body, out, targets)
 	} else {
-		err = c.do(ctx, http.MethodPost, "/v2/compile", body, c.cfg.RequestTimeout, out)
+		err = c.doOn(ctx, http.MethodPost, "/v2/compile", body, c.cfg.RequestTimeout, out, targets)
 	}
 	if err != nil {
 		return nil, err
@@ -195,36 +257,145 @@ func (c *Client) CompileLoop(ctx context.Context, l *ltsp.Loop, opts ltsp.Option
 // CompileBatch submits a batch of compile items. The batch as a whole
 // retries like a single call (the server's response is 200 even when
 // individual items fail; inspect each item's ErrorCode/Retryable to
-// resubmit just the transient failures).
+// resubmit just the transient failures). In fleet-aware mode the batch
+// is sharded by each item's owning node and the sub-batches run
+// concurrently; results come back in the original item order, and a
+// sub-batch whose call fails outright yields per-item errors rather than
+// failing the whole batch.
 func (c *Client) CompileBatch(ctx context.Context, items []wire.CompileItem) (*wire.CompileBatchResponse, error) {
-	body, err := json.Marshal(&wire.CompileBatchRequest{Version: wire.Version, Items: items})
-	if err != nil {
-		return nil, err
+	if c.ring == nil {
+		body, err := json.Marshal(&wire.CompileBatchRequest{Version: wire.Version, Items: items})
+		if err != nil {
+			return nil, err
+		}
+		out := new(wire.CompileBatchResponse)
+		if err := c.doOn(ctx, http.MethodPost, "/v2/compile-batch", body, c.cfg.BatchTimeout, out, []string{c.base}); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
-	out := new(wire.CompileBatchResponse)
-	if err := c.do(ctx, http.MethodPost, "/v2/compile-batch", body, c.cfg.BatchTimeout, out); err != nil {
-		return nil, err
+
+	type shard struct {
+		targets []string
+		idx     []int
+		items   []wire.CompileItem
 	}
-	return out, nil
+	shards := make(map[string]*shard)
+	var order []string
+	for i, it := range items {
+		creq := &wire.CompileRequest{Version: wire.Version, Loop: it.Loop, Options: it.Options}
+		targets := []string{c.base}
+		if h, err := creq.Hash(); err == nil {
+			targets = c.targetsFor(h)
+		}
+		key := targets[0]
+		sh := shards[key]
+		if sh == nil {
+			sh = &shard{targets: targets}
+			shards[key] = sh
+			order = append(order, key)
+		}
+		sh.idx = append(sh.idx, i)
+		sh.items = append(sh.items, it)
+	}
+
+	results := make([]wire.BatchItemResult, len(items))
+	var wg sync.WaitGroup
+	for _, key := range order {
+		sh := shards[key]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, err := json.Marshal(&wire.CompileBatchRequest{Version: wire.Version, Items: sh.items})
+			var out wire.CompileBatchResponse
+			if err == nil {
+				err = c.doOn(ctx, http.MethodPost, "/v2/compile-batch", body, c.cfg.BatchTimeout, &out, sh.targets)
+			}
+			for k, i := range sh.idx {
+				switch {
+				case err != nil:
+					results[i] = batchCallFailure(err)
+				case k < len(out.Items):
+					results[i] = out.Items[k]
+				default:
+					results[i] = wire.BatchItemResult{
+						Error:     "server returned a short batch response",
+						ErrorCode: wire.CodeInternal,
+						Retryable: true,
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return &wire.CompileBatchResponse{Items: results}, nil
 }
 
-// Simulate runs (or compiles inline and runs) a simulation.
+// batchCallFailure maps a failed sub-batch call onto its items.
+func batchCallFailure(err error) wire.BatchItemResult {
+	res := wire.BatchItemResult{
+		Error:     err.Error(),
+		ErrorCode: wire.CodeInternal,
+		Retryable: IsRetryable(err),
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Code != "" {
+		res.ErrorCode = ae.Code
+	}
+	return res
+}
+
+// Simulate runs (or compiles inline and runs) a simulation. Fleet-aware
+// routing uses the artifact's content hash — given directly, or computed
+// from the inline loop exactly as the server would — so the simulation
+// lands on a node that already holds (or owns) the artifact.
 func (c *Client) Simulate(ctx context.Context, req *wire.SimulateRequest) (*wire.SimulateResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
+	hash := req.Hash
+	if hash == "" && c.ring != nil && len(req.Loop) > 0 {
+		creq := &wire.CompileRequest{Version: wire.Version, Loop: req.Loop, Options: req.Options}
+		if h, herr := creq.Hash(); herr == nil {
+			hash = h
+		}
+	}
 	out := new(wire.SimulateResponse)
-	if err := c.do(ctx, http.MethodPost, "/v2/simulate", body, c.cfg.RequestTimeout, out); err != nil {
+	if err := c.doOn(ctx, http.MethodPost, "/v2/simulate", body, c.cfg.RequestTimeout, out, c.targetsFor(hash)); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// Trace fetches the decision trace of a cached artifact.
-func (c *Client) Trace(ctx context.Context, hash string) (*wire.TraceResponse, error) {
-	out := new(wire.TraceResponse)
-	if err := c.do(ctx, http.MethodGet, "/v2/artifacts/"+hash+"/trace", nil, c.cfg.RequestTimeout, out); err != nil {
+// Trace fetches the decision trace of a cached artifact. The events are
+// returned in their serialized form (an array of kinded decision-event
+// objects), whichever layer — memory, disk, or a peer's fill — the
+// server produced them from.
+func (c *Client) Trace(ctx context.Context, hash string) (*wire.TraceRawResponse, error) {
+	out := new(wire.TraceRawResponse)
+	if err := c.doOn(ctx, http.MethodGet, "/v2/artifacts/"+hash+"/trace", nil, c.cfg.RequestTimeout, out, c.targetsFor(hash)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Artifact fetches the complete transfer envelope of a cached artifact —
+// canonical request, compile response, trace and verification metadata —
+// verifying its content-address integrity before returning it. It is the
+// same endpoint peers use for cache-fill.
+func (c *Client) Artifact(ctx context.Context, hash string) (*wire.ArtifactResponse, error) {
+	out := new(wire.ArtifactResponse)
+	if err := c.doOn(ctx, http.MethodGet, "/v2/artifacts/"+hash, nil, c.cfg.RequestTimeout, out, c.targetsFor(hash)); err != nil {
+		return nil, err
+	}
+	if out.Hash != hash {
+		return nil, fmt.Errorf("ltspclient: server returned artifact %s for request %s", out.Hash, hash)
+	}
+	if err := out.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := out.CheckIntegrity(); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -237,7 +408,7 @@ func (c *Client) Health(ctx context.Context) (status, version string, err error)
 		Status  string `json:"status"`
 		Version string `json:"version"`
 	}
-	if err := c.once(ctx, http.MethodGet, "/healthz", nil, c.cfg.RequestTimeout, &out); err != nil {
+	if err := c.once(ctx, http.MethodGet, c.base, "/healthz", nil, c.cfg.RequestTimeout, &out); err != nil {
 		return "", "", err
 	}
 	return out.Status, out.Version, nil
@@ -245,13 +416,20 @@ func (c *Client) Health(ctx context.Context) (status, version string, err error)
 
 // do runs the retry loop around once: send, classify, back off, resend.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, attemptTO time.Duration, out any) error {
+	return c.doOn(ctx, method, path, body, attemptTO, out, []string{c.base})
+}
+
+// doOn is do with an explicit failover list: attempt k goes to
+// targets[k mod len(targets)], so retries rotate through the replica set
+// before coming back to the primary.
+func (c *Client) doOn(ctx context.Context, method, path string, body []byte, attemptTO time.Duration, out any, targets []string) error {
 	budget := c.cfg.BackoffBudget
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
-		lastErr = c.once(ctx, method, path, body, attemptTO, out)
+		lastErr = c.once(ctx, method, targets[attempt%len(targets)], path, body, attemptTO, out)
 		if lastErr == nil {
 			return nil
 		}
@@ -298,7 +476,7 @@ func (c *Client) backoff(attempt int, err error) time.Duration {
 // the caller's remaining deadline budget in the X-Request-Deadline-Ms
 // header and decoding either the success body into out or the error
 // envelope into an *APIError.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, attemptTO time.Duration, out any) error {
+func (c *Client) once(ctx context.Context, method, base, path string, body []byte, attemptTO time.Duration, out any) error {
 	c.attempts.Add(1)
 	actx, cancel := context.WithTimeout(ctx, attemptTO)
 	defer cancel()
@@ -307,7 +485,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, att
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(actx, method, base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -368,10 +546,12 @@ func apiError(resp *http.Response, body []byte) error {
 
 // hedge runs the hedged compile: a first leg immediately, a second
 // identical one HedgeDelay later, first answer wins and the loser is
-// canceled. Errors don't win — a leg that fails simply leaves the race
-// to the other; only when both legs have failed does hedge return the
-// first leg's error.
-func (c *Client) hedge(ctx context.Context, path string, body []byte, out *wire.CompileResponse) error {
+// canceled. In fleet-aware mode each leg starts on a different replica
+// (leg n rotates targets by n), so a hedge escapes a slow node rather
+// than re-queueing behind it. Errors don't win — a leg that fails simply
+// leaves the race to the other; only when both legs have failed does
+// hedge return the first leg's error.
+func (c *Client) hedge(ctx context.Context, path string, body []byte, out *wire.CompileResponse, targets []string) error {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -382,8 +562,9 @@ func (c *Client) hedge(ctx context.Context, path string, body []byte, out *wire.
 	}
 	results := make(chan result, 2)
 	leg := func(n int) {
+		rotated := append(append([]string{}, targets[n%len(targets):]...), targets[:n%len(targets)]...)
 		v := new(wire.CompileResponse)
-		err := c.do(hctx, http.MethodPost, path, body, c.cfg.RequestTimeout, v)
+		err := c.doOn(hctx, http.MethodPost, path, body, c.cfg.RequestTimeout, v, rotated)
 		results <- result{v, err, n}
 	}
 
