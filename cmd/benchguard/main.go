@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"ltsp/internal/ir"
 	"ltsp/internal/server"
 	"ltsp/internal/store"
+	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
 )
 
@@ -180,6 +182,64 @@ func measureCacheHit(reps, iters int) float64 {
 	return median(samples)
 }
 
+// measureUntracedPath returns the median ns of one request's worth of
+// tracing plumbing when the request is NOT traced: the per-stage
+// context lookups and nil-receiver span calls the server executes
+// unconditionally. This is the cost every request pays for the
+// telemetry layer existing at all.
+func measureUntracedPath(reps, iters int) float64 {
+	ctx := context.Background()
+	samples := make([]float64, 0, reps)
+	var sink int
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			// Six stage sites per request (queue wait, mem lookup, disk
+			// read, peer leg, compile, verify), each a context lookup plus
+			// no-op span calls on the nil trace.
+			for k := 0; k < 6; k++ {
+				tr, parent := telemetry.FromContext(ctx)
+				s := tr.Start("stage", parent)
+				s.SetAttr("outcome", "hit")
+				s.End()
+				if s != nil {
+					sink++
+				}
+			}
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	_ = sink
+	return median(samples)
+}
+
+// measureTracedPath returns the median ns of recording one fully traced
+// request — trace + root + the per-stage spans with attributes, finish,
+// and retention in a registry. Amortized by the default sampling rate,
+// this is what background span sampling adds to each request.
+func measureTracedPath(reps, iters int) float64 {
+	reg := telemetry.NewRegistry(0, 0)
+	samples := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			tr := telemetry.New("")
+			root := tr.StartRemote("server POST /v2/compile", "")
+			root.SetAttr("request_id", "bench-1")
+			for _, name := range [...]string{"queue_wait", "mem_lookup", "compile", "verify"} {
+				s := tr.Start(name, root)
+				s.SetAttr("outcome", "ok")
+				s.End()
+			}
+			root.End()
+			tr.Finish("POST /v2/compile", 200)
+			reg.Record(tr)
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	return median(samples)
+}
+
 // measureDiskHit returns the median ns per persistent-store read of the
 // running example's artifact — file read, decode, checksum — i.e. the
 // per-artifact cost of a warm restart.
@@ -254,8 +314,10 @@ func main() {
 	verifyNs := measureVerify(*loopReps, 200)
 	hitNs := measureCacheHit(*loopReps, 100000)
 	diskNs := measureDiskHit(*loopReps, 500)
-	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op, verify %.0f ns/op, cache_hit %.1f ns/op, disk_hit %.0f ns/op (workers %d, cores %d)\n",
-		loopNs, ctSec, shedNs, verifyNs, hitNs, diskNs, experiments.Workers(), runtime.GOMAXPROCS(0))
+	untracedNs := measureUntracedPath(*loopReps, 100000)
+	tracedNs := measureTracedPath(*loopReps, 10000)
+	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op, verify %.0f ns/op, cache_hit %.1f ns/op, disk_hit %.0f ns/op, untraced %.1f ns/op, traced %.0f ns/op (workers %d, cores %d)\n",
+		loopNs, ctSec, shedNs, verifyNs, hitNs, diskNs, untracedNs, tracedNs, experiments.Workers(), runtime.GOMAXPROCS(0))
 
 	// The admission-control decision sits on every request's path, so it
 	// is gated absolutely against this run's own compile measurement: the
@@ -285,6 +347,26 @@ func main() {
 	if maxHit := loopNs * 0.01; hitNs > maxHit {
 		fmt.Fprintf(os.Stderr,
 			"benchguard: cache_hit %.1f ns/op exceeds 1%% of compile_loop (%.1f ns)\n", hitNs, maxHit)
+		os.Exit(1)
+	}
+
+	// Tracing is gated twice, mirroring the verify layer. First the
+	// always-on plumbing: an untraced request's context lookups and
+	// nil-span calls may not add more than 1% to a compile.
+	if maxUntraced := loopNs * 0.01; untracedNs > maxUntraced {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: untraced tracing path %.1f ns/op exceeds 1%% of compile_loop (%.1f ns)\n",
+			untracedNs, maxUntraced)
+		os.Exit(1)
+	}
+	// Second the sampled slice: at the default 1-in-100 sampling rate, the
+	// amortized cost of actually recording a request's span timeline may
+	// not exceed 1% of a compile either.
+	amortizedTrace := tracedNs * server.DefaultTraceSample
+	if maxTraced := loopNs * 0.01; amortizedTrace > maxTraced {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: sampled tracing %.1f ns/op (%.0f ns at rate %.2g) exceeds 1%% of compile_loop (%.1f ns)\n",
+			amortizedTrace, tracedNs, server.DefaultTraceSample, maxTraced)
 		os.Exit(1)
 	}
 

@@ -38,6 +38,7 @@ import (
 	"ltsp/internal/machine"
 	"ltsp/internal/obs"
 	"ltsp/internal/repro"
+	"ltsp/internal/telemetry"
 	"ltsp/internal/verify"
 	"ltsp/internal/wire"
 	"ltsp/internal/workload"
@@ -67,6 +68,7 @@ func main() {
 		retryBudget = flag.Duration("retry-budget", 10*time.Second, "client mode: total backoff sleep budget (ltspclient BackoffBudget)")
 		reqTimeout  = flag.Duration("req-timeout", 30*time.Second, "client mode: per-attempt timeout, propagated to the server as its deadline (ltspclient RequestTimeout)")
 		hedge       = flag.Duration("hedge", 0, "client mode: hedge compile requests after this delay, 0 = off (ltspclient HedgeDelay)")
+		traceReq    = flag.Bool("trace", false, "client mode: span-trace the request end to end and print the merged client+server timeline")
 	)
 	flag.Parse()
 
@@ -121,7 +123,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := runClient(client, *loopName, *loopFile, opts, *simTrip, *explain || *explainJ); err != nil {
+		if err := runClient(client, *loopName, *loopFile, opts, *simTrip, *explain || *explainJ, *traceReq); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -274,8 +276,10 @@ func dumpRequest(loopName string, opts ltsp.Options, path string) error {
 // runClient submits a compile request (from a loop file or a named loop)
 // to a running ltspd daemon through ltspclient — which retries transient
 // failures and propagates deadlines — and prints the JSON responses.
-// With explain it also fetches the stored decision trace.
-func runClient(client *ltspclient.Client, loopName, loopFile string, opts ltsp.Options, simTrip int64, explain bool) error {
+// With explain it also fetches the stored decision trace; with traceReq
+// the whole call runs under a span trace and the merged client+server
+// timeline is printed at the end.
+func runClient(client *ltspclient.Client, loopName, loopFile string, opts ltsp.Options, simTrip int64, explain, traceReq bool) error {
 	var req *wire.CompileRequest
 	if loopFile != "" {
 		data, err := os.ReadFile(loopFile)
@@ -298,6 +302,11 @@ func runClient(client *ltspclient.Client, loopName, loopFile string, opts ltsp.O
 	}
 
 	ctx := context.Background()
+	var ttr *telemetry.Trace
+	if traceReq {
+		ttr = telemetry.New("")
+		ctx = telemetry.WithSpan(ctx, ttr, nil)
+	}
 	compiled, err := client.Compile(ctx, req)
 	if err != nil {
 		return err
@@ -324,6 +333,11 @@ func runClient(client *ltspclient.Client, loopName, loopFile string, opts ltsp.O
 			return err
 		}
 		if err := printJSON(simResp); err != nil {
+			return err
+		}
+	}
+	if traceReq {
+		if err := printRequestTrace(client, ttr); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ltsp/internal/telemetry"
+	"ltsp/internal/wire"
+	"ltsp/ltspclient"
+)
+
+// printRequestTrace stitches the client's own spans to the server's
+// retained slice of the same trace (fetched by ID) and prints one
+// merged timeline: every line is a span, ordered by absolute start
+// time, marked [C] (recorded in this process) or [S] (recorded by the
+// server), with offsets relative to the earliest span.
+func printRequestTrace(client *ltspclient.Client, tr *telemetry.Trace) error {
+	type merged struct {
+		origin string
+		span   wire.SpanJSON
+	}
+	var spans []merged
+	for _, s := range tr.Snapshot() {
+		spans = append(spans, merged{"C", s})
+	}
+
+	// The server records its trace after the response is written, so an
+	// immediate fetch can race the recording: retry briefly on not-found.
+	var srv *wire.RequestTraceResponse
+	var err error
+	for i := 0; i < 20; i++ {
+		srv, err = client.RequestTrace(context.Background(), tr.ID())
+		if err == nil || !errors.Is(err, ltspclient.ErrNotFound) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	switch {
+	case err == nil:
+		for _, s := range srv.Spans {
+			spans = append(spans, merged{"S", s})
+		}
+	case errors.Is(err, ltspclient.ErrNotFound):
+		// Still printable: the client-side spans alone are useful.
+		fmt.Printf("(server retained no trace %s — sampled out or cycled)\n", tr.ID())
+	default:
+		return err
+	}
+	if len(spans) == 0 {
+		fmt.Printf("trace %s recorded no spans\n", tr.ID())
+		return nil
+	}
+
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].span.Start < spans[j].span.Start })
+	base := spans[0].span.Start
+	fmt.Printf("\n=== request trace %s ===\n", tr.ID())
+	if srv != nil {
+		fmt.Printf("server: %s status=%d dur=%s\n",
+			srv.Name, srv.Status, time.Duration(srv.DurNs).Round(time.Microsecond))
+	}
+	for _, m := range spans {
+		s := m.span
+		fmt.Printf("[%s] %10s %10s  %s%s\n",
+			m.origin,
+			"+"+time.Duration(s.Start-base).Round(time.Microsecond).String(),
+			time.Duration(s.DurNs).Round(time.Microsecond).String(),
+			s.Name,
+			attrString(s.Attrs),
+		)
+	}
+	return nil
+}
+
+// attrString renders span attributes deterministically (sorted keys).
+func attrString(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf(" %s=%s", k, attrs[k])
+	}
+	return out
+}

@@ -13,7 +13,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -27,7 +29,9 @@ import (
 
 	"ltsp/internal/cluster"
 	"ltsp/internal/ir"
+	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
+	"ltsp/ltspclient"
 )
 
 func TestClusterIntegration(t *testing.T) {
@@ -98,22 +102,24 @@ func TestClusterIntegration(t *testing.T) {
 		}
 	})
 
-	// Pick a loop whose replica set is {a, c}: compiled on a, it must
-	// reach b only through a peer cache-fill.
+	// Pick two loops whose replica set is {a, c}: compiled on a, they
+	// reach b only through a peer cache-fill. The first drives the plain
+	// fill assertions; the second is requested under a trace so the
+	// cross-node span timeline can be checked end to end.
 	ring := cluster.New(cluster.Static(peers), 0)
-	var req *wire.CompileRequest
-	var hash string
-	for k := int64(0); k < 1024; k++ {
+	var reqs []*wire.CompileRequest
+	var hashes []string
+	for k := int64(0); k < 2048 && len(reqs) < 2; k++ {
 		r, h := exampleRequest(t, 700+k)
 		owners := ring.Owners(h, 2)
 		if len(owners) == 2 && owners[0].ID == "a" && !ownersContain(owners, "b") {
-			req, hash = r, h
-			break
+			reqs, hashes = append(reqs, r), append(hashes, h)
 		}
 	}
-	if req == nil {
-		t.Fatal("no loop variant with replica set {a, c}")
+	if len(reqs) < 2 {
+		t.Fatal("fewer than two loop variants with replica set {a, c}")
 	}
+	req, hash := reqs[0], hashes[0]
 
 	// Compile on a.
 	var cr wire.CompileResponse
@@ -135,6 +141,112 @@ func TestClusterIntegration(t *testing.T) {
 	getJSON(t, peers[1].Addr+"/metrics", &m)
 	if m.Cluster.PeerHits < 1 {
 		t.Fatalf("node b peer_hits = %d, want >= 1", m.Cluster.PeerHits)
+	}
+
+	// Traced cross-peer fill: compile the second loop on a, request it on
+	// b through the real client under a telemetry trace, and fetch the
+	// span timeline back from b. One trace ID must show the client's
+	// attempt, b's cache miss, the winning peer leg naming the owner it
+	// pulled from, and the write-through.
+	postJSON(t, peers[0].Addr+"/v2/compile", reqs[1], &cr)
+	if cr.Hash != hashes[1] {
+		t.Fatalf("compile traced loop on a: hash %s, want %s", cr.Hash, hashes[1])
+	}
+	cl, err := ltspclient.New(ltspclient.Config{BaseURL: peers[1].Addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttr := telemetry.New("")
+	tctx := telemetry.WithSpan(context.Background(), ttr, nil)
+	tcr, err := cl.Compile(tctx, reqs[1])
+	if err != nil {
+		t.Fatalf("traced compile on b: %v", err)
+	}
+	if !tcr.Cached {
+		t.Fatal("traced compile on b not served from the cluster")
+	}
+	var attemptSeen bool
+	for _, s := range ttr.Snapshot() {
+		if s.Name == "attempt" {
+			attemptSeen = true
+		}
+	}
+	if !attemptSeen {
+		t.Fatal("client recorded no attempt span")
+	}
+	// The server records a trace after the response is written: retry.
+	var srvTrace *wire.RequestTraceResponse
+	for i := 0; i < 40; i++ {
+		srvTrace, err = cl.RequestTrace(context.Background(), ttr.ID())
+		if err == nil || !errors.Is(err, ltspclient.ErrNotFound) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("fetch trace %s from b: %v", ttr.ID(), err)
+	}
+	stage := make(map[string]wire.SpanJSON)
+	for _, s := range srvTrace.Spans {
+		stage[s.Name] = s
+	}
+	if s, ok := stage["mem_lookup"]; !ok || s.Attrs["outcome"] != "miss" {
+		t.Errorf("mem_lookup span = %+v, want outcome miss", s)
+	}
+	leg, ok := stage["peer_leg"]
+	if !ok {
+		t.Fatalf("no peer_leg span in %d spans", len(srvTrace.Spans))
+	}
+	if leg.Attrs["outcome"] != "hit" || (leg.Attrs["peer"] != "a" && leg.Attrs["peer"] != "c") {
+		t.Errorf("winning peer_leg = %+v, want outcome hit from owner a or c", leg.Attrs)
+	}
+	if _, ok := stage["write_through"]; !ok {
+		t.Error("no write_through span after the peer fill")
+	}
+	if _, ok := stage["compile"]; ok {
+		t.Error("b compiled despite the peer fill")
+	}
+
+	// Export the timeline as Chrome trace events; CI uploads it as a
+	// build artifact when LTSP_SPAN_OUT names a path.
+	cresp, err := http.Get(peers[1].Addr + "/v2/requests/" + ttr.ID() + "?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, err := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	if err != nil || cresp.StatusCode != http.StatusOK {
+		t.Fatalf("chrome export: %s: %v", cresp.Status, err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(chrome, &events); err != nil || len(events) == 0 {
+		t.Fatalf("chrome export is not a non-empty event array: %v", err)
+	}
+	if out := os.Getenv("LTSP_SPAN_OUT"); out != "" {
+		if err := os.WriteFile(out, chrome, 0o644); err != nil {
+			t.Fatalf("write span timeline artifact: %v", err)
+		}
+		t.Logf("span timeline written to %s (%d events)", out, len(events))
+	}
+
+	// A Prometheus scrape of b parses and carries the per-stage family.
+	preq, err := http.NewRequest(http.MethodGet, peers[1].Addr+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Header.Set("Accept", "text/plain")
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if err != nil || presp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus scrape: %s: %v", presp.Status, err)
+	}
+	if !bytes.HasPrefix(prom, []byte("# HELP ")) ||
+		!bytes.Contains(prom, []byte(`ltspd_stage_latency_ms_count{stage="peer_leg"}`)) {
+		t.Fatalf("prometheus exposition missing per-stage histograms:\n%.400s", prom)
 	}
 
 	// Kill a and bring it back on the same data dir: the artifact must

@@ -19,6 +19,7 @@
 //
 //	POST /v2/compile   POST /v2/compile-batch   POST /v2/simulate
 //	GET  /v2/artifacts/{hash}   GET /v2/artifacts/{hash}/trace
+//	GET  /v2/requests/{trace-id}   GET /debug/requests
 //	GET  /healthz      GET /metrics
 //
 // The /v1 prefix serves the same handlers for existing callers; /v2 is
@@ -65,6 +66,9 @@ func main() {
 		shedOff      = flag.Bool("no-shed", false, "disable deadline-aware admission control (load shedding)")
 		verifySample = flag.Float64("verify-sample", server.DefaultVerifySample, "fraction of compilations independently verified (structural checks + differential oracle); <0 disables, >=1 verifies all")
 		reproDir     = flag.String("repro-dir", "", "directory for minimized repro bundles from panics and verification failures (empty = off)")
+		traceSample  = flag.Float64("trace-sample", server.DefaultTraceSample, "fraction of requests span-traced without an X-Trace-ID header (requests carrying one are always traced); <0 disables sampling, >=1 traces all")
+		traceRing    = flag.Int("trace-ring", 0, "recent request traces retained for /debug/requests and /v2/requests/{trace-id} (0 = default 256; slow/error outliers pinned in a ring a quarter this size)")
+		traceSlow    = flag.Duration("trace-slow", 0, "duration at which a traced request is retained as a slow outlier (0 = default 100ms)")
 		dataDir      = flag.String("data-dir", "", "directory for the persistent content-addressed artifact store (empty = memory only)")
 		storeMax     = flag.Int64("store-max-bytes", 1<<30, "disk budget for the artifact store; LRU entries are evicted beyond it (0 = unbounded)")
 		storeFsync   = flag.Bool("store-fsync", false, "fsync artifact writes (durability over write latency)")
@@ -153,6 +157,9 @@ func main() {
 	if *verifySample == 0 {
 		*verifySample = -1
 	}
+	if *traceSample == 0 {
+		*traceSample = -1
+	}
 	srv := server.New(server.Config{
 		PoolSize:        *pool,
 		CacheCapacity:   *cacheCap,
@@ -171,6 +178,9 @@ func main() {
 		PeerTimeout:     *peerTO,
 		PeerHedgeDelay:  *peerHedge,
 		Logger:          logger,
+		TraceSample:     *traceSample,
+		TraceRing:       *traceRing,
+		TraceSlow:       *traceSlow,
 	})
 	var handlerRoot http.Handler = srv
 	if *pprofOn {

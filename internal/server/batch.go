@@ -1,11 +1,15 @@
 package server
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
 )
 
@@ -74,14 +78,24 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	results := make([]BatchItemResult, len(req.Items))
+	tr, parent := telemetry.FromContext(ctx)
+	reqID := requestIDFrom(ctx)
 	var wg sync.WaitGroup
 	for i := range req.Items {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// The item span covers the item's whole life — waiting for a
+			// worker slot included — and the item context parents the
+			// cache/peer/compile spans recorded underneath it.
+			ispan := tr.Start("batch_item", parent)
+			ispan.SetAttr("index", strconv.Itoa(i))
+			defer ispan.End()
+			ictx := telemetry.WithSpan(ctx, tr, ispan)
 			select {
 			case s.sem <- struct{}{}:
 			case <-ctx.Done():
+				ispan.SetAttr("outcome", "timeout")
 				s.metrics.Timeouts.Add(1)
 				s.metrics.BatchItemErrors.Add(1)
 				results[i] = BatchItemResult{
@@ -89,6 +103,7 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 					ErrorCode: wire.CodeDeadlineExceeded,
 					Retryable: true,
 				}
+				s.logBatchItem(ctx, reqID, i, "", false, ctx.Err())
 				return
 			}
 			s.work.Add(1)
@@ -115,16 +130,45 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 					}
 				}
 			}()
-			art, hash, cached, err := s.compileCached(ctx, req.Item(i))
+			art, hash, cached, err := s.compileCached(ictx, req.Item(i))
 			if err != nil {
+				ispan.SetAttr("outcome", "error")
 				s.metrics.BatchItemErrors.Add(1)
 				results[i] = batchItemError(err)
+				s.logBatchItem(ctx, reqID, i, hash, false, err)
 				return
 			}
-			results[i] = BatchItemResult{CompileResponse: respondCompile(hash, cached || art.Thin(), art)}
+			served := cached || art.Thin()
+			ispan.SetAttr("outcome", "ok")
+			results[i] = BatchItemResult{CompileResponse: respondCompile(hash, served, art)}
+			s.logBatchItem(ctx, reqID, i, hash, served, nil)
 		}(i)
 	}
 	wg.Wait()
 	s.metrics.BatchLatency.Observe(time.Since(start))
 	writeJSON(w, http.StatusOK, &CompileBatchResponse{Items: results})
+}
+
+// logBatchItem emits one log line per batch item carrying the batch's
+// request ID, so per-item outcomes — including the peer-fill hops they
+// caused on other nodes, which forward the same ID — correlate across
+// the fleet's log streams.
+func (s *Server) logBatchItem(ctx context.Context, id string, idx int, hash string, cached bool, err error) {
+	if !s.logOn {
+		return
+	}
+	if err != nil {
+		s.logger.LogAttrs(ctx, slog.LevelWarn, "batch_item",
+			slog.String("id", id),
+			slog.Int("item", idx),
+			slog.String("err", err.Error()),
+		)
+		return
+	}
+	s.logger.LogAttrs(ctx, slog.LevelInfo, "batch_item",
+		slog.String("id", id),
+		slog.Int("item", idx),
+		slog.String("hash", hash[:min(12, len(hash))]),
+		slog.Bool("cached", cached),
+	)
 }

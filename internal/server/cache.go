@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ltsp"
 	"ltsp/internal/obs"
@@ -241,18 +242,25 @@ func runFlight(fctx context.Context, fn func(context.Context) (*Artifact, error)
 // while an identical computation is in flight returns ctx.Err()
 // immediately without dooming the flight for the others.
 func (c *ArtifactCache) GetOrCompute(ctx context.Context, key string, fn func(context.Context) (*Artifact, error)) (*Artifact, bool, error) {
+	// The mem_lookup stage histogram is observed at the three lookup-exit
+	// points below — hit, joined an in-flight computation, registered a
+	// new flight — never across a dedup wait, so it measures the lookup
+	// itself, not the coalesced computation.
+	lookupStart := time.Now()
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.metrics.CacheHits.Add(1)
 		v := el.Value.(*cacheEntry).val
 		c.mu.Unlock()
+		c.metrics.StageMemLookup.Observe(time.Since(lookupStart))
 		return v, true, nil
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.metrics.CacheDedups.Add(1)
 		call.refs.Add(1)
 		c.mu.Unlock()
+		c.metrics.StageMemLookup.Observe(time.Since(lookupStart))
 		select {
 		case <-call.done:
 			call.release()
@@ -268,6 +276,7 @@ func (c *ArtifactCache) GetOrCompute(ctx context.Context, key string, fn func(co
 	c.inflight[key] = call
 	c.metrics.CacheMisses.Add(1)
 	c.mu.Unlock()
+	c.metrics.StageMemLookup.Observe(time.Since(lookupStart))
 
 	// The creator's own reference is released when its ctx ends (freeing
 	// the flight to stop if nobody else is waiting) or, at the latest,

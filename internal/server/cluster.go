@@ -28,14 +28,19 @@ import (
 	"ltsp/internal/cluster"
 	"ltsp/internal/obs"
 	"ltsp/internal/store"
+	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
 )
 
 // peerFill asks the replica set that owns hash for the finished
 // artifact, hedged and bounded. It returns nil when no peer had it (or
 // none answered in time) — the caller then compiles locally. ctx is the
-// flight context: it ends when every waiter has given up.
-func (s *Server) peerFill(ctx context.Context, hash string) *store.Entry {
+// flight context: it ends when every waiter has given up. tr/parent
+// come from the originating request (nil when untraced): each hedged
+// leg records a peer_leg span — peer ID, hedge index, outcome — and
+// forwards reqID plus the trace headers so the peer's logs and spans
+// stitch to this request.
+func (s *Server) peerFill(ctx context.Context, hash string, tr *telemetry.Trace, parent *telemetry.Span, reqID string) *store.Entry {
 	owners := s.ring.Owners(hash, s.cfg.Replication)
 	targets := make([]cluster.Peer, 0, len(owners))
 	for _, p := range owners {
@@ -61,9 +66,24 @@ func (s *Server) peerFill(ctx context.Context, hash string) *store.Entry {
 	launched := 0
 	launch := func() {
 		p := targets[launched]
+		leg := launched
 		launched++
 		go func() {
-			e, err := s.fetchArtifact(ctx, p, hash)
+			lspan := tr.Start("peer_leg", parent)
+			lspan.SetAttr("peer", p.ID)
+			lspan.SetAttr("hedge", strconv.Itoa(leg))
+			lstart := time.Now()
+			e, err := s.fetchArtifact(ctx, p, hash, tr, lspan, reqID)
+			s.metrics.StagePeerLeg.Observe(time.Since(lstart))
+			switch {
+			case err != nil:
+				lspan.SetAttr("outcome", "error")
+			case e != nil:
+				lspan.SetAttr("outcome", "hit")
+			default:
+				lspan.SetAttr("outcome", "miss")
+			}
+			lspan.End()
 			results <- result{e, err}
 		}()
 	}
@@ -109,8 +129,10 @@ func (s *Server) peerFill(ctx context.Context, hash string) *store.Entry {
 
 // fetchArtifact retrieves one artifact from one peer. A clean 404
 // (the peer does not have it) returns (nil, nil); anything else that
-// isn't a valid artifact is an error.
-func (s *Server) fetchArtifact(ctx context.Context, p cluster.Peer, hash string) (*store.Entry, error) {
+// isn't a valid artifact is an error. The originating request's ID and
+// trace context (when present) ride along as headers, so the peer's
+// log lines carry the same ID and its spans nest under this leg.
+func (s *Server) fetchArtifact(ctx context.Context, p cluster.Peer, hash string, tr *telemetry.Trace, leg *telemetry.Span, reqID string) (*store.Entry, error) {
 	url := strings.TrimRight(p.Addr, "/") + "/v2/artifacts/" + hash
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -119,6 +141,15 @@ func (s *Server) fetchArtifact(ctx context.Context, p cluster.Peer, hash string)
 	if deadline, ok := ctx.Deadline(); ok {
 		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
 			req.Header.Set(wire.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+	if reqID != "" {
+		req.Header.Set(wire.RequestIDHeader, reqID)
+	}
+	if tr.On() {
+		req.Header.Set(wire.TraceHeader, tr.ID())
+		if id := leg.ID(); id != "" {
+			req.Header.Set(wire.ParentSpanHeader, id)
 		}
 	}
 	resp, err := s.peerHTTP.Do(req)

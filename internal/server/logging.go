@@ -90,3 +90,15 @@ var (
 func nextRequestID() string {
 	return fmt.Sprintf("%s-%06d", requestIDPrefix, requestIDSeq.Add(1))
 }
+
+// requestID returns the request's ID: a valid client-supplied
+// X-Request-ID passes through, so one ID follows a request across hops
+// (peer cache-fills forward it) and every node's log lines correlate
+// even when the request is not traced. Anything invalid — absent, too
+// long, or outside the log-safe charset — is replaced with a fresh ID.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get(wire.RequestIDHeader); wire.ValidTraceID(id) {
+		return id
+	}
+	return nextRequestID()
+}

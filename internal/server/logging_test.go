@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ltsp/internal/wire"
+)
+
+// TestRequestIDPassthrough: a valid client-supplied X-Request-ID is
+// used verbatim; anything invalid is replaced with a fresh unique ID.
+func TestRequestIDPassthrough(t *testing.T) {
+	mk := func(hdr string) *http.Request {
+		r := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		if hdr != "" {
+			r.Header.Set(wire.RequestIDHeader, hdr)
+		}
+		return r
+	}
+	if got := requestID(mk("client-id_42.a")); got != "client-id_42.a" {
+		t.Errorf("valid ID replaced: %q", got)
+	}
+	for _, bad := range []string{
+		"", "has space", "has/slash", strings.Repeat("x", 65), "ütf8",
+	} {
+		got := requestID(mk(bad))
+		if got == bad || got == "" || !wire.ValidTraceID(got) {
+			t.Errorf("invalid header %q yielded %q", bad, got)
+		}
+	}
+	// Generated IDs are unique.
+	a, b := requestID(mk("")), requestID(mk(""))
+	if a == b {
+		t.Errorf("two generated IDs collide: %q", a)
+	}
+}
+
+// TestRequestIDEchoed: the response always carries X-Request-ID —
+// echoed when the caller sent a valid one, minted otherwise.
+func TestRequestIDEchoed(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set(wire.RequestIDHeader, "my-request-001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(wire.RequestIDHeader); got != "my-request-001" {
+		t.Errorf("echoed ID = %q, want passthrough", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(wire.RequestIDHeader); !wire.ValidTraceID(got) {
+		t.Errorf("minted ID %q is not valid", got)
+	}
+}
+
+// TestStatusWriterCapture: the first WriteHeader wins; a bare Write
+// defaults the captured status to 200 and byte counts accumulate.
+func TestStatusWriterCapture(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	if sw.Status() != http.StatusOK {
+		t.Errorf("zero-value status = %d, want 200 default", sw.Status())
+	}
+	sw.WriteHeader(http.StatusTeapot)
+	sw.WriteHeader(http.StatusOK) // late second header keeps the first
+	sw.Write([]byte("hello "))
+	sw.Write([]byte("world"))
+	if sw.Status() != http.StatusTeapot {
+		t.Errorf("status = %d, want first-written 418", sw.Status())
+	}
+	if sw.bytes != 11 {
+		t.Errorf("bytes = %d, want 11", sw.bytes)
+	}
+
+	rec = httptest.NewRecorder()
+	sw = &statusWriter{ResponseWriter: rec}
+	sw.Write([]byte("ok"))
+	if sw.Status() != http.StatusOK {
+		t.Errorf("implicit status = %d, want 200", sw.Status())
+	}
+}
+
+// TestLogStatusOnErrorEnvelope: the structured log line carries the
+// real status even when the error response is the mux's own (404/405),
+// rewritten into the JSON envelope by muxErrorWriter.
+func TestLogStatusOnErrorEnvelope(t *testing.T) {
+	var buf syncBuffer
+	s := New(Config{Logger: slog.New(slog.NewJSONHandler(&buf, nil))})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	cases := []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{http.MethodGet, "/no/such/endpoint", http.StatusNotFound},
+		{http.MethodDelete, "/healthz", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/healthz", http.StatusOK},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s %s: %s, want %d", tc.method, tc.path, resp.Status, tc.wantStatus)
+		}
+		if tc.wantStatus >= 400 {
+			var env struct {
+				Error *wire.ErrorBody `json:"error"`
+			}
+			if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+				t.Errorf("%s %s: body %q is not the structured envelope", tc.method, tc.path, body)
+			}
+		}
+	}
+
+	// One "request" log line per call, each with the status the client saw.
+	var statuses []int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec struct {
+			Msg    string `json:"msg"`
+			Status int    `json:"status"`
+			ID     string `json:"id"`
+			Path   string `json:"path"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable log line %q: %v", line, err)
+		}
+		if rec.Msg != "request" {
+			continue
+		}
+		if rec.ID == "" {
+			t.Errorf("log line for %s has no request id", rec.Path)
+		}
+		statuses = append(statuses, rec.Status)
+	}
+	if len(statuses) != len(cases) {
+		t.Fatalf("logged %d request lines, want %d", len(statuses), len(cases))
+	}
+	for i, tc := range cases {
+		if statuses[i] != tc.wantStatus {
+			t.Errorf("%s %s logged status %d, want %d", tc.method, tc.path, statuses[i], tc.wantStatus)
+		}
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the handler's concurrent writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestLogRequestZeroAlloc: with no logger configured, the completion
+// log call allocates nothing — the cache-hit fast path stays clean.
+func TestLogRequestZeroAlloc(t *testing.T) {
+	s := New(Config{}) // Logger nil -> logOn false
+	r := httptest.NewRequest(http.MethodPost, "/v2/compile", nil)
+	sw := &statusWriter{status: http.StatusOK, bytes: 128}
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(100, func() {
+		s.logRequest(ctx, "id-1", "", r, sw, time.Millisecond)
+	}); n != 0 {
+		t.Errorf("logRequest with logging off allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		s.logBatchItem(ctx, "id-1", 3, "hash", true, nil)
+	}); n != 0 {
+		t.Errorf("logBatchItem with logging off allocates %.1f/op, want 0", n)
+	}
+}

@@ -36,13 +36,15 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[len(latencyBucketsMs)].Add(1)
 }
 
-// histogramJSON is the /metrics rendering of a histogram.
+// histogramJSON is the /metrics rendering of a histogram. Every
+// histogram shares the same bucket bounds, documented once in the
+// document's top-level latency_bounds_ms field rather than repeated
+// per histogram.
 type histogramJSON struct {
 	Count   int64            `json:"count"`
 	SumMs   float64          `json:"sum_ms"`
 	MeanMs  float64          `json:"mean_ms"`
 	Buckets map[string]int64 `json:"buckets"`
-	Bounds  []float64        `json:"bounds_ms"`
 }
 
 func (h *Histogram) snapshot() histogramJSON {
@@ -50,7 +52,6 @@ func (h *Histogram) snapshot() histogramJSON {
 		Count:   h.count.Load(),
 		SumMs:   float64(h.sumUs.Load()) / 1000,
 		Buckets: make(map[string]int64, len(h.buckets)),
-		Bounds:  latencyBucketsMs[:],
 	}
 	if out.Count > 0 {
 		out.MeanMs = out.SumMs / float64(out.Count)
@@ -155,6 +156,18 @@ type Metrics struct {
 	// PeerFillLatency observes successful peer cache-fills, first request
 	// byte to verified artifact.
 	PeerFillLatency Histogram
+
+	// Per-stage latency histograms: where a request's wall clock goes
+	// inside the serving pipeline. Observed on every request (traced or
+	// not) at the stage sites themselves — queue wait in acquire, memory
+	// lookup in the artifact cache, disk reads, each hedged peer-fill leg,
+	// compile, and sampled verification.
+	StageQueueWait Histogram
+	StageMemLookup Histogram
+	StageDiskRead  Histogram
+	StagePeerLeg   Histogram
+	StageCompile   Histogram
+	StageVerify    Histogram
 }
 
 // CountOutcome bumps the counter matching an obs.Outcome* string.
@@ -211,10 +224,24 @@ type clusterJSON struct {
 	FillLatency histogramJSON `json:"fill_latency"`
 }
 
-// metricsJSON is the /metrics document.
+// stagesJSON is the /metrics "stage_latency" block: one histogram per
+// pipeline stage, keyed by stage name.
+type stagesJSON struct {
+	QueueWait histogramJSON `json:"queue_wait"`
+	MemLookup histogramJSON `json:"mem_lookup"`
+	DiskRead  histogramJSON `json:"disk_read"`
+	PeerLeg   histogramJSON `json:"peer_leg"`
+	Compile   histogramJSON `json:"compile"`
+	Verify    histogramJSON `json:"verify"`
+}
+
+// metricsJSON is the /metrics document. LatencyBounds documents the
+// shared histogram bucket upper bounds exactly once; every histogram's
+// buckets map uses these bounds cumulatively (le_ convention).
 type metricsJSON struct {
 	BuildInfo        buildInfoJSON `json:"build_info"`
 	UptimeSeconds    float64       `json:"uptime_seconds"`
+	LatencyBounds    []float64     `json:"latency_bounds_ms"`
 	CompileRequests  int64         `json:"compile_requests"`
 	CompileErrors    int64         `json:"compile_errors"`
 	SimulateRequests int64         `json:"simulate_requests"`
@@ -245,6 +272,7 @@ type metricsJSON struct {
 	CompileLatency   histogramJSON `json:"compile_latency"`
 	SimulateLatency  histogramJSON `json:"simulate_latency"`
 	BatchLatency     histogramJSON `json:"batch_latency"`
+	Stages           stagesJSON    `json:"stage_latency"`
 	Disk             *diskJSON     `json:"disk,omitempty"`
 	Cluster          *clusterJSON  `json:"cluster,omitempty"`
 }
@@ -256,6 +284,7 @@ func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSO
 			Go:      buildinfo.GoVersion(),
 		},
 		UptimeSeconds:    uptime.Seconds(),
+		LatencyBounds:    latencyBucketsMs[:],
 		CompileRequests:  m.CompileRequests.Load(),
 		CompileErrors:    m.CompileErrors.Load(),
 		SimulateRequests: m.SimulateRequests.Load(),
@@ -291,7 +320,15 @@ func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSO
 		CompileLatency:  m.CompileLatency.snapshot(),
 		SimulateLatency: m.SimulateLatency.snapshot(),
 		BatchLatency:    m.BatchLatency.snapshot(),
-		Disk:            disk,
-		Cluster:         cluster,
+		Stages: stagesJSON{
+			QueueWait: m.StageQueueWait.snapshot(),
+			MemLookup: m.StageMemLookup.snapshot(),
+			DiskRead:  m.StageDiskRead.snapshot(),
+			PeerLeg:   m.StagePeerLeg.snapshot(),
+			Compile:   m.StageCompile.snapshot(),
+			Verify:    m.StageVerify.snapshot(),
+		},
+		Disk:    disk,
+		Cluster: cluster,
 	}
 }

@@ -70,6 +70,7 @@ import (
 	"ltsp/internal/repro"
 	"ltsp/internal/sim"
 	"ltsp/internal/store"
+	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
 )
 
@@ -142,6 +143,21 @@ type Config struct {
 	// Logger receives structured request logs. Nil discards them (tests,
 	// embedders that log elsewhere).
 	Logger *slog.Logger
+	// TraceSample is the fraction of requests span-traced when the caller
+	// did not send an X-Trace-ID header (a request carrying a valid one is
+	// always traced). 0 means DefaultTraceSample; negative disables
+	// sampling; >= 1 traces every request. Sampling is deterministic
+	// stride sampling, like VerifySample, so tests are reproducible.
+	TraceSample float64
+	// TraceRing bounds how many recent request traces are retained for
+	// GET /debug/requests and GET /v2/requests/{trace-id}; slow and error
+	// outliers are additionally pinned in a ring a quarter that size
+	// (default telemetry.DefaultRegistryCapacity).
+	TraceRing int
+	// TraceSlow is the duration at which a traced request counts as a
+	// slow outlier and is retained past the recent ring (default
+	// telemetry.DefaultSlowThreshold).
+	TraceSlow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -181,6 +197,9 @@ func (c Config) withDefaults() Config {
 	if c.VerifySample == 0 {
 		c.VerifySample = DefaultVerifySample
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = DefaultTraceSample
+	}
 	return c
 }
 
@@ -190,6 +209,14 @@ func (c Config) withDefaults() Config {
 // times, so the rate is set to keep the amortized overhead well under 5%
 // of aggregate compile cost (gated by cmd/benchguard).
 const DefaultVerifySample = 0.002
+
+// DefaultTraceSample is the default span-tracing sampling rate for
+// requests that do not ask to be traced: one in every 100. A sampled
+// trace costs a handful of small allocations (the spans) on an
+// otherwise allocation-light path, so the amortized overhead stays far
+// below 1% of a compile (gated by cmd/benchguard); callers who want a
+// specific request traced send wire.TraceHeader and are always sampled.
+const DefaultTraceSample = 0.01
 
 // Server is the ltspd HTTP service. It is an http.Handler; wrap it in an
 // http.Server to serve traffic.
@@ -202,6 +229,9 @@ type Server struct {
 	metrics  *Metrics
 	shed     *Shedder
 	logger   *slog.Logger
+	logOn    bool // request logging enabled (Config.Logger was non-nil)
+	traces   *telemetry.Registry
+	sampler  *telemetry.Sampler
 	start    time.Time
 	sem      chan struct{}
 	mux      *http.ServeMux
@@ -266,6 +296,9 @@ func New(cfg Config) *Server {
 		metrics: &Metrics{},
 		shed:    NewShedder(cfg.PoolSize),
 		logger:  logger,
+		logOn:   cfg.Logger != nil,
+		traces:  telemetry.NewRegistry(cfg.TraceRing, cfg.TraceSlow),
+		sampler: telemetry.NewSampler(cfg.TraceSample),
 		start:   time.Now(),
 		sem:     make(chan struct{}, cfg.PoolSize),
 		mux:     http.NewServeMux(),
@@ -288,6 +321,8 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET "+v+"/artifacts/{hash}", s.handleArtifact)
 		s.mux.HandleFunc("GET "+v+"/artifacts/{hash}/trace", s.handleTrace)
 	}
+	s.mux.HandleFunc("GET /v2/requests/{trace}", s.handleRequestTrace)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -339,24 +374,87 @@ func (s *Server) Cache() *ArtifactCache { return s.cache }
 // deterministic decisions; embedders may inspect it).
 func (s *Server) Shedder() *Shedder { return s.shed }
 
+// reqIDKey carries the request ID through the context so the cache-fill
+// layers (peer fetches, batch items) can stamp their logs and outbound
+// requests with it.
+type reqIDKey struct{}
+
+// requestIDFrom returns the request ID stamped by ServeHTTP ("" outside
+// a request).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
 // ServeHTTP implements http.Handler. Every request is tagged with a
-// request ID (echoed in the X-Request-ID response header) and logged
-// structured on completion.
+// request ID (echoed in the X-Request-ID response header, passed
+// through when the caller supplied a valid one) and logged structured
+// on completion. Traced requests — callers sending wire.TraceHeader,
+// plus a sampled slice of the rest — additionally record a span
+// timeline retained for GET /v2/requests/{trace-id}.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := nextRequestID()
-	w.Header().Set("X-Request-ID", id)
+	id := requestID(r)
+	w.Header().Set(wire.RequestIDHeader, id)
+	tr, root := s.startTrace(r, id)
+	ctx := context.WithValue(r.Context(), reqIDKey{}, id)
+	if tr.On() {
+		w.Header().Set(wire.TraceHeader, tr.ID())
+		ctx = telemetry.WithSpan(ctx, tr, root)
+	}
+	r = r.WithContext(ctx)
 	sw := &statusWriter{ResponseWriter: w}
 	start := time.Now()
 	s.mux.ServeHTTP(&muxErrorWriter{statusWriter: sw}, r)
-	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+	if tr.On() {
+		root.End()
+		tr.Finish(r.Method+" "+r.URL.Path, sw.Status())
+		s.traces.Record(tr)
+	}
+	s.logRequest(ctx, id, tr.ID(), r, sw, time.Since(start))
+}
+
+// startTrace decides whether this request is traced: a valid
+// wire.TraceHeader always traces under the caller's ID, otherwise the
+// deterministic sampler decides. The root span nests under the caller's
+// own span when the request carries wire.ParentSpanHeader.
+func (s *Server) startTrace(r *http.Request, reqID string) (*telemetry.Trace, *telemetry.Span) {
+	var tr *telemetry.Trace
+	if hdr := r.Header.Get(wire.TraceHeader); wire.ValidTraceID(hdr) {
+		tr = telemetry.New(hdr)
+	} else if s.sampler.Sample() {
+		tr = telemetry.New("")
+	} else {
+		return nil, nil
+	}
+	parent := r.Header.Get(wire.ParentSpanHeader)
+	if !wire.ValidTraceID(parent) {
+		parent = ""
+	}
+	root := tr.StartRemote("server "+r.Method+" "+r.URL.Path, parent)
+	root.SetAttr("request_id", reqID)
+	return tr, root
+}
+
+// logRequest emits the structured completion log line. It is a no-op —
+// and allocates nothing — when the server has no logger, which keeps
+// the cache-hit path allocation-free.
+func (s *Server) logRequest(ctx context.Context, id, traceID string, r *http.Request, sw *statusWriter, dur time.Duration) {
+	if !s.logOn {
+		return
+	}
+	attrs := []slog.Attr{
 		slog.String("id", id),
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.Int("status", sw.Status()),
 		slog.Int64("bytes", sw.bytes),
-		slog.Duration("duration", time.Since(start)),
+		slog.Duration("duration", dur),
 		slog.String("remote", r.RemoteAddr),
-	)
+	}
+	if traceID != "" {
+		attrs = append(attrs, slog.String("trace_id", traceID))
+	}
+	s.logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
 }
 
 // Shutdown stops accepting new work and waits for in-flight work to
@@ -464,10 +562,17 @@ func (s *Server) acquire(w http.ResponseWriter, ctx context.Context) bool {
 		qctx, cancel = context.WithTimeout(ctx, s.cfg.QueueTimeout)
 		defer cancel()
 	}
+	tr, parent := telemetry.FromContext(ctx)
+	qspan := tr.Start("queue_wait", parent)
+	qstart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		s.metrics.StageQueueWait.Observe(time.Since(qstart))
+		qspan.End()
 		return true
 	case <-qctx.Done():
+		qspan.SetAttr("outcome", "timeout")
+		qspan.End()
 		s.metrics.Rejected.Add(1)
 		if ctx.Err() != nil {
 			// The request's own deadline (or the client) gave up while
@@ -656,28 +761,61 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 	if err != nil {
 		return nil, "", false, err
 	}
+	// The flight context is detached from this request (it lives while
+	// any waiter remains), so the trace and request ID come from the
+	// request context here, captured once and used inside the closure.
+	tr, parent := telemetry.FromContext(ctx)
+	reqID := requestIDFrom(ctx)
+	memSpan := tr.Start("mem_lookup", parent)
+	entered := false
 	art, cached, err := s.cache.GetOrCompute(ctx, hash, func(fctx context.Context) (art *Artifact, err error) {
+		// The closure runs inline on the calling goroutine (or not at
+		// all), so entered needs no synchronization.
+		entered = true
+		memSpan.SetAttr("outcome", "miss")
+		memSpan.End()
 		// Layer 2: the persistent store. A disk hit yields a thin artifact
 		// that serves compile and trace requests without recompiling.
 		if s.store != nil {
+			dspan := tr.Start("disk_read", parent)
+			dstart := time.Now()
+			var hit *Artifact
 			if e, derr := s.store.Get(hash); derr == nil {
 				if a, aerr := thinArtifact(e); aerr == nil {
-					s.metrics.DiskHits.Add(1)
-					return a, nil
+					hit = a
 				} else {
 					s.logger.Warn("disk artifact unusable", "hash", hash[:12], "err", aerr)
 				}
 			}
+			s.metrics.StageDiskRead.Observe(time.Since(dstart))
+			if hit != nil {
+				s.metrics.DiskHits.Add(1)
+				dspan.SetAttr("outcome", "hit")
+				dspan.End()
+				return hit, nil
+			}
 			s.metrics.DiskMisses.Add(1)
+			dspan.SetAttr("outcome", "miss")
+			dspan.End()
 		}
 		// Layer 3: peer cache-fill. When another replica set owns this
 		// hash, its members have probably compiled (or will compile) it —
 		// ask them before burning a local compile, and write a fill through
 		// to disk so it survives restarts.
 		if s.ring != nil && !s.ring.IsOwner(s.cfg.Self, hash, s.cfg.Replication) {
-			if e := s.peerFill(fctx, hash); e != nil {
+			pspan := tr.Start("peer_fill", parent)
+			e := s.peerFill(fctx, hash, tr, pspan, reqID)
+			if e != nil {
+				pspan.SetAttr("outcome", "hit")
+			} else {
+				pspan.SetAttr("outcome", "miss")
+			}
+			pspan.End()
+			if e != nil {
 				if a, aerr := thinArtifact(e); aerr == nil {
+					wspan := tr.Start("write_through", parent)
 					s.persist(e)
+					wspan.End()
 					return a, nil
 				} else {
 					s.logger.Warn("peer artifact unusable", "hash", hash[:12], "err", aerr)
@@ -703,12 +841,19 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 		if hook := testCompileHook; hook != nil {
 			hook(l)
 		}
-		tr := obs.New()
-		opts.Trace = tr
+		cspan := tr.Start("compile", parent)
+		cstart := time.Now()
+		otr := obs.New()
+		opts.Trace = otr
 		c, err := ltsp.CompileContext(fctx, l, opts)
+		s.metrics.StageCompile.Observe(time.Since(cstart))
 		if err != nil {
+			cspan.SetAttr("outcome", "error")
+			cspan.End()
 			return nil, err
 		}
+		cspan.SetAttr("outcome", c.Outcome())
+		cspan.End()
 		// Trust but verify: a sampled slice of successful compilations is
 		// re-checked by the independent structural verifier and the
 		// semantic differential oracle. A failure here means the compiler
@@ -720,14 +865,22 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 			if hook := testVerifyHook; hook != nil {
 				check = hook
 			}
-			if verr := check(c); verr != nil {
+			vspan := tr.Start("verify", parent)
+			vstart := time.Now()
+			verr := check(c)
+			s.metrics.StageVerify.Observe(time.Since(vstart))
+			if verr != nil {
+				vspan.SetAttr("outcome", "failed")
+				vspan.End()
 				s.metrics.VerifyFailures.Add(1)
 				s.writeRepro(repro.Capture(repro.KindVerifyFailure, req, nil, nil, verr))
 				return nil, &codedError{wire.CodeInternal, fmt.Errorf("kernel verification failed: %v", verr)}
 			}
+			vspan.SetAttr("outcome", "passed")
+			vspan.End()
 		}
 		s.metrics.CountOutcome(c.Outcome())
-		a := &Artifact{Compiled: c, Trace: tr, Request: canon,
+		a := &Artifact{Compiled: c, Trace: otr, Request: canon,
 			Verify: store.VerifyMeta{Sampled: sampled, Passed: sampled}}
 		// Serialize the artifact once: the serialized sections weight the
 		// in-memory LRU, feed the write-through below, and let repeated
@@ -735,7 +888,7 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 		// (never expected) leaves the artifact memory-only.
 		resp := compileResponse(hash, false, c)
 		respJSON, jerr := json.Marshal(resp)
-		traceJSON, terr := json.Marshal(tr)
+		traceJSON, terr := json.Marshal(otr)
 		if jerr == nil && terr == nil {
 			entry := &store.Entry{
 				Hash:        hash,
@@ -749,13 +902,21 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 			a.TraceRaw = traceJSON
 			a.CreatedUnix = entry.CreatedUnix
 			a.Size = store.EncodedSize(entry)
+			wspan := tr.Start("write_through", parent)
 			s.persist(entry)
+			wspan.End()
 		} else {
 			s.logger.Warn("artifact serialization failed", "hash", hash[:12],
 				"response_err", jerr, "trace_err", terr)
 		}
 		return a, nil
 	})
+	if !entered {
+		// Served from memory (or coalesced onto another request's flight)
+		// without this call ever entering the fill layers.
+		memSpan.SetAttr("outcome", "hit")
+		memSpan.End()
+	}
 	return art, hash, cached, err
 }
 
@@ -993,6 +1154,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.snapshotJSON())
+// handleMetrics serves the counters document. Both forms — JSON (the
+// default) and Prometheus text exposition (negotiated via Accept:
+// text/plain) — render from one snapshot, so a scrape and a JSON read
+// of the same instant report byte-for-byte consistent numbers.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.snapshotJSON()
+	if wantsPromText(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", PromContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = writePrometheus(w, &m)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
 }

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+
+	"ltsp/internal/telemetry"
+	"ltsp/internal/wire"
+)
+
+// Request-trace endpoints (z-pages style):
+//
+//	GET /v2/requests/{trace-id}               span tree, JSON
+//	GET /v2/requests/{trace-id}?format=chrome Chrome trace-event export
+//	GET /debug/requests                       listing of retained traces
+//
+// Both are served from the bounded in-memory registry — recent requests
+// plus pinned slow/error outliers — so they are safe to leave enabled.
+
+func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("trace")
+	if !wire.ValidTraceID(id) {
+		writeError(w, http.StatusBadRequest, wire.CodeInvalidRequest, "invalid trace id")
+		return
+	}
+	tr, kind := s.traces.Get(id)
+	if tr == nil {
+		writeError(w, http.StatusNotFound, wire.CodeNotFound,
+			"trace not retained (never sampled, or cycled out of the ring)")
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = tr.Timeline().WriteJSON(w)
+		return
+	}
+	sum := tr.SummaryOf()
+	writeJSON(w, http.StatusOK, wire.RequestTraceResponse{
+		TraceID: sum.TraceID,
+		Name:    sum.Name,
+		Status:  sum.Status,
+		Start:   sum.Start.UnixNano(),
+		DurNs:   int64(sum.Dur),
+		Outlier: kind,
+		Spans:   tr.Snapshot(),
+	})
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	sums := s.traces.List()
+	resp := wire.RequestListResponse{Requests: make([]wire.RequestSummary, 0, len(sums))}
+	for _, sum := range sums {
+		resp.Requests = append(resp.Requests, summaryJSON(sum))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func summaryJSON(sum telemetry.Summary) wire.RequestSummary {
+	return wire.RequestSummary{
+		TraceID: sum.TraceID,
+		Name:    sum.Name,
+		Status:  sum.Status,
+		Start:   sum.Start.UnixNano(),
+		DurNs:   int64(sum.Dur),
+		Spans:   sum.Spans,
+		Outlier: sum.Outlier,
+	}
+}

@@ -1,0 +1,312 @@
+// Package telemetry is the request-level span layer: where package obs
+// explains what the compiler decided inside one compilation, telemetry
+// times where a request's wall clock went across the serving stack —
+// queue wait, cache tiers, hedged peer legs, compile, verify — and
+// across processes, stitched by a propagated trace ID (wire.TraceHeader).
+//
+// Like obs.Trace, everything is nil-safe: a nil *Trace (an untraced
+// request) records nothing, every method is a no-op, and the only cost
+// on the untraced path is one context lookup. cmd/benchguard gates that
+// cost below 1% of a compile.
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltsp/internal/obs"
+	"ltsp/internal/wire"
+)
+
+// Span IDs are a per-process random prefix plus a sequence number:
+// unique across the processes a trace crosses, cheap to mint, and
+// greppable. (Same scheme as the server's request IDs.)
+var (
+	spanIDPrefix = func() string {
+		var b [3]byte
+		_, _ = rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+	spanIDSeq atomic.Int64
+)
+
+func nextSpanID() string {
+	return fmt.Sprintf("%s.%d", spanIDPrefix, spanIDSeq.Add(1))
+}
+
+// NewTraceID mints a fresh 16-hex-character trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// maxSpans bounds one trace so a pathological request (a huge batch,
+// a retry storm) cannot grow without limit; further spans are counted
+// as dropped.
+const maxSpans = 512
+
+// Trace collects the spans of one logical request. The zero value is
+// not used; create with New. All methods are safe for concurrent use
+// and safe on a nil receiver.
+type Trace struct {
+	id string
+
+	mu      sync.Mutex
+	spans   []*Span
+	dropped int64
+
+	// Completion metadata, set once by Finish.
+	name    string
+	status  int
+	start   time.Time
+	dur     time.Duration
+	isError bool
+}
+
+// Span is one timed stage of a traced request. Mutations go through the
+// owning trace's lock (a trace has at most a few dozen spans; contention
+// is not a concern), so a late hedge leg can still end its span after
+// the request finished and the trace is being read.
+type Span struct {
+	tr     *Trace
+	id     string
+	parent string
+	name   string
+	start  time.Time
+	dur    time.Duration // 0 while open
+	attrs  map[string]string
+}
+
+// New creates a trace under the given ID ("" mints a fresh one).
+func New(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// On reports whether the trace is recording (non-nil).
+func (t *Trace) On() bool { return t != nil }
+
+// ID returns the trace ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start opens a span named name under parent (nil parent = a root-level
+// span). It returns nil — which every Span method tolerates — on a nil
+// trace or when the trace's span budget is spent.
+func (t *Trace) Start(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, id: nextSpanID(), name: name, start: time.Now()}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	t.mu.Lock()
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// StartRemote opens a root-level span whose parent is a span ID minted
+// in another process (wire.ParentSpanHeader), nesting this hop under
+// the client attempt that caused it. Empty parentID means no parent.
+func (t *Trace) StartRemote(name, parentID string) *Span {
+	s := t.Start(name, nil)
+	if s != nil && parentID != "" {
+		t.mu.Lock()
+		s.parent = parentID
+		t.mu.Unlock()
+	}
+	return s
+}
+
+// Finish stamps the trace's completion metadata: the request name
+// (method + path), its HTTP status, and the total duration since New.
+func (t *Trace) Finish(name string, status int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.name = name
+	t.status = status
+	t.dur = time.Since(t.start)
+	t.isError = status >= 500
+	t.mu.Unlock()
+}
+
+// Dropped returns how many spans were discarded at the budget.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// ID returns the span's ID ("" on nil), for cross-process parenting.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// SetAttr attaches a key/value annotation (peer ID, hedge index,
+// outcome). No-op on nil.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[k] = v
+	s.tr.mu.Unlock()
+}
+
+// End closes the span. No-op on nil; a second End keeps the first
+// duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+		if s.dur == 0 {
+			s.dur = 1 // a closed span is distinguishable from an open one
+		}
+	}
+	s.tr.mu.Unlock()
+}
+
+// Snapshot returns the trace's spans as wire records, sorted by start
+// time. Safe to call while late spans are still being written.
+func (t *Trace) Snapshot() []wire.SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]wire.SpanJSON, 0, len(t.spans))
+	for _, s := range t.spans {
+		sj := wire.SpanJSON{
+			ID:     s.id,
+			Parent: s.parent,
+			Name:   s.name,
+			Start:  s.start.UnixNano(),
+			DurNs:  int64(s.dur),
+		}
+		if len(s.attrs) > 0 {
+			sj.Attrs = make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				sj.Attrs[k] = v
+			}
+		}
+		out = append(out, sj)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Summary describes a finished trace for listings and export headers.
+type Summary struct {
+	TraceID string
+	Name    string
+	Status  int
+	Start   time.Time
+	Dur     time.Duration
+	Spans   int
+	Outlier string // "slow" | "error" | ""
+}
+
+// SummaryOf snapshots the completion metadata (Outlier is filled by the
+// registry that retained the trace).
+func (t *Trace) SummaryOf() Summary {
+	if t == nil {
+		return Summary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Summary{
+		TraceID: t.id,
+		Name:    t.name,
+		Status:  t.status,
+		Start:   t.start,
+		Dur:     t.dur,
+		Spans:   len(t.spans),
+	}
+}
+
+// Timeline renders the trace's spans as Chrome trace-events on an
+// obs.Timeline — the same catapult form the simulator's timeline export
+// uses, loadable in chrome://tracing or Perfetto. ts/dur are
+// microseconds relative to the earliest span.
+func (t *Trace) Timeline() *obs.Timeline {
+	spans := t.Snapshot()
+	tl := obs.NewTimeline(maxSpans + 1)
+	if len(spans) == 0 {
+		return tl
+	}
+	base := spans[0].Start
+	for _, s := range spans {
+		args := map[string]any{"id": s.ID}
+		if s.Parent != "" {
+			args["parent"] = s.Parent
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		tl.Complete(s.Name, (s.Start-base)/1e3, s.DurNs/1e3, 1, 1, args)
+	}
+	return tl
+}
+
+// ctxKey carries a (trace, current span) pair through a context. One
+// value for both keeps the untraced path to a single allocation-free
+// lookup.
+type ctxKey struct{}
+
+type ctxVal struct {
+	tr   *Trace
+	span *Span
+}
+
+// WithSpan returns a context carrying tr with span as the current
+// parent for spans started downstream. A nil tr returns ctx unchanged,
+// so untraced requests never pay for a context wrapper.
+func WithSpan(ctx context.Context, tr *Trace, span *Span) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{tr, span})
+}
+
+// FromContext extracts the trace and current span ((nil, nil) when the
+// request is untraced — the zero-cost path).
+func FromContext(ctx context.Context) (*Trace, *Span) {
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.tr, v.span
+	}
+	return nil, nil
+}

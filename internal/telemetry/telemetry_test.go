@@ -1,0 +1,354 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every Trace and Span method is a no-op on nil — the
+// untraced request path. A panic here would take down real requests.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.On() {
+		t.Error("nil trace reports On")
+	}
+	if tr.ID() != "" {
+		t.Error("nil trace has an ID")
+	}
+	s := tr.Start("stage", nil)
+	if s != nil {
+		t.Fatal("nil trace started a real span")
+	}
+	s2 := tr.StartRemote("stage", "abc.1")
+	if s2 != nil {
+		t.Fatal("nil trace started a real remote span")
+	}
+	s.SetAttr("k", "v")
+	s.End()
+	s.End()
+	if s.ID() != "" {
+		t.Error("nil span has an ID")
+	}
+	tr.Finish("GET /x", 200)
+	if tr.Dropped() != 0 {
+		t.Error("nil trace dropped spans")
+	}
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil trace snapshot = %v, want nil", got)
+	}
+	if sum := tr.SummaryOf(); sum != (Summary{}) {
+		t.Errorf("nil trace summary = %+v, want zero", sum)
+	}
+	if tl := tr.Timeline(); tl.Len() != 0 {
+		t.Error("nil trace produced timeline events")
+	}
+}
+
+// TestContextRoundTrip: WithSpan/FromContext carry the pair; a nil trace
+// leaves the context untouched (the zero-cost untraced path).
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := WithSpan(ctx, nil, nil); got != ctx {
+		t.Error("WithSpan(nil trace) wrapped the context")
+	}
+	if tr, sp := FromContext(ctx); tr != nil || sp != nil {
+		t.Error("empty context yielded a trace")
+	}
+
+	tr := New("deadbeef00000000")
+	root := tr.Start("root", nil)
+	ctx = WithSpan(ctx, tr, root)
+	gotTr, gotSp := FromContext(ctx)
+	if gotTr != tr || gotSp != root {
+		t.Error("context did not round-trip the (trace, span) pair")
+	}
+}
+
+// TestSpanRecording: spans snapshot with IDs, parents, attrs and
+// durations, sorted by start time.
+func TestSpanRecording(t *testing.T) {
+	tr := New("")
+	if tr.ID() == "" || len(tr.ID()) != 16 {
+		t.Fatalf("minted trace ID %q, want 16 hex chars", tr.ID())
+	}
+	root := tr.Start("root", nil)
+	if root.ID() == "" {
+		t.Fatal("span has no ID")
+	}
+	child := tr.Start("child", root)
+	child.SetAttr("outcome", "hit")
+	child.SetAttr("peer", "node-a")
+	child.End()
+	child.End() // idempotent: keeps the first duration
+	root.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "root" || spans[1].Name != "child" {
+		t.Errorf("snapshot order %q, %q — want root then child", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Parent != root.ID() {
+		t.Errorf("child parent = %q, want root ID %q", spans[1].Parent, root.ID())
+	}
+	if spans[0].Parent != "" {
+		t.Errorf("root parent = %q, want empty", spans[0].Parent)
+	}
+	if spans[1].Attrs["outcome"] != "hit" || spans[1].Attrs["peer"] != "node-a" {
+		t.Errorf("child attrs = %v", spans[1].Attrs)
+	}
+	for _, s := range spans {
+		if s.DurNs <= 0 {
+			t.Errorf("span %s has non-positive duration %d after End", s.Name, s.DurNs)
+		}
+	}
+}
+
+// TestStartRemote: a server hop nests under a span ID minted by another
+// process.
+func TestStartRemote(t *testing.T) {
+	tr := New("cafe0000cafe0000")
+	s := tr.StartRemote("server GET /v2/compile", "abc.42")
+	s.End()
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Parent != "abc.42" {
+		t.Errorf("remote parent = %q, want abc.42", spans[0].Parent)
+	}
+	// Empty parent ID means a true root.
+	tr2 := New("")
+	r := tr2.StartRemote("server GET /", "")
+	r.End()
+	if got := tr2.Snapshot()[0].Parent; got != "" {
+		t.Errorf("empty remote parent became %q", got)
+	}
+}
+
+// TestSpanBudget: a trace stops storing past maxSpans and counts drops,
+// and Start returns nil (which all Span methods tolerate).
+func TestSpanBudget(t *testing.T) {
+	tr := New("")
+	for i := 0; i < maxSpans; i++ {
+		if s := tr.Start("s", nil); s == nil {
+			t.Fatalf("span %d refused under budget", i)
+		}
+	}
+	over := tr.Start("overflow", nil)
+	if over != nil {
+		t.Fatal("span beyond budget was stored")
+	}
+	over.SetAttr("k", "v")
+	over.End()
+	if tr.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", tr.Dropped())
+	}
+	if n := len(tr.Snapshot()); n != maxSpans {
+		t.Errorf("snapshot has %d spans, want %d", n, maxSpans)
+	}
+}
+
+// TestFinishSummary: Finish stamps name/status/duration for listings.
+func TestFinishSummary(t *testing.T) {
+	tr := New("")
+	tr.Start("stage", nil).End()
+	tr.Finish("POST /v2/compile", 503)
+	sum := tr.SummaryOf()
+	if sum.Name != "POST /v2/compile" || sum.Status != 503 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.Dur <= 0 {
+		t.Error("summary has no duration")
+	}
+	if sum.Spans != 1 {
+		t.Errorf("summary spans = %d, want 1", sum.Spans)
+	}
+	if sum.TraceID != tr.ID() {
+		t.Errorf("summary trace ID = %q, want %q", sum.TraceID, tr.ID())
+	}
+}
+
+// TestTimeline: the Chrome trace-event export carries every span with
+// microsecond timestamps relative to the earliest span.
+func TestTimeline(t *testing.T) {
+	tr := New("")
+	a := tr.Start("first", nil)
+	time.Sleep(2 * time.Millisecond)
+	b := tr.Start("second", a)
+	b.SetAttr("outcome", "hit")
+	b.End()
+	a.End()
+
+	tl := tr.Timeline()
+	evs := tl.Events()
+	if len(evs) != 2 {
+		t.Fatalf("timeline has %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "first" || evs[0].TS != 0 {
+		t.Errorf("first event = %+v, want ts 0", evs[0])
+	}
+	if evs[1].TS <= 0 {
+		t.Errorf("second event ts = %d, want > 0 (relative microseconds)", evs[1].TS)
+	}
+	if evs[1].Args["outcome"] != "hit" {
+		t.Errorf("second event args = %v", evs[1].Args)
+	}
+	if evs[1].Args["parent"] != a.ID() {
+		t.Errorf("second event parent arg = %v, want %q", evs[1].Args["parent"], a.ID())
+	}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			t.Errorf("event %s phase %q, want complete event X", e.Name, e.Ph)
+		}
+	}
+}
+
+// TestRegistryRecentRing: the recent ring cycles; old plain traces fall
+// out, new ones are retrievable.
+func TestRegistryRecentRing(t *testing.T) {
+	r := NewRegistry(4, time.Hour) // slow threshold too high to pin anything
+	ids := make([]string, 8)
+	for i := range ids {
+		tr := New(fmt.Sprintf("ring%012d", i))
+		tr.Finish("GET /x", 200)
+		r.Record(tr)
+		ids[i] = tr.ID()
+	}
+	for i := 0; i < 4; i++ {
+		if tr, _ := r.Get(ids[i]); tr != nil {
+			t.Errorf("trace %d survived cycling out of a 4-slot ring", i)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		tr, kind := r.Get(ids[i])
+		if tr == nil {
+			t.Errorf("trace %d missing from recent ring", i)
+		}
+		if kind != "" {
+			t.Errorf("plain trace %d flagged %q", i, kind)
+		}
+	}
+}
+
+// TestRegistryOutliers: error and slow traces are pinned past the recent
+// ring; List dedups and flags them.
+func TestRegistryOutliers(t *testing.T) {
+	r := NewRegistry(4, 1) // 1ns slow threshold: any finished trace is slow
+
+	errTr := New("0000000000000err")
+	errTr.Finish("POST /v2/compile", 500)
+	r.Record(errTr)
+
+	// Cycle the recent ring completely with fast plain traces. The slow
+	// threshold is 1ns, so give these an explicitly unfinished duration 0
+	// by not calling Finish — Dur stays 0, below the threshold... but
+	// Record reads Dur via SummaryOf, and an unfinished trace has Dur 0,
+	// which is < 1ns, so they stay plain.
+	for i := 0; i < 8; i++ {
+		r.Record(New(fmt.Sprintf("plain%011d", i)))
+	}
+
+	tr, kind := r.Get(errTr.ID())
+	if tr == nil {
+		t.Fatal("error trace cycled out despite outlier pinning")
+	}
+	if kind != "error" {
+		t.Errorf("outlier kind = %q, want error", kind)
+	}
+
+	slowTr := New("000000000000slow")
+	slowTr.Finish("GET /y", 200) // any positive duration >= 1ns counts as slow
+	r.Record(slowTr)
+	if _, kind := r.Get(slowTr.ID()); kind != "slow" {
+		t.Errorf("slow trace kind = %q, want slow", kind)
+	}
+
+	// List: outliers first (newest first), then recent, no duplicates.
+	sums := r.List()
+	seen := make(map[string]int)
+	for _, s := range sums {
+		seen[s.TraceID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("trace %s listed %d times", id, n)
+		}
+	}
+	if len(sums) < 2 {
+		t.Fatalf("list has %d entries", len(sums))
+	}
+	if sums[0].TraceID != slowTr.ID() || sums[0].Outlier != "slow" {
+		t.Errorf("list head = %+v, want newest outlier (slow)", sums[0])
+	}
+}
+
+// TestNilRegistry: a nil registry is inert (servers without tracing).
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Record(New(""))
+	if tr, _ := r.Get("x"); tr != nil {
+		t.Error("nil registry returned a trace")
+	}
+	if r.List() != nil {
+		t.Error("nil registry listed traces")
+	}
+}
+
+// TestSampler: deterministic stride sampling at the three regimes.
+func TestSampler(t *testing.T) {
+	if NewSampler(0).Sample() || NewSampler(-1).Sample() {
+		t.Error("rate <= 0 sampled a request")
+	}
+	always := NewSampler(1)
+	for i := 0; i < 10; i++ {
+		if !always.Sample() {
+			t.Fatal("rate 1 skipped a request")
+		}
+	}
+	var nilS *Sampler
+	if nilS.Sample() {
+		t.Error("nil sampler fired")
+	}
+
+	s := NewSampler(0.25) // stride 4: exactly 1 in 4 fires
+	fired := 0
+	for i := 0; i < 400; i++ {
+		if s.Sample() {
+			fired++
+		}
+	}
+	if fired != 100 {
+		t.Errorf("stride-4 sampler fired %d/400, want exactly 100", fired)
+	}
+}
+
+// TestConcurrentSpans: hammer one trace from many goroutines under the
+// race detector — late hedge legs mutate spans while Snapshot reads.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("")
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				s := tr.Start("leg", nil)
+				s.SetAttr("g", fmt.Sprint(g))
+				s.End()
+			}
+		}(g)
+	}
+	for i := 0; i < 4; i++ {
+		tr.Snapshot()
+		tr.SummaryOf()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := len(tr.Snapshot()); got != 400 {
+		t.Errorf("snapshot has %d spans, want all 400", got)
+	}
+}

@@ -1,0 +1,88 @@
+package wire
+
+// Request-tracing wire surface. A trace follows one logical request
+// across processes: the client stamps every attempt with the trace's ID
+// (TraceHeader) and its own current span (ParentSpanHeader); each server
+// hop adopts the ID, records its spans under it, and forwards both
+// headers into peer cache-fill fetches. The spans recorded on either
+// side are stitched back together by the shared trace ID — GET
+// /v2/requests/{trace-id} returns a server's slice of them as
+// RequestTraceResponse.
+
+const (
+	// RequestIDHeader carries the per-hop request ID. The server echoes
+	// it on every response; a valid incoming value is passed through
+	// (and forwarded into peer cache-fill fetches) so slog lines from
+	// every node a request touches correlate on one ID, even when the
+	// request is not traced.
+	RequestIDHeader = "X-Request-ID"
+	// TraceHeader carries the trace ID. A request that arrives with it is
+	// always traced (the caller asked); requests without it are traced at
+	// the server's sampling rate under a freshly generated ID, echoed in
+	// the response so the caller can fetch the timeline.
+	TraceHeader = "X-Trace-ID"
+	// ParentSpanHeader carries the sender's current span ID, so the
+	// receiver's root span nests under the attempt that caused it.
+	ParentSpanHeader = "X-Parent-Span-ID"
+)
+
+// ValidTraceID bounds what the server accepts from the wire: 1-64
+// characters of [0-9A-Za-z._-]. Anything else (header injection, log
+// garbage) is ignored and replaced with a generated ID.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SpanJSON is one recorded span of a request trace. Start is absolute
+// (Unix nanoseconds) so spans from different processes order on a shared
+// axis; Dur is 0 while (or if) the span never ended.
+type SpanJSON struct {
+	ID     string            `json:"id"`
+	Parent string            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Start  int64             `json:"start_unix_ns"`
+	DurNs  int64             `json:"dur_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// RequestTraceResponse is the GET /v2/requests/{trace-id} body: every
+// span this server recorded under the trace, in start order.
+type RequestTraceResponse struct {
+	TraceID string     `json:"trace_id"`
+	Name    string     `json:"name"`
+	Status  int        `json:"status"`
+	Start   int64      `json:"start_unix_ns"`
+	DurNs   int64      `json:"dur_ns"`
+	Outlier string     `json:"outlier,omitempty"` // "slow" | "error" | ""
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// RequestSummary is one row of the GET /debug/requests listing (z-pages
+// style): enough to spot the slow or failed request and fetch its full
+// timeline by trace ID.
+type RequestSummary struct {
+	TraceID string `json:"trace_id"`
+	Name    string `json:"name"`
+	Status  int    `json:"status"`
+	Start   int64  `json:"start_unix_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Spans   int    `json:"spans"`
+	Outlier string `json:"outlier,omitempty"`
+}
+
+// RequestListResponse is the GET /debug/requests body.
+type RequestListResponse struct {
+	Requests []RequestSummary `json:"requests"`
+}

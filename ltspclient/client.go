@@ -45,6 +45,7 @@ import (
 
 	"ltsp"
 	"ltsp/internal/cluster"
+	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
 )
 
@@ -447,11 +448,15 @@ func (c *Client) doOn(ctx context.Context, method, path string, body []byte, att
 		}
 		budget -= sleep
 		c.sleptNs.Add(int64(sleep))
+		tr, parent := telemetry.FromContext(ctx)
+		bspan := tr.Start("backoff", parent)
 		select {
 		case <-time.After(sleep):
 		case <-ctx.Done():
+			bspan.End()
 			return lastErr
 		}
+		bspan.End()
 	}
 }
 
@@ -475,7 +480,9 @@ func (c *Client) backoff(attempt int, err error) time.Duration {
 // once sends a single HTTP attempt under its own timeout, propagating
 // the caller's remaining deadline budget in the X-Request-Deadline-Ms
 // header and decoding either the success body into out or the error
-// envelope into an *APIError.
+// envelope into an *APIError. When the caller's context carries a trace
+// (WithTrace), the attempt records a client-side span and forwards the
+// trace headers, so the server's spans stitch under this attempt.
 func (c *Client) once(ctx context.Context, method, base, path string, body []byte, attemptTO time.Duration, out any) error {
 	c.attempts.Add(1)
 	actx, cancel := context.WithTimeout(ctx, attemptTO)
@@ -497,12 +504,25 @@ func (c *Client) once(ctx context.Context, method, base, path string, body []byt
 			req.Header.Set(wire.DeadlineHeader, strconv.FormatInt(ms, 10))
 		}
 	}
+	tr, parent := telemetry.FromContext(ctx)
+	span := tr.Start("attempt", parent)
+	defer span.End()
+	span.SetAttr("target", base)
+	span.SetAttr("path", path)
+	if tr.On() {
+		req.Header.Set(wire.TraceHeader, tr.ID())
+		if id := span.ID(); id != "" {
+			req.Header.Set(wire.ParentSpanHeader, id)
+		}
+	}
 
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
+		span.SetAttr("outcome", "transport_error")
 		return err
 	}
 	defer resp.Body.Close()
+	span.SetAttr("status", strconv.Itoa(resp.StatusCode))
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return err
@@ -555,6 +575,7 @@ func (c *Client) hedge(ctx context.Context, path string, body []byte, out *wire.
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	tr, parent := telemetry.FromContext(ctx)
 	type result struct {
 		resp *wire.CompileResponse
 		err  error
@@ -563,8 +584,17 @@ func (c *Client) hedge(ctx context.Context, path string, body []byte, out *wire.
 	results := make(chan result, 2)
 	leg := func(n int) {
 		rotated := append(append([]string{}, targets[n%len(targets):]...), targets[:n%len(targets)]...)
+		lspan := tr.Start("hedge_leg", parent)
+		lspan.SetAttr("leg", strconv.Itoa(n))
+		lspan.SetAttr("target", rotated[0])
 		v := new(wire.CompileResponse)
-		err := c.doOn(hctx, http.MethodPost, path, body, c.cfg.RequestTimeout, v, rotated)
+		err := c.doOn(telemetry.WithSpan(hctx, tr, lspan), http.MethodPost, path, body, c.cfg.RequestTimeout, v, rotated)
+		if err == nil {
+			lspan.SetAttr("outcome", "ok")
+		} else {
+			lspan.SetAttr("outcome", "error")
+		}
+		lspan.End()
 		results <- result{v, err, n}
 	}
 

@@ -1,0 +1,42 @@
+package ltspclient
+
+import (
+	"context"
+	"net/http"
+
+	"ltsp/internal/wire"
+)
+
+// Request tracing. A caller that wants a request's cross-process span
+// timeline runs the call under a telemetry trace context (package
+// ltsp/internal/telemetry; cmd/ltsp's -trace flag does this): every
+// attempt, backoff and hedge leg then records a client-side span, and
+// every attempt forwards the X-Trace-ID / X-Parent-Span-ID headers so
+// the server hops — including peer cache-fill legs between nodes —
+// record their spans under the same trace ID. RequestTrace fetches a
+// server's slice back for stitching.
+
+// RequestTrace fetches the span timeline a server retained for a trace
+// ID (GET /v2/requests/{trace-id}). Servers record a trace after the
+// response is written, so a fetch immediately after the traced call can
+// race the recording and return ErrNotFound — retry briefly. A trace
+// that was never sampled or has cycled out of the server's bounded ring
+// also returns ErrNotFound.
+func (c *Client) RequestTrace(ctx context.Context, traceID string) (*wire.RequestTraceResponse, error) {
+	out := new(wire.RequestTraceResponse)
+	if err := c.do(ctx, http.MethodGet, "/v2/requests/"+traceID, nil, c.cfg.RequestTimeout, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RequestList fetches the server's retained-request listing
+// (GET /debug/requests, z-pages style): recent requests plus pinned
+// slow/error outliers, newest first.
+func (c *Client) RequestList(ctx context.Context) (*wire.RequestListResponse, error) {
+	out := new(wire.RequestListResponse)
+	if err := c.do(ctx, http.MethodGet, "/debug/requests", nil, c.cfg.RequestTimeout, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package ltspclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ltsp/internal/telemetry"
+	"ltsp/internal/wire"
+)
+
+// TestClientSpansAndPropagation: a call under a telemetry context
+// records attempt spans, forwards the trace headers on every attempt,
+// and wraps retry sleeps in backoff spans.
+func TestClientSpansAndPropagation(t *testing.T) {
+	var calls atomic.Int64
+	var gotTrace, gotParent atomic.Value
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		gotTrace.Store(r.Header.Get(wire.TraceHeader))
+		gotParent.Store(r.Header.Get(wire.ParentSpanHeader))
+		if calls.Add(1) == 1 {
+			writeEnvelope(w, http.StatusServiceUnavailable, wire.CodeOverloaded)
+			return
+		}
+		okCompile(w)
+	}, nil)
+
+	tr := telemetry.New("client0000trace1")
+	ctx := telemetry.WithSpan(context.Background(), tr, nil)
+	if _, err := client.Compile(ctx, &wire.CompileRequest{Version: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := gotTrace.Load(); got != tr.ID() {
+		t.Errorf("server saw %s = %v, want %q", wire.TraceHeader, got, tr.ID())
+	}
+	spans := tr.Snapshot()
+	var attempts, backoffs int
+	var lastAttemptID string
+	for _, s := range spans {
+		switch s.Name {
+		case "attempt":
+			attempts++
+			lastAttemptID = s.ID
+			if s.Attrs["target"] == "" || s.Attrs["path"] != "/v2/compile" {
+				t.Errorf("attempt attrs = %v", s.Attrs)
+			}
+		case "backoff":
+			backoffs++
+		}
+		if s.DurNs <= 0 {
+			t.Errorf("span %s still open", s.Name)
+		}
+	}
+	if attempts != 2 {
+		t.Errorf("recorded %d attempt spans, want 2 (one retry)", attempts)
+	}
+	if backoffs != 1 {
+		t.Errorf("recorded %d backoff spans, want 1", backoffs)
+	}
+	// The server hop was parented under the (final) client attempt span.
+	if got := gotParent.Load(); got != lastAttemptID {
+		t.Errorf("server saw %s = %v, want final attempt span %q", wire.ParentSpanHeader, got, lastAttemptID)
+	}
+	// Attempt outcomes: first attempt got a 503 status, second a 200.
+	var statuses []string
+	for _, s := range spans {
+		if s.Name == "attempt" {
+			statuses = append(statuses, s.Attrs["status"])
+		}
+	}
+	if len(statuses) != 2 || statuses[0] != "503" || statuses[1] != "200" {
+		t.Errorf("attempt statuses = %v, want [503 200]", statuses)
+	}
+}
+
+// TestUntracedClientSendsNoHeaders: without a telemetry context no trace
+// headers leak and no spans are recorded anywhere.
+func TestUntracedClientSendsNoHeaders(t *testing.T) {
+	var gotTrace atomic.Value
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		gotTrace.Store(r.Header.Get(wire.TraceHeader))
+		okCompile(w)
+	}, nil)
+	if _, err := client.Compile(context.Background(), &wire.CompileRequest{Version: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	if got := gotTrace.Load(); got != "" {
+		t.Errorf("untraced call sent %s = %v", wire.TraceHeader, got)
+	}
+}
+
+// TestRequestTraceFetch: RequestTrace decodes the server's span
+// timeline; a missing trace surfaces as the ErrNotFound sentinel.
+func TestRequestTraceFetch(t *testing.T) {
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v2/requests/feedface00000001" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(&wire.RequestTraceResponse{
+				TraceID: "feedface00000001",
+				Name:    "POST /v2/compile",
+				Status:  200,
+				Spans: []wire.SpanJSON{
+					{ID: "a.1", Name: "server POST /v2/compile"},
+					{ID: "a.2", Parent: "a.1", Name: "compile", Attrs: map[string]string{"outcome": "pipelined"}},
+				},
+			})
+			return
+		}
+		writeEnvelope(w, http.StatusNotFound, wire.CodeNotFound)
+	}, nil)
+
+	got, err := client.RequestTrace(context.Background(), "feedface00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != "feedface00000001" || len(got.Spans) != 2 {
+		t.Fatalf("trace = %+v", got)
+	}
+	if got.Spans[1].Attrs["outcome"] != "pipelined" {
+		t.Errorf("span attrs lost in decode: %+v", got.Spans[1])
+	}
+
+	if _, err := client.RequestTrace(context.Background(), "absent0000000001"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing trace error = %v, want ErrNotFound", err)
+	}
+}
+
+// TestHedgeLegSpans: a hedged compile records one hedge_leg span per
+// launched leg, and the winning leg is marked ok.
+func TestHedgeLegSpans(t *testing.T) {
+	var calls atomic.Int64
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			time.Sleep(150 * time.Millisecond) // first leg stalls; the hedge wins
+		}
+		okCompile(w)
+	}, func(cfg *Config) {
+		cfg.HedgeDelay = 2 * time.Millisecond
+	})
+
+	tr := telemetry.New("client0000hedge1")
+	ctx := telemetry.WithSpan(context.Background(), tr, nil)
+	if _, err := client.Compile(ctx, &wire.CompileRequest{Version: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+
+	var legs, winners int
+	for _, s := range tr.Snapshot() {
+		if s.Name != "hedge_leg" {
+			continue
+		}
+		legs++
+		if s.Attrs["leg"] == "" || s.Attrs["target"] == "" {
+			t.Errorf("hedge_leg attrs = %v", s.Attrs)
+		}
+		if s.Attrs["outcome"] == "ok" {
+			winners++
+		}
+	}
+	if legs != 2 {
+		t.Errorf("recorded %d hedge_leg spans, want 2", legs)
+	}
+	if winners < 1 {
+		t.Error("no hedge leg marked ok")
+	}
+}
