@@ -18,13 +18,19 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
+	"testing"
 	"time"
 
 	"ltsp"
@@ -34,6 +40,8 @@ import (
 	"ltsp/internal/store"
 	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
+	"ltsp/internal/workload"
 )
 
 // Baseline is the checked-in measurement record.
@@ -43,6 +51,16 @@ type Baseline struct {
 	// DiskHitNsOp is one artifact read from the persistent store —
 	// decode + checksum + integrity check — the warm-restart hot path.
 	DiskHitNsOp float64 `json:"disk_hit_ns_op,omitempty"`
+	// RequestDecodeRatio is JSON-decode ns over binary-decode ns for one
+	// sweep of the full workload corpus of compile requests; gated at an
+	// absolute >= 5x floor, recorded here for trend tracking.
+	RequestDecodeRatio float64 `json:"request_decode_ratio,omitempty"`
+	// ArtifactDecodeRatio is the same ratio for the artifact transfer
+	// envelope (peer cache-fill payloads); floor 3x.
+	ArtifactDecodeRatio float64 `json:"artifact_decode_ratio,omitempty"`
+	// CacheHitAllocs is heap allocations per hot-path compile cache hit
+	// (testing.AllocsPerRun over the server's HTTP surface).
+	CacheHitAllocs float64 `json:"cache_hit_allocs,omitempty"`
 	// Cores records GOMAXPROCS at measurement time: compile_time_seconds
 	// scales with it, so cross-machine comparisons need the context.
 	Cores int    `json:"cores"`
@@ -293,6 +311,193 @@ func measureDiskHit(reps, iters int) float64 {
 	return median(samples)
 }
 
+// guardSink defeats dead-code elimination in the decode measurements.
+var guardSink any
+
+// measureRequestDecodeRatio returns median(JSON decode ns) over
+// median(binary decode ns) for one sweep of every workload loop's
+// compile request — the same definitions as BenchmarkDecodeJSON /
+// BenchmarkDecodeBinary in internal/wire/binary: bytes in, validated
+// loop + checked options out.
+func measureRequestDecodeRatio(reps int) float64 {
+	var jsonBodies, binBodies [][]byte
+	for _, b := range workload.All() {
+		for _, spec := range b.Loops {
+			l := spec.Gen()
+			req, err := wire.NewCompileRequest(l, ltsp.Options{Prefetch: true, LatencyTolerant: true})
+			if err != nil {
+				fatal(err)
+			}
+			j, err := json.Marshal(req)
+			if err != nil {
+				fatal(err)
+			}
+			frame, err := binary.EncodeCompileRequest(nil, l, req.Options)
+			if err != nil {
+				fatal(err)
+			}
+			jsonBodies = append(jsonBodies, j)
+			binBodies = append(binBodies, frame)
+		}
+	}
+	jsonNs := make([]float64, 0, reps)
+	binNs := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for _, body := range jsonBodies {
+			var req wire.CompileRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				fatal(err)
+			}
+			l, err := ir.DecodeLoop(req.Loop)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := req.Options.ToOptions(); err != nil {
+				fatal(err)
+			}
+			guardSink = l
+		}
+		jsonNs = append(jsonNs, float64(time.Since(start).Nanoseconds()))
+
+		start = time.Now()
+		for _, body := range binBodies {
+			req, err := binary.DecodeCompileRequest(body)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := req.Options.ToOptions(); err != nil {
+				fatal(err)
+			}
+			guardSink = req
+		}
+		binNs = append(binNs, float64(time.Since(start).Nanoseconds()))
+	}
+	return median(jsonNs) / median(binNs)
+}
+
+// measureArtifactDecodeRatio is the same ratio for the artifact transfer
+// envelope — the payload of peer cache-fills — with realistically sized
+// sections (canonical request, multi-KB listing, decision trace).
+func measureArtifactDecodeRatio(reps, iters int) float64 {
+	l := workload.All()[0].Loops[0].Gen()
+	req, err := wire.NewCompileRequest(l, ltsp.Options{LatencyTolerant: true})
+	if err != nil {
+		fatal(err)
+	}
+	canon, err := req.Canonical()
+	if err != nil {
+		fatal(err)
+	}
+	respJSON, err := json.Marshal(&wire.CompileResponse{
+		Hash: strings.Repeat("ab", 32), Pipelined: true, Outcome: "pipelined",
+		II: 4, Stages: 6, ResII: 4, RecII: 2,
+		Listing: strings.Repeat("  (p16) ld8 r32 = [r5], 8\n", 200),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	art := &wire.ArtifactResponse{
+		Hash:        strings.Repeat("ab", 32),
+		Request:     canon,
+		Response:    respJSON,
+		Trace:       json.RawMessage(`[{"stage":"classify","loads":4},{"stage":"ii_search","ii":4}]`),
+		Verify:      wire.ArtifactVerify{Sampled: true, Passed: true},
+		CreatedUnix: 1754700000,
+	}
+	jsonBody, err := json.Marshal(art)
+	if err != nil {
+		fatal(err)
+	}
+	binBody := binary.EncodeArtifact(nil, art)
+
+	jsonNs := make([]float64, 0, reps)
+	binNs := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			var ar wire.ArtifactResponse
+			if err := json.Unmarshal(jsonBody, &ar); err != nil {
+				fatal(err)
+			}
+			guardSink = &ar
+		}
+		jsonNs = append(jsonNs, float64(time.Since(start).Nanoseconds())/float64(iters))
+
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			ar, err := binary.DecodeArtifact(binBody)
+			if err != nil {
+				fatal(err)
+			}
+			guardSink = ar
+		}
+		binNs = append(binNs, float64(time.Since(start).Nanoseconds())/float64(iters))
+	}
+	return median(jsonNs) / median(binNs)
+}
+
+// reusableBody lets one request body be rewound and re-served without
+// allocating a fresh reader per request.
+type reusableBody struct{ *bytes.Reader }
+
+func (reusableBody) Close() error { return nil }
+
+// discardWriter is an http.ResponseWriter that swallows the response; the
+// header map is allocated once and reused across requests.
+type discardWriter struct{ h http.Header }
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardWriter) WriteHeader(int)             {}
+
+// measureCacheHitAllocs returns heap allocations per request on the
+// server's prerendered hot path: a byte-identical repeat of a compile
+// request served through the full HTTP surface (routing, negotiation,
+// body read, hot-map lookup, response write). Tracing and verification
+// sampling are disabled so the measurement is the steady-state serve,
+// not the sampled slice.
+func measureCacheHitAllocs() float64 {
+	srv := server.New(server.Config{TraceSample: -1, VerifySample: -1})
+	loopData, err := ir.EncodeLoop(exampleLoop())
+	if err != nil {
+		fatal(err)
+	}
+	body, err := json.Marshal(&wire.CompileRequest{Version: wire.Version, Loop: loopData,
+		Options: wire.Options{Mode: "hlo", Prefetch: true, LatencyTolerant: true}})
+	if err != nil {
+		fatal(err)
+	}
+	rb := reusableBody{bytes.NewReader(body)}
+	req := httptest.NewRequest(http.MethodPost, "/v2/compile", nil)
+	req.Header.Set("Content-Type", "application/json")
+	req.Body = rb
+
+	// First serve compiles and renders the hot entry; second proves the
+	// hot path is actually taken (Cached=true) before anything is gated.
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		rb.Seek(0, io.SeekStart)
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			fatal(fmt.Errorf("hot-path warmup: status %d: %s", rec.Code, rec.Body.String()))
+		}
+		if i == 1 && !strings.Contains(rec.Body.String(), `"cached": true`) {
+			fatal(fmt.Errorf("repeat request was not served from the hot map: %s", rec.Body.String()))
+		}
+	}
+	w := &discardWriter{h: make(http.Header)}
+	return testing.AllocsPerRun(2000, func() {
+		rb.Seek(0, io.SeekStart)
+		srv.ServeHTTP(w, req)
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or write)")
@@ -316,8 +521,11 @@ func main() {
 	diskNs := measureDiskHit(*loopReps, 500)
 	untracedNs := measureUntracedPath(*loopReps, 100000)
 	tracedNs := measureTracedPath(*loopReps, 10000)
-	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op, verify %.0f ns/op, cache_hit %.1f ns/op, disk_hit %.0f ns/op, untraced %.1f ns/op, traced %.0f ns/op (workers %d, cores %d)\n",
-		loopNs, ctSec, shedNs, verifyNs, hitNs, diskNs, untracedNs, tracedNs, experiments.Workers(), runtime.GOMAXPROCS(0))
+	reqRatio := measureRequestDecodeRatio(*loopReps)
+	artRatio := measureArtifactDecodeRatio(*loopReps, 2000)
+	hitAllocs := measureCacheHitAllocs()
+	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op, verify %.0f ns/op, cache_hit %.1f ns/op, disk_hit %.0f ns/op, untraced %.1f ns/op, traced %.0f ns/op, req_decode_ratio %.1fx, artifact_decode_ratio %.1fx, cache_hit_allocs %.0f (workers %d, cores %d)\n",
+		loopNs, ctSec, shedNs, verifyNs, hitNs, diskNs, untracedNs, tracedNs, reqRatio, artRatio, hitAllocs, experiments.Workers(), runtime.GOMAXPROCS(0))
 
 	// The admission-control decision sits on every request's path, so it
 	// is gated absolutely against this run's own compile measurement: the
@@ -383,13 +591,42 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The binary wire format pays its way in decode speed, and the floors
+	// are absolute: requests must decode at least 5x faster than JSON over
+	// the full workload corpus, artifact transfer envelopes at least 3x.
+	// Falling below either means the codec (or the JSON path) changed in a
+	// way that voids the format's reason to exist.
+	if reqRatio < 5 {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: request decode ratio %.2fx below the 5x floor\n", reqRatio)
+		os.Exit(1)
+	}
+	if artRatio < 3 {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: artifact decode ratio %.2fx below the 3x floor\n", artRatio)
+		os.Exit(1)
+	}
+
+	// The prerendered hot path exists to make cache hits allocation-free;
+	// the budget below covers only the HTTP skeleton that is per-request
+	// by construction (request ID, context tagging, writer wrappers).
+	const maxHitAllocs = 24
+	if hitAllocs > maxHitAllocs {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: cache-hit serve allocates %.0f times per request, budget %d\n", hitAllocs, maxHitAllocs)
+		os.Exit(1)
+	}
+
 	if *write {
 		b := Baseline{
-			CompileLoopNsOp: loopNs,
-			CompileTimeSec:  ctSec,
-			DiskHitNsOp:     diskNs,
-			Cores:           runtime.GOMAXPROCS(0),
-			Note:            "written by cmd/benchguard -write; refresh deliberately, not to silence the gate",
+			CompileLoopNsOp:     loopNs,
+			CompileTimeSec:      ctSec,
+			DiskHitNsOp:         diskNs,
+			RequestDecodeRatio:  reqRatio,
+			ArtifactDecodeRatio: artRatio,
+			CacheHitAllocs:      hitAllocs,
+			Cores:               runtime.GOMAXPROCS(0),
+			Note:                "written by cmd/benchguard -write; refresh deliberately, not to silence the gate",
 		}
 		data, _ := json.MarshalIndent(b, "", "  ")
 		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {

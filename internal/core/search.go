@@ -218,7 +218,7 @@ func (se *iiSearcher) searchParallel(c *Compiled, tr *obs.Trace, maxII, workers 
 				}
 				var bt *obs.Trace
 				if tr.On() {
-					bt = obs.New()
+					bt = obs.NewScratch()
 				}
 				res := se.attempt(se.minII+i, bt)
 				results[i] = res
@@ -248,6 +248,11 @@ func (se *iiSearcher) searchParallel(c *Compiled, tr *obs.Trace, maxII, workers 
 		if results[i].err != nil {
 			lastErr = results[i].err
 		}
+	}
+	// All workers have joined and AppendFrom copied what was merged, so
+	// every per-attempt buffer (merged or discarded) can be recycled.
+	for _, bt := range traces {
+		bt.Recycle()
 	}
 	if win == n {
 		return false, lastErr

@@ -105,13 +105,61 @@ func nonLoadLatency(op ir.Op) int {
 	}
 }
 
+// graphPool recycles Graph structs with their edge list and adjacency
+// arenas between compiles. A graph is only returned to the pool through
+// Release, which its owner calls after the last analysis that reads it.
+var graphPool = sync.Pool{New: func() any { return new(Graph) }}
+
+// newGraph takes a Graph from the pool and resizes its arenas for n
+// nodes, truncating (not freeing) the per-node adjacency lists so their
+// backing arrays are reused by the upcoming Build.
+func newGraph(l *ir.Loop, n int) *Graph {
+	g := graphPool.Get().(*Graph)
+	g.Loop = l
+	g.Edges = g.Edges[:0]
+	if cap(g.Succ) >= n && cap(g.Pred) >= n {
+		g.Succ = g.Succ[:n]
+		g.Pred = g.Pred[:n]
+		for i := 0; i < n; i++ {
+			g.Succ[i] = g.Succ[i][:0]
+			g.Pred[i] = g.Pred[i][:0]
+		}
+	} else {
+		g.Succ = make([][]int, n)
+		g.Pred = make([][]int, n)
+	}
+	g.cyclesOnce = sync.Once{}
+	g.cyclesDone.Store(false)
+	g.cycles = nil
+	g.cyclesTruncated = false
+	return g
+}
+
+// Release hands the graph's arenas back to the build pool. Only the
+// graph's owner may call it, strictly after the last analysis touching g
+// has finished (the speculative II search joins all its workers first).
+// The memoized cycles are dropped, not recycled: emitted decision traces
+// may alias their node lists. Nil-safe; g must not be used afterwards.
+func (g *Graph) Release() {
+	if g == nil {
+		return
+	}
+	g.Loop = nil
+	g.cycles = nil
+	graphPool.Put(g)
+}
+
 // Build constructs the dependence graph of the loop. It returns an error if
 // a virtual register has more than one definition in the body (rotation
 // renaming requires single definitions) or if an instruction reads a
 // virtual register that is never defined and never initialized.
+//
+// The returned graph draws its arenas from an internal pool; callers that
+// compile at high rate should Release it when done (leaking it to the GC
+// is safe, just slower).
 func Build(l *ir.Loop) (*Graph, error) {
 	n := len(l.Body)
-	g := &Graph{Loop: l, Succ: make([][]int, n), Pred: make([][]int, n)}
+	g := newGraph(l, n)
 
 	defOf := map[ir.Reg]int{}
 	for i, in := range l.Body {
@@ -120,6 +168,7 @@ func Build(l *ir.Loop) (*Graph, error) {
 				continue
 			}
 			if prev, dup := defOf[d]; dup {
+				g.Release()
 				return nil, fmt.Errorf("ddg: %s: register %s defined by both body[%d] and body[%d]",
 					l.Name, d, prev, i)
 			}
@@ -148,6 +197,7 @@ func Build(l *ir.Loop) (*Graph, error) {
 			d, ok := defOf[u]
 			if !ok {
 				if u.Virtual && !inits[u] {
+					g.Release()
 					return nil, fmt.Errorf("ddg: %s: body[%d] reads %s which is never defined or initialized",
 						l.Name, i, u)
 				}

@@ -388,6 +388,40 @@ func (l *Loop) rebuildVirtCounters() {
 	}
 }
 
+// OpByName resolves an assembly mnemonic to its opcode. Alternate wire
+// codecs (internal/wire/binary) intern mnemonic strings and resolve them
+// through this same table, so opcode numbering can never drift between
+// encodings even if Op values are renumbered.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// StrideKindByName resolves a stride-kind wire spelling.
+func StrideKindByName(name string) (StrideKind, bool) {
+	s, ok := strideByName[name]
+	return s, ok
+}
+
+// HintByName resolves a cache-hint wire spelling.
+func HintByName(name string) (Hint, bool) {
+	h, ok := hintByName[name]
+	return h, ok
+}
+
+// FinishDecodedLoop completes a loop assembled by an alternate decoder:
+// it rebuilds the virtual-register counters and validates semantics,
+// exactly the epilogue DecodeLoop runs after JSON parsing. Every decoder
+// must call it so that no wire format can smuggle in a loop the JSON
+// path would reject.
+func FinishDecodedLoop(l *Loop) error {
+	l.rebuildVirtCounters()
+	if err := ValidateSemantics(l); err != nil {
+		return &InvalidLoopError{Err: err}
+	}
+	return nil
+}
+
 // LoopHash returns the content hash of the loop: the hex sha256 of its
 // canonical wire encoding. Two loops hash equal iff their canonical
 // encodings are byte-identical; the artifact cache of the ltspd service

@@ -9,6 +9,7 @@ package modsched
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ltsp/internal/ddg"
 	"ltsp/internal/ir"
@@ -117,11 +118,11 @@ type mrtEntry struct {
 	port machine.Port
 }
 
-func newMRT(m *machine.Model, ii, n int) *mrt {
-	t := &mrt{m: m, ii: ii, rows: make([]mrtRow, ii), rowOf: make([]int, n)}
-	for i := range t.rowOf {
-		t.rowOf[i] = -1
-	}
+func newMRT(m *machine.Model, ii, n int, sc *scratch) *mrt {
+	t := &sc.table
+	t.m, t.ii = m, ii
+	t.rows = sc.rows(ii)
+	t.rowOf = sc.ints(&sc.rowOfBuf, n, -1)
 	// Reserve the loop-closing branch in the last kernel row.
 	last := &t.rows[ii-1]
 	last.entries = append(last.entries, mrtEntry{op: -1, port: machine.PortB})
@@ -217,6 +218,62 @@ func (t *mrt) conflicts(row int, op ir.Op) []int {
 	return out
 }
 
+// scratch bundles the per-ScheduleAtII working state that does not
+// escape into the returned Schedule: the scheduled/lastTried/order
+// arrays and the modulo reservation table with its rows. Pooled so the
+// II search (which calls ScheduleAtII once or twice per candidate II)
+// reuses the arenas instead of reallocating them every attempt.
+// Time and Port are NOT here — they become Schedule fields and must be
+// freshly allocated per call.
+type scratch struct {
+	scheduledBuf []bool
+	lastTriedBuf []int
+	orderBuf     []int
+	rowOfBuf     []int
+	rowsBuf      []mrtRow
+	table        mrt
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// bools returns a zeroed n-length bool slice backed by the scratch.
+func (sc *scratch) bools(n int) []bool {
+	if cap(sc.scheduledBuf) < n {
+		sc.scheduledBuf = make([]bool, n)
+	}
+	s := sc.scheduledBuf[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// ints returns an n-length int slice backed by *buf, filled with fill.
+func (sc *scratch) ints(buf *[]int, n, fill int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = fill
+	}
+	return s
+}
+
+// rows returns ii empty MRT rows, reusing each row's entry array.
+func (sc *scratch) rows(ii int) []mrtRow {
+	if cap(sc.rowsBuf) < ii {
+		sc.rowsBuf = append(sc.rowsBuf[:cap(sc.rowsBuf)], make([]mrtRow, ii-cap(sc.rowsBuf))...)
+	}
+	rows := sc.rowsBuf[:ii]
+	for i := range rows {
+		rows[i].entries = rows[i].entries[:0]
+		rows[i].perPort = [machine.NumPorts]int{}
+		rows[i].total = 0
+	}
+	return rows
+}
+
 // DefaultBudgetRatio is the placement budget multiplier used when
 // Options.BudgetRatio is zero or negative. The resulting budget is
 // DefaultBudgetRatio * len(body), floored at 32 placements.
@@ -251,20 +308,20 @@ func ScheduleAtII(m *machine.Model, g *ddg.Graph, ii int, latf ddg.LatencyFn, op
 		budget = 32
 	}
 
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
 	heights := g.Heights(ii, latf)
 	time := make([]int, n)
-	scheduled := make([]bool, n)
+	scheduled := sc.bools(n)
 	port := make([]machine.Port, n)
 	// lastTried[i] remembers the last slot at which i was placed, so a
 	// re-placement after eviction is forced to move forward (Rau's rule).
-	lastTried := make([]int, n)
-	for i := range lastTried {
-		lastTried[i] = -1
-	}
-	table := newMRT(m, ii, n)
+	lastTried := sc.ints(&sc.lastTriedBuf, n, -1)
+	table := newMRT(m, ii, n, sc)
 
 	// Priority order: height desc, then program order for determinism.
-	order := make([]int, n)
+	order := sc.ints(&sc.orderBuf, n, 0)
 	for i := range order {
 		order[i] = i
 	}

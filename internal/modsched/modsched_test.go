@@ -223,7 +223,7 @@ func TestMRTIncrementalConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	ops := []ir.Op{ir.OpLd, ir.OpAdd, ir.OpMul, ir.OpSt}
 	const n = 24
-	tab := newMRT(m, 4, n)
+	tab := newMRT(m, 4, n, new(scratch))
 	placed := make(map[int]bool)
 	for step := 0; step < 400; step++ {
 		op := rng.Intn(n)

@@ -11,6 +11,7 @@ import (
 
 	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
 )
 
 // The batch response envelopes live in package wire (shared with
@@ -44,8 +45,25 @@ func batchItemError(err error) BatchItemResult {
 func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.BatchRequests.Add(1)
 	start := time.Now()
+	enc := requestEncoding(r)
+	if enc == encUnknown {
+		rejectMedia(w, r)
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer putBody(body)
 	var req wire.CompileBatchRequest
-	if !s.decodeBody(w, r, &req) {
+	if enc == encBinary {
+		breq, err := binary.DecodeCompileBatch(body.Bytes())
+		if err != nil {
+			writeBinaryDecodeError(w, err)
+			return
+		}
+		req = *breq
+	} else if !decodeJSONBody(w, body.Bytes(), &req) {
 		return
 	}
 	if req.Version != wire.Version {
@@ -146,7 +164,12 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	s.metrics.BatchLatency.Observe(time.Since(start))
-	writeJSON(w, http.StatusOK, &CompileBatchResponse{Items: results})
+	resp := &CompileBatchResponse{Items: results}
+	if wantsBinary(r) {
+		writeBinary(w, binary.EncodeCompileBatchResponse(nil, resp))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // logBatchItem emits one log line per batch item carrying the batch's

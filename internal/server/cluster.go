@@ -30,6 +30,7 @@ import (
 	"ltsp/internal/store"
 	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
 )
 
 // peerFill asks the replica set that owns hash for the finished
@@ -152,6 +153,10 @@ func (s *Server) fetchArtifact(ctx context.Context, p cluster.Peer, hash string,
 			req.Header.Set(wire.ParentSpanHeader, id)
 		}
 	}
+	// Ask for the binary transfer encoding; peers that predate it (or
+	// choose not to speak it) ignore Accept and answer JSON, which stays
+	// fully supported — the Content-Type of the reply decides the decode.
+	req.Header.Set("Accept", binary.ContentType)
 	resp, err := s.peerHTTP.Do(req)
 	if err != nil {
 		return nil, err
@@ -169,8 +174,18 @@ func (s *Server) fetchArtifact(ctx context.Context, p cluster.Peer, hash string,
 		return nil, err
 	}
 	var ar wire.ArtifactResponse
-	if err := json.Unmarshal(data, &ar); err != nil {
-		return nil, fmt.Errorf("peer %s: undecodable artifact: %v", p.ID, err)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), binary.ContentType) {
+		bar, err := binary.DecodeArtifact(data)
+		if err != nil {
+			return nil, fmt.Errorf("peer %s: undecodable binary artifact: %v", p.ID, err)
+		}
+		ar = *bar
+		s.metrics.PeerBytesBinary.Add(int64(len(data)))
+	} else {
+		if err := json.Unmarshal(data, &ar); err != nil {
+			return nil, fmt.Errorf("peer %s: undecodable artifact: %v", p.ID, err)
+		}
+		s.metrics.PeerBytesJSON.Add(int64(len(data)))
 	}
 	if ar.Hash != hash {
 		return nil, fmt.Errorf("peer %s: sent artifact %s for request %s", p.ID, ar.Hash, hash)
@@ -297,18 +312,33 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	if art, ok := s.cache.Peek(hash); ok && len(art.Request) > 0 {
 		ar, err := artifactWire(hash, art)
 		if err == nil {
-			writeJSON(w, http.StatusOK, ar)
+			s.writeArtifact(w, r, ar)
 			return
 		}
 		s.logger.Warn("artifact render failed", "hash", hash[:min(12, len(hash))], "err", err)
 	}
 	if s.store != nil {
 		if e, err := s.store.Get(hash); err == nil {
-			writeJSON(w, http.StatusOK, wireFromEntry(e))
+			s.writeArtifact(w, r, wireFromEntry(e))
 			return
 		}
 	}
 	writeError(w, http.StatusNotFound, wire.CodeNotFound, "artifact: %v", errUnknownArtifact)
+}
+
+// writeArtifact serves an artifact envelope in the negotiated encoding,
+// crediting the transfer byte counters with the true on-the-wire size
+// of whichever encoding was sent (store.EncodedSize deliberately stays
+// JSON-based — it weights storage layers, not transfers).
+func (s *Server) writeArtifact(w http.ResponseWriter, r *http.Request, ar *wire.ArtifactResponse) {
+	if wantsBinary(r) {
+		frame := binary.EncodeArtifact(nil, ar)
+		s.metrics.ArtifactBytesBinary.Add(int64(len(frame)))
+		writeBinary(w, frame)
+		return
+	}
+	n := writeJSONSized(w, http.StatusOK, ar)
+	s.metrics.ArtifactBytesJSON.Add(int64(n))
 }
 
 // materialize recompiles a thin artifact's canonical request so the

@@ -131,6 +131,18 @@ type Metrics struct {
 	// thin artifacts recompiled on demand for the simulate path.
 	ArtifactRequests atomic.Int64
 	Materializations atomic.Int64
+	// Transfer byte accounting by negotiated wire encoding: bytes of
+	// artifact envelopes served by GET /v2/artifacts/{hash}, and bytes of
+	// artifact envelopes received by this node's peer cache-fills. These
+	// report the true size of whatever encoding actually crossed the wire
+	// (binary frames are counted as binary bytes, never re-expressed as
+	// their JSON equivalent); storage-layer accounting, by contrast, is
+	// always JSON-based (store.EncodedSize) so memory and disk weights
+	// stay comparable across mixed-encoding fleets.
+	ArtifactBytesJSON   atomic.Int64
+	ArtifactBytesBinary atomic.Int64
+	PeerBytesJSON       atomic.Int64
+	PeerBytesBinary     atomic.Int64
 
 	// VerifyRuns counts compilations put through sampled independent
 	// verification; VerifyFailures counts the ones the verifier rejected
@@ -239,42 +251,46 @@ type stagesJSON struct {
 // shared histogram bucket upper bounds exactly once; every histogram's
 // buckets map uses these bounds cumulatively (le_ convention).
 type metricsJSON struct {
-	BuildInfo        buildInfoJSON `json:"build_info"`
-	UptimeSeconds    float64       `json:"uptime_seconds"`
-	LatencyBounds    []float64     `json:"latency_bounds_ms"`
-	CompileRequests  int64         `json:"compile_requests"`
-	CompileErrors    int64         `json:"compile_errors"`
-	SimulateRequests int64         `json:"simulate_requests"`
-	SimulateErrors   int64         `json:"simulate_errors"`
-	BatchRequests    int64         `json:"batch_requests"`
-	BatchItems       int64         `json:"batch_items"`
-	BatchItemErrors  int64         `json:"batch_item_errors"`
-	Rejected         int64         `json:"rejected"`
-	Shed             int64         `json:"shed"`
-	Timeouts         int64         `json:"timeouts"`
-	InFlight         int64         `json:"in_flight"`
-	CacheHits        int64         `json:"cache_hits"`
-	CacheDedups      int64         `json:"cache_dedups"`
-	CacheMisses      int64         `json:"cache_misses"`
-	CacheEvictions   int64         `json:"cache_evictions"`
-	CacheEntries     int           `json:"cache_entries"`
-	CacheBytes       int64         `json:"cache_bytes"`
-	CacheCapacity    int           `json:"cache_capacity"`
-	DiskHits         int64         `json:"disk_hits"`
-	DiskMisses       int64         `json:"disk_misses"`
-	DiskWriteErrors  int64         `json:"disk_write_errors"`
-	ArtifactRequests int64         `json:"artifact_requests"`
-	Materializations int64         `json:"materializations"`
-	VerifyRuns       int64         `json:"verify_runs"`
-	VerifyFailures   int64         `json:"verify_failures"`
-	PanicsRecovered  int64         `json:"panics_recovered"`
-	CompileOutcomes  outcomesJSON  `json:"compile_outcomes"`
-	CompileLatency   histogramJSON `json:"compile_latency"`
-	SimulateLatency  histogramJSON `json:"simulate_latency"`
-	BatchLatency     histogramJSON `json:"batch_latency"`
-	Stages           stagesJSON    `json:"stage_latency"`
-	Disk             *diskJSON     `json:"disk,omitempty"`
-	Cluster          *clusterJSON  `json:"cluster,omitempty"`
+	BuildInfo           buildInfoJSON `json:"build_info"`
+	UptimeSeconds       float64       `json:"uptime_seconds"`
+	LatencyBounds       []float64     `json:"latency_bounds_ms"`
+	CompileRequests     int64         `json:"compile_requests"`
+	CompileErrors       int64         `json:"compile_errors"`
+	SimulateRequests    int64         `json:"simulate_requests"`
+	SimulateErrors      int64         `json:"simulate_errors"`
+	BatchRequests       int64         `json:"batch_requests"`
+	BatchItems          int64         `json:"batch_items"`
+	BatchItemErrors     int64         `json:"batch_item_errors"`
+	Rejected            int64         `json:"rejected"`
+	Shed                int64         `json:"shed"`
+	Timeouts            int64         `json:"timeouts"`
+	InFlight            int64         `json:"in_flight"`
+	CacheHits           int64         `json:"cache_hits"`
+	CacheDedups         int64         `json:"cache_dedups"`
+	CacheMisses         int64         `json:"cache_misses"`
+	CacheEvictions      int64         `json:"cache_evictions"`
+	CacheEntries        int           `json:"cache_entries"`
+	CacheBytes          int64         `json:"cache_bytes"`
+	CacheCapacity       int           `json:"cache_capacity"`
+	DiskHits            int64         `json:"disk_hits"`
+	DiskMisses          int64         `json:"disk_misses"`
+	DiskWriteErrors     int64         `json:"disk_write_errors"`
+	ArtifactRequests    int64         `json:"artifact_requests"`
+	Materializations    int64         `json:"materializations"`
+	ArtifactBytesJSON   int64         `json:"artifact_bytes_json"`
+	ArtifactBytesBinary int64         `json:"artifact_bytes_binary"`
+	PeerBytesJSON       int64         `json:"peer_fill_bytes_json"`
+	PeerBytesBinary     int64         `json:"peer_fill_bytes_binary"`
+	VerifyRuns          int64         `json:"verify_runs"`
+	VerifyFailures      int64         `json:"verify_failures"`
+	PanicsRecovered     int64         `json:"panics_recovered"`
+	CompileOutcomes     outcomesJSON  `json:"compile_outcomes"`
+	CompileLatency      histogramJSON `json:"compile_latency"`
+	SimulateLatency     histogramJSON `json:"simulate_latency"`
+	BatchLatency        histogramJSON `json:"batch_latency"`
+	Stages              stagesJSON    `json:"stage_latency"`
+	Disk                *diskJSON     `json:"disk,omitempty"`
+	Cluster             *clusterJSON  `json:"cluster,omitempty"`
 }
 
 func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSON, uptime time.Duration) metricsJSON {
@@ -283,34 +299,38 @@ func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSO
 			Version: buildinfo.Version,
 			Go:      buildinfo.GoVersion(),
 		},
-		UptimeSeconds:    uptime.Seconds(),
-		LatencyBounds:    latencyBucketsMs[:],
-		CompileRequests:  m.CompileRequests.Load(),
-		CompileErrors:    m.CompileErrors.Load(),
-		SimulateRequests: m.SimulateRequests.Load(),
-		SimulateErrors:   m.SimulateErrors.Load(),
-		BatchRequests:    m.BatchRequests.Load(),
-		BatchItems:       m.BatchItems.Load(),
-		BatchItemErrors:  m.BatchItemErrors.Load(),
-		Rejected:         m.Rejected.Load(),
-		Shed:             m.Shed.Load(),
-		Timeouts:         m.Timeouts.Load(),
-		InFlight:         m.InFlight.Load(),
-		CacheHits:        m.CacheHits.Load(),
-		CacheDedups:      m.CacheDedups.Load(),
-		CacheMisses:      m.CacheMisses.Load(),
-		CacheEvictions:   m.CacheEvictions.Load(),
-		CacheEntries:     cache.Entries,
-		CacheBytes:       cache.Bytes,
-		CacheCapacity:    cache.Capacity,
-		DiskHits:         m.DiskHits.Load(),
-		DiskMisses:       m.DiskMisses.Load(),
-		DiskWriteErrors:  m.DiskWriteErrors.Load(),
-		ArtifactRequests: m.ArtifactRequests.Load(),
-		Materializations: m.Materializations.Load(),
-		VerifyRuns:       m.VerifyRuns.Load(),
-		VerifyFailures:   m.VerifyFailures.Load(),
-		PanicsRecovered:  m.PanicsRecovered.Load(),
+		UptimeSeconds:       uptime.Seconds(),
+		LatencyBounds:       latencyBucketsMs[:],
+		CompileRequests:     m.CompileRequests.Load(),
+		CompileErrors:       m.CompileErrors.Load(),
+		SimulateRequests:    m.SimulateRequests.Load(),
+		SimulateErrors:      m.SimulateErrors.Load(),
+		BatchRequests:       m.BatchRequests.Load(),
+		BatchItems:          m.BatchItems.Load(),
+		BatchItemErrors:     m.BatchItemErrors.Load(),
+		Rejected:            m.Rejected.Load(),
+		Shed:                m.Shed.Load(),
+		Timeouts:            m.Timeouts.Load(),
+		InFlight:            m.InFlight.Load(),
+		CacheHits:           m.CacheHits.Load(),
+		CacheDedups:         m.CacheDedups.Load(),
+		CacheMisses:         m.CacheMisses.Load(),
+		CacheEvictions:      m.CacheEvictions.Load(),
+		CacheEntries:        cache.Entries,
+		CacheBytes:          cache.Bytes,
+		CacheCapacity:       cache.Capacity,
+		DiskHits:            m.DiskHits.Load(),
+		DiskMisses:          m.DiskMisses.Load(),
+		DiskWriteErrors:     m.DiskWriteErrors.Load(),
+		ArtifactRequests:    m.ArtifactRequests.Load(),
+		Materializations:    m.Materializations.Load(),
+		ArtifactBytesJSON:   m.ArtifactBytesJSON.Load(),
+		ArtifactBytesBinary: m.ArtifactBytesBinary.Load(),
+		PeerBytesJSON:       m.PeerBytesJSON.Load(),
+		PeerBytesBinary:     m.PeerBytesBinary.Load(),
+		VerifyRuns:          m.VerifyRuns.Load(),
+		VerifyFailures:      m.VerifyFailures.Load(),
+		PanicsRecovered:     m.PanicsRecovered.Load(),
 		CompileOutcomes: outcomesJSON{
 			Pipelined:      m.OutcomePipelined.Load(),
 			ReducedLatency: m.OutcomeReducedLatency.Load(),

@@ -117,6 +117,14 @@ func writePrometheus(w io.Writer, m *metricsJSON) error {
 	p.counter("ltspd_disk_write_errors_total", "Failed artifact write-throughs.", m.DiskWriteErrors)
 	p.counter("ltspd_artifact_requests_total", "GET /v2/artifacts serves (peer cache-fill traffic).", m.ArtifactRequests)
 	p.counter("ltspd_materializations_total", "Thin artifacts recompiled on demand.", m.Materializations)
+	p.printf("# HELP ltspd_artifact_bytes_total Artifact envelope bytes served, by negotiated wire encoding.\n" +
+		"# TYPE ltspd_artifact_bytes_total counter\n")
+	p.printf("ltspd_artifact_bytes_total{encoding=\"json\"} %d\n", m.ArtifactBytesJSON)
+	p.printf("ltspd_artifact_bytes_total{encoding=\"binary\"} %d\n", m.ArtifactBytesBinary)
+	p.printf("# HELP ltspd_peer_fill_bytes_total Artifact envelope bytes received by peer cache-fills, by wire encoding.\n" +
+		"# TYPE ltspd_peer_fill_bytes_total counter\n")
+	p.printf("ltspd_peer_fill_bytes_total{encoding=\"json\"} %d\n", m.PeerBytesJSON)
+	p.printf("ltspd_peer_fill_bytes_total{encoding=\"binary\"} %d\n", m.PeerBytesBinary)
 	p.counter("ltspd_verify_runs_total", "Compilations independently verified.", m.VerifyRuns)
 	p.counter("ltspd_verify_failures_total", "Verifications that rejected a compilation.", m.VerifyFailures)
 	p.counter("ltspd_panics_recovered_total", "Panics contained at a recovery boundary.", m.PanicsRecovered)

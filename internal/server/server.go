@@ -48,6 +48,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -72,6 +73,7 @@ import (
 	"ltsp/internal/store"
 	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
 )
 
 // Config parameterizes a Server.
@@ -235,6 +237,7 @@ type Server struct {
 	start    time.Time
 	sem      chan struct{}
 	mux      *http.ServeMux
+	hot      hotCache
 	draining atomic.Bool
 	work     sync.WaitGroup
 	// verifyTick drives deterministic verification sampling: the first
@@ -474,12 +477,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// encBufPool recycles response-encode buffers: rendering a response
+// reuses the buffer a previous response grew, so the steady-state serve
+// path does not allocate a fresh encode buffer per request.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	writeJSONSized(w, status, v)
+}
+
+// writeJSONSized is writeJSON returning the number of body bytes
+// written (transfer byte accounting wants the true on-the-wire size).
+func writeJSONSized(w http.ResponseWriter, status int, v any) int {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	n, _ := w.Write(buf.Bytes())
+	if buf.Cap() <= 1<<20 { // don't let one huge response pin memory
+		buf.Reset()
+		encBufPool.Put(buf)
+	}
+	return n
 }
 
 // writeError emits the v2 error envelope with an explicit code.
@@ -934,10 +955,50 @@ func mapLoopErr(err error) error {
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.metrics.CompileRequests.Add(1)
 	start := time.Now()
-	var req wire.CompileRequest
-	if !s.decodeBody(w, r, &req) {
+	enc := requestEncoding(r)
+	if enc == encUnknown {
+		s.metrics.CompileErrors.Add(1)
+		rejectMedia(w, r)
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
 		s.metrics.CompileErrors.Add(1)
 		return
+	}
+	defer putBody(body)
+	bin := wantsBinary(r)
+	// The prerendered hot path: a repeat of a byte-identical body is
+	// answered from the hot map without decoding, hashing, a worker slot
+	// or response encoding. Traced requests take the full path so their
+	// span timelines stay truthful, and a draining server takes it so
+	// repeats are rejected like any other new work.
+	tr, _ := telemetry.FromContext(r.Context())
+	useHot := body.Len() <= hotMaxBody && !tr.On() && !s.draining.Load()
+	var hotKey [32]byte
+	if useHot {
+		hotKey = hotKeyOf(enc, body.Bytes())
+		if s.serveHot(w, hotKey, bin) {
+			s.metrics.CacheHits.Add(1)
+			s.metrics.CompileLatency.Observe(time.Since(start))
+			return
+		}
+	}
+	var req *wire.CompileRequest
+	if enc == encBinary {
+		var err error
+		req, err = binary.DecodeCompileRequest(body.Bytes())
+		if err != nil {
+			s.metrics.CompileErrors.Add(1)
+			writeBinaryDecodeError(w, err)
+			return
+		}
+	} else {
+		req = new(wire.CompileRequest)
+		if !decodeJSONBody(w, body.Bytes(), req) {
+			s.metrics.CompileErrors.Add(1)
+			return
+		}
 	}
 	ctx, cancel := requestCtx(r, s.cfg.CompileTimeout)
 	defer cancel()
@@ -945,7 +1006,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v, status, err := s.runBounded(ctx, func(ctx context.Context) (any, int, error) {
-		art, hash, cached, err := s.compileCached(ctx, &req)
+		art, hash, cached, err := s.compileCached(ctx, req)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
@@ -960,7 +1021,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, errCode(err, status), "compile: %v", err)
 		return
 	}
-	writeJSON(w, status, v)
+	resp := v.(*CompileResponse)
+	writeCompileResponse(w, bin, status, resp)
+	if useHot && status == http.StatusOK {
+		s.storeHot(hotKey, resp)
+	}
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,186 @@
+package binary_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ltsp"
+	"ltsp/internal/ir"
+	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
+	"ltsp/internal/workload"
+)
+
+// The decode suite measures bytes → validated request (envelope parsed,
+// loop decoded and semantically validated, options checked) over every
+// loop of the 55 workload models — the exact work the serving path does
+// before a cache lookup can even be keyed. cmd/benchguard gates the
+// JSON/binary ratio (≥5x) using the same definitions.
+
+type decodeCorpus struct {
+	jsonBodies [][]byte
+	binBodies  [][]byte
+	jsonBytes  int64
+	binBytes   int64
+}
+
+func buildCorpus(tb testing.TB) *decodeCorpus {
+	c := &decodeCorpus{}
+	for _, b := range workload.All() {
+		for _, spec := range b.Loops {
+			l := spec.Gen()
+			req, err := wire.NewCompileRequest(l, ltsp.Options{Prefetch: true, LatencyTolerant: true})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			j, err := json.Marshal(req)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			frame, err := binary.EncodeCompileRequest(nil, l, req.Options)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			c.jsonBodies = append(c.jsonBodies, j)
+			c.binBodies = append(c.binBodies, frame)
+			c.jsonBytes += int64(len(j))
+			c.binBytes += int64(len(frame))
+		}
+	}
+	return c
+}
+
+func BenchmarkDecodeJSON(b *testing.B) {
+	c := buildCorpus(b)
+	b.ReportAllocs()
+	b.SetBytes(c.jsonBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, body := range c.jsonBodies {
+			var req wire.CompileRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				b.Fatal(err)
+			}
+			l, err := ir.DecodeLoop(req.Loop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := req.Options.ToOptions(); err != nil {
+				b.Fatal(err)
+			}
+			benchSink = l
+		}
+	}
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	c := buildCorpus(b)
+	b.ReportAllocs()
+	b.SetBytes(c.binBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, body := range c.binBodies {
+			req, err := binary.DecodeCompileRequest(body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := req.Options.ToOptions(); err != nil {
+				b.Fatal(err)
+			}
+			benchSink = req
+		}
+	}
+}
+
+var benchSink any
+
+// benchArtifact fabricates a transfer envelope with realistically sized
+// sections: the canonical request of a workload loop, a compile
+// response with a multi-KB kernel listing, and a decision trace.
+func benchArtifact(tb testing.TB) *wire.ArtifactResponse {
+	l := workload.All()[0].Loops[0].Gen()
+	req, err := wire.NewCompileRequest(l, ltsp.Options{LatencyTolerant: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	canon, err := req.Canonical()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	resp, err := json.Marshal(&wire.CompileResponse{
+		Hash: strings.Repeat("ab", 32), Pipelined: true, Outcome: "pipelined",
+		II: 4, Stages: 6, ResII: 4, RecII: 2,
+		Listing: strings.Repeat("  (p16) ld8 r32 = [r5], 8\n", 200),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	trace, err := json.Marshal([]map[string]any{
+		{"stage": "classify", "loads": 4}, {"stage": "ii_search", "ii": 4},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &wire.ArtifactResponse{
+		Hash:        strings.Repeat("ab", 32),
+		Request:     canon,
+		Response:    resp,
+		Trace:       trace,
+		Verify:      wire.ArtifactVerify{Sampled: true, Passed: true},
+		CreatedUnix: 1754700000,
+	}
+}
+
+func BenchmarkDecodeArtifactJSON(b *testing.B) {
+	body, err := json.Marshal(benchArtifact(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ar wire.ArtifactResponse
+		if err := json.Unmarshal(body, &ar); err != nil {
+			b.Fatal(err)
+		}
+		benchSink = &ar
+	}
+}
+
+func BenchmarkDecodeArtifactBinary(b *testing.B) {
+	body := binary.EncodeArtifact(nil, benchArtifact(b))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar, err := binary.DecodeArtifact(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ar
+	}
+}
+
+func BenchmarkEncodeBinary(b *testing.B) {
+	c := buildCorpus(b)
+	loops := make([]*ir.Loop, 0, len(c.binBodies))
+	for _, bm := range workload.All() {
+		for _, spec := range bm.Loops {
+			loops = append(loops, spec.Gen())
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(c.binBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range loops {
+			frame, err := binary.EncodeCompileRequest(nil, l, wire.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = frame
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package binary_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"ltsp"
+	"ltsp/internal/ir"
+	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
+	"ltsp/internal/workload"
+)
+
+// allLoops yields one freshly generated loop per workload loop spec,
+// labeled benchmark/loop.
+func allLoops() map[string]*ir.Loop {
+	out := make(map[string]*ir.Loop)
+	for _, b := range workload.All() {
+		for _, spec := range b.Loops {
+			out[b.Name+"/"+spec.Name] = spec.Gen()
+		}
+	}
+	return out
+}
+
+var testOptions = []wire.Options{
+	{},
+	{Mode: "hlo", Prefetch: true, LatencyTolerant: true, BoostDelinquent: true, TripEstimate: 1000},
+	{Mode: "all-l3", TripEstimate: 0.5},
+	{Pipeline: func() *bool { b := true; return &b }()},
+	{Pipeline: func() *bool { b := false; return &b }(), Mode: "all-fp-l2"},
+}
+
+// TestRequestRoundTrip: every workload loop survives loop → binary →
+// loop with the identical struct, the identical artifact hash as the
+// JSON encoding of the same request, and identical canonical bytes.
+func TestRequestRoundTrip(t *testing.T) {
+	for name, l := range allLoops() {
+		opts := testOptions[len(name)%len(testOptions)]
+		frame, err := binary.EncodeCompileRequest(nil, l, opts)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		breq, err := binary.DecodeCompileRequest(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+
+		jreq, err := wire.NewCompileRequest(l, mustOpts(t, opts))
+		if err != nil {
+			t.Fatalf("%s: json request: %v", name, err)
+		}
+		jhash, err := jreq.Hash()
+		if err != nil {
+			t.Fatalf("%s: json hash: %v", name, err)
+		}
+		bhash, err := breq.Hash()
+		if err != nil {
+			t.Fatalf("%s: binary hash: %v", name, err)
+		}
+		if jhash != bhash {
+			t.Fatalf("%s: hash differs by transfer encoding: json %s binary %s", name, jhash, bhash)
+		}
+
+		jl, err := jreq.DecodeLoop()
+		if err != nil {
+			t.Fatalf("%s: json loop: %v", name, err)
+		}
+		bl, err := breq.DecodeLoop()
+		if err != nil {
+			t.Fatalf("%s: binary loop: %v", name, err)
+		}
+		if !reflect.DeepEqual(jl, bl) {
+			t.Fatalf("%s: loop differs by transfer encoding", name)
+		}
+	}
+}
+
+func mustOpts(t *testing.T, o wire.Options) ltsp.Options {
+	t.Helper()
+	lo, err := o.ToOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo
+}
+
+// TestRequestSmallerThanJSON: the point of the format — a sanity bound,
+// not a gate (cmd/benchguard gates decode speed).
+func TestRequestSmallerThanJSON(t *testing.T) {
+	var jsonBytes, binBytes int
+	for _, l := range allLoops() {
+		req, err := wire.NewCompileRequest(l, ltsp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, _ := json.Marshal(req)
+		frame, err := binary.EncodeCompileRequest(nil, l, wire.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonBytes += len(j)
+		binBytes += len(frame)
+	}
+	if binBytes*2 > jsonBytes {
+		t.Fatalf("binary requests not at least 2x smaller: %d binary vs %d JSON bytes", binBytes, jsonBytes)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	var loops []*ir.Loop
+	var opts []wire.Options
+	i := 0
+	for _, l := range allLoops() {
+		loops = append(loops, l)
+		opts = append(opts, testOptions[i%len(testOptions)])
+		i++
+		if len(loops) == 8 {
+			break
+		}
+	}
+	frame, err := binary.EncodeCompileBatch(nil, loops, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := binary.DecodeCompileBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Version != wire.Version {
+		t.Fatalf("version = %d", req.Version)
+	}
+	if len(req.Items) != len(loops) {
+		t.Fatalf("items = %d, want %d", len(req.Items), len(loops))
+	}
+	for i := range loops {
+		item := req.Item(i)
+		bl, err := item.DecodeLoop()
+		if err != nil {
+			t.Fatalf("item[%d]: %v", i, err)
+		}
+		jreq, err := wire.NewCompileRequest(loops[i], mustOpts(t, opts[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jl, _ := jreq.DecodeLoop()
+		if !reflect.DeepEqual(jl, bl) {
+			t.Fatalf("item[%d]: loop differs", i)
+		}
+		jh, _ := jreq.Hash()
+		bh, _ := req.Item(i).Hash()
+		if jh != bh {
+			t.Fatalf("item[%d]: hash differs: %s vs %s", i, jh, bh)
+		}
+	}
+
+	if _, err := binary.EncodeCompileBatch(nil, loops, opts[:1]); err == nil {
+		t.Fatal("mismatched loops/options lengths not rejected")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	tru := true
+	_ = tru
+	resp := &wire.CompileResponse{
+		Hash: "abc123", Cached: true, Pipelined: true,
+		Outcome: "pipelined", II: 4, Stages: 5, ResII: 3, RecII: 2,
+		Reg: wire.RegStatsJSON{GR: 12, RotGR: 8, FR: 6, RotFR: 4, PR: 2, RotPR: 1, Spills: 0},
+		Loads: []wire.LoadReportJSON{
+			{ID: 1, Critical: true, BaseLat: 13, SchedLat: 200, ExtraD: 23, ClusterK: 4, Hint: "nt2"},
+			{ID: 2, BaseLat: 5, SchedLat: 5, Hint: ""},
+		},
+		HLO:     &wire.HLOJSON{IIEst: 7, PrefetchesAdded: 2, HintsSet: 3},
+		Listing: "L0:\n  ld8 r1 = [r2]\n", Diagram: "| S0 |",
+	}
+	got, err := binary.DecodeCompileResponse(binary.EncodeCompileResponse(nil, resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp, got) {
+		t.Fatalf("response round trip mismatch:\n%+v\n%+v", resp, got)
+	}
+
+	// Minimal response: zero-valued optionals stay zero-valued.
+	minimal := &wire.CompileResponse{Hash: "h", Outcome: "sequential", II: 1, Stages: 1}
+	got, err = binary.DecodeCompileResponse(binary.EncodeCompileResponse(nil, minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(minimal, got) {
+		t.Fatalf("minimal response round trip mismatch:\n%+v\n%+v", minimal, got)
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	resp := &wire.CompileBatchResponse{Items: []wire.BatchItemResult{
+		{CompileResponse: &wire.CompileResponse{Hash: "h1", Outcome: "pipelined", II: 2, Stages: 3}},
+		{Error: "compile: boom", ErrorCode: "internal", Retryable: true},
+		{Error: "invalid loop", ErrorCode: "invalid_loop"},
+	}}
+	got, err := binary.DecodeCompileBatchResponse(binary.EncodeCompileBatchResponse(nil, resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp, got) {
+		t.Fatalf("batch response round trip mismatch:\n%+v\n%+v", resp, got)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	a := &wire.ArtifactResponse{
+		Hash:        "deadbeef",
+		Request:     json.RawMessage(`{"v":1,"loop":{}}`),
+		Response:    json.RawMessage(`{"hash":"deadbeef"}`),
+		Trace:       json.RawMessage(`[]`),
+		Verify:      wire.ArtifactVerify{Sampled: true, Passed: true},
+		CreatedUnix: 1754700000,
+	}
+	got, err := binary.DecodeArtifact(binary.EncodeArtifact(nil, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("artifact round trip mismatch:\n%+v\n%+v", a, got)
+	}
+}
+
+// TestFrameValidation: adversarial frames are rejected before any
+// payload-sized allocation — truncation, surplus bytes, bad magic,
+// unknown version, wrong kind, and absurd length prefixes.
+func TestFrameValidation(t *testing.T) {
+	l := workload.All()[0].Loops[0].Gen()
+	frame, err := binary.EncodeCompileRequest(nil, l, wire.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := binary.DecodeCompileRequest(frame[:len(frame)-3]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, err := binary.DecodeCompileRequest(append(bytes.Clone(frame), 0xAB)); err == nil {
+		t.Fatal("oversized frame (trailing byte) accepted")
+	}
+	bad := bytes.Clone(frame)
+	bad[0] = 'X'
+	if _, err := binary.DecodeCompileRequest(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	ver := bytes.Clone(frame)
+	ver[3] = 99
+	if _, err := binary.DecodeCompileRequest(ver); !errors.Is(err, binary.ErrVersion) {
+		t.Fatalf("future format version: got %v, want ErrVersion", err)
+	}
+	if _, err := binary.DecodeCompileBatch(frame); err == nil {
+		t.Fatal("compile-request frame accepted as a batch frame")
+	}
+	if _, err := binary.DecodeCompileRequest(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+
+	// A length prefix claiming far more than the body carries must be
+	// rejected cheaply: the declared payload length is checked against
+	// the actual remaining bytes before anything is allocated.
+	huge := []byte{'L', 'T', 'B', 1, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := binary.DecodeCompileRequest(huge); err == nil {
+			t.Fatal("absurd length prefix accepted")
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("rejecting an absurd length prefix allocated %.0f times", allocs)
+	}
+
+	if !binary.IsBinary(frame) {
+		t.Fatal("IsBinary(frame) = false")
+	}
+	if binary.IsBinary([]byte(`{"v":1}`)) {
+		t.Fatal("IsBinary(json) = true")
+	}
+}
+
+// TestInternedStrings: repeated strings cost one table entry; a
+// back-reference beyond the table is rejected.
+func TestInternedStrings(t *testing.T) {
+	resp := &wire.CompileResponse{
+		Hash: "h", Outcome: "pipelined", II: 1, Stages: 1,
+		Loads: []wire.LoadReportJSON{
+			{ID: 1, Hint: "nt2"}, {ID: 2, Hint: "nt2"}, {ID: 3, Hint: "nt2"},
+		},
+	}
+	frame := binary.EncodeCompileResponse(nil, resp)
+	got, err := binary.DecodeCompileResponse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp, got) {
+		t.Fatal("interned round trip mismatch")
+	}
+	if n := bytes.Count(frame, []byte("nt2")); n != 1 {
+		t.Fatalf("string %q appears %d times in the frame, want 1 (interning broken)", "nt2", n)
+	}
+}

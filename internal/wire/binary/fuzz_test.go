@@ -1,0 +1,84 @@
+package binary_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"ltsp"
+	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
+	"ltsp/internal/workload"
+)
+
+// FuzzWireCodecEquivalence is the differential oracle between the two
+// wire codecs: any compile request the JSON path accepts must survive
+// JSON → struct → binary → struct with a deeply equal loop, identical
+// canonicalized options, and the identical artifact hash. The seed
+// corpus is every loop of all 55 workload models plus adversarial
+// envelopes; the fuzzer then mutates the JSON freely.
+func FuzzWireCodecEquivalence(f *testing.F) {
+	for _, b := range workload.All() {
+		for i, spec := range b.Loops {
+			opts := ltsp.Options{}
+			if i%2 == 0 {
+				opts = ltsp.Options{Prefetch: true, LatencyTolerant: true, TripEstimate: 100}
+			}
+			req, err := wire.NewCompileRequest(spec.Gen(), opts)
+			if err != nil {
+				continue
+			}
+			data, err := json.Marshal(req)
+			if err != nil {
+				continue
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"v":1,"loop":{"v":1,"name":"x","body":[{"op":"fma","dsts":["vf0"],"srcs":["vf0","vf1","vf2"]}]},"options":{"mode":"hlo"}}`))
+	f.Add([]byte(`{"v":1,"loop":{"v":1,"name":"","body":[]},"options":{"pipeline":false,"tripEstimate":-0.0}}`))
+	f.Add([]byte(`{"v":2,"loop":{}}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		var req wire.CompileRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		jhash, err := req.Hash()
+		if err != nil {
+			// The JSON path rejects this request (bad version, invalid
+			// loop, invalid options) — nothing to compare.
+			return
+		}
+		jl, err := req.DecodeLoop()
+		if err != nil {
+			t.Fatalf("request hashed but its loop does not decode: %v", err)
+		}
+		frame, err := binary.EncodeCompileRequest(nil, jl, req.Options)
+		if err != nil {
+			t.Fatalf("JSON-accepted request rejected by the binary encoder: %v", err)
+		}
+		breq, err := binary.DecodeCompileRequest(frame)
+		if err != nil {
+			t.Fatalf("binary round trip rejected its own encoding: %v", err)
+		}
+		bhash, err := breq.Hash()
+		if err != nil {
+			t.Fatalf("binary-decoded request does not hash: %v", err)
+		}
+		if bhash != jhash {
+			t.Fatalf("artifact hash depends on transfer encoding: json %s binary %s", jhash, bhash)
+		}
+		bl, err := breq.DecodeLoop()
+		if err != nil {
+			t.Fatalf("binary-decoded request lost its loop: %v", err)
+		}
+		if !reflect.DeepEqual(jl, bl) {
+			t.Fatalf("loop differs after binary round trip:\njson: %+v\nbin:  %+v", jl, bl)
+		}
+	})
+}

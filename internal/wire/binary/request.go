@@ -1,0 +1,158 @@
+package binary
+
+import (
+	"ltsp/internal/ir"
+	"ltsp/internal/wire"
+)
+
+// Option presence flags.
+const (
+	optPrefetch byte = 1 << iota
+	optLatencyTolerant
+	optBoostDelinquent
+	optTrip
+	optPipeline
+	optPipelineTrue
+)
+
+func encodeOptions(w *writer, o wire.Options) {
+	var flags byte
+	if o.Prefetch {
+		flags |= optPrefetch
+	}
+	if o.LatencyTolerant {
+		flags |= optLatencyTolerant
+	}
+	if o.BoostDelinquent {
+		flags |= optBoostDelinquent
+	}
+	if o.TripEstimate != 0 {
+		flags |= optTrip
+	}
+	if o.Pipeline != nil {
+		flags |= optPipeline
+		if *o.Pipeline {
+			flags |= optPipelineTrue
+		}
+	}
+	w.byte(flags)
+	w.str(o.Mode)
+	if flags&optTrip != 0 {
+		w.f64(o.TripEstimate)
+	}
+}
+
+func decodeOptions(r *reader) wire.Options {
+	flags := r.byte()
+	o := wire.Options{
+		Mode:            r.str(),
+		Prefetch:        flags&optPrefetch != 0,
+		LatencyTolerant: flags&optLatencyTolerant != 0,
+		BoostDelinquent: flags&optBoostDelinquent != 0,
+	}
+	if flags&optTrip != 0 {
+		o.TripEstimate = r.f64()
+	}
+	if flags&optPipeline != 0 {
+		v := flags&optPipelineTrue != 0
+		o.Pipeline = &v
+	}
+	return o
+}
+
+// EncodeCompileRequest appends a compile-request frame built from an
+// in-memory loop and wire options — the binary analogue of
+// wire.NewCompileRequest + json.Marshal.
+func EncodeCompileRequest(dst []byte, l *ir.Loop, o wire.Options) ([]byte, error) {
+	w := getWriter()
+	defer putWriter(w)
+	w.u64(uint64(wire.Version))
+	encodeOptions(w, o)
+	if err := encodeLoop(w, l); err != nil {
+		return nil, err
+	}
+	return frame(dst, kindCompileRequest, w.buf), nil
+}
+
+// DecodeCompileRequest parses a compile-request frame into a
+// wire.CompileRequest with the decoded (and semantically validated) loop
+// memoized: the serving path's Canonical/Hash/DecodeLoop calls on the
+// result never touch JSON until the canonical bytes are actually needed
+// for the artifact key.
+func DecodeCompileRequest(data []byte) (*wire.CompileRequest, error) {
+	r, err := decodeFrame(data, kindCompileRequest)
+	if err != nil {
+		return nil, err
+	}
+	if v := r.u64(); r.err == nil && v != wire.Version {
+		return nil, fmtErr("%w: request envelope %d (want %d)", ErrVersion, v, wire.Version)
+	}
+	opts := decodeOptions(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	l, err := decodeLoop(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(r.b) {
+		return nil, fmtErr("%d trailing bytes after request payload", len(r.b)-r.off)
+	}
+	return wire.NewDecodedRequest(l, opts)
+}
+
+// EncodeCompileBatch appends a compile-batch frame. Items are
+// (loop, options) pairs in request order.
+func EncodeCompileBatch(dst []byte, loops []*ir.Loop, opts []wire.Options) ([]byte, error) {
+	if len(loops) != len(opts) {
+		return nil, fmtErr("batch has %d loops but %d option sets", len(loops), len(opts))
+	}
+	w := getWriter()
+	defer putWriter(w)
+	w.u64(uint64(wire.Version))
+	w.u64(uint64(len(loops)))
+	for i := range loops {
+		encodeOptions(w, opts[i])
+		if err := encodeLoop(w, loops[i]); err != nil {
+			return nil, err
+		}
+	}
+	return frame(dst, kindCompileBatchRequest, w.buf), nil
+}
+
+// DecodeCompileBatch parses a compile-batch frame; every item's loop is
+// decoded, validated and memoized exactly as in DecodeCompileRequest.
+func DecodeCompileBatch(data []byte) (*wire.CompileBatchRequest, error) {
+	r, err := decodeFrame(data, kindCompileBatchRequest)
+	if err != nil {
+		return nil, err
+	}
+	version := r.u64()
+	if r.err == nil && version != wire.Version {
+		return nil, fmtErr("%w: request envelope %d (want %d)", ErrVersion, version, wire.Version)
+	}
+	n := r.count()
+	if r.err != nil {
+		return nil, r.err
+	}
+	req := &wire.CompileBatchRequest{Version: int(version), Items: make([]wire.CompileItem, 0, n)}
+	for i := 0; i < n; i++ {
+		opts := decodeOptions(r)
+		if r.err != nil {
+			return nil, r.err
+		}
+		l, err := decodeLoop(r)
+		if err != nil {
+			return nil, fmtErr("item[%d]: %w", i, err)
+		}
+		item, err := wire.NewDecodedItem(l, opts)
+		if err != nil {
+			return nil, fmtErr("item[%d]: %w", i, err)
+		}
+		req.Items = append(req.Items, item)
+	}
+	if r.off != len(r.b) {
+		return nil, fmtErr("%d trailing bytes after batch payload", len(r.b)-r.off)
+	}
+	return req, nil
+}

@@ -37,6 +37,11 @@ const (
 	// CodeDraining: the server is shutting down and no longer accepts
 	// new work. Retry against another replica, or after Retry-After.
 	CodeDraining = "draining"
+	// CodeUnsupportedMedia: the request's Content-Type names an encoding
+	// this server does not speak (neither JSON nor the binary wire
+	// format). Resubmitting the same bytes cannot succeed; re-encode as
+	// application/json, which every server accepts.
+	CodeUnsupportedMedia = "unsupported_media"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal = "internal"
 	// CodeInjected: a fault injected by the test harness (package

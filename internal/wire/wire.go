@@ -164,6 +164,56 @@ type CompileRequest struct {
 	// Loop is the ir wire-format loop (see ir.EncodeLoop).
 	Loop    json.RawMessage `json:"loop"`
 	Options Options         `json:"options"`
+
+	// decoded and canonical memoize work a decoder has already done, so
+	// the serving path never re-parses JSON it has in hand. decoded is
+	// single-use: DecodeLoop steals it, because the compiler (HLO pass)
+	// mutates the loop it is given. Both fields are invisible to
+	// encoding/json; a request built by plain JSON unmarshaling starts
+	// with neither and behaves exactly as before.
+	//
+	// memoLoop and memoOpts record the public field values the memos were
+	// computed from. A caller that copies a request and then changes Loop
+	// or Options (tests do) silently invalidates the memos instead of
+	// observing stale results: decoded is trusted only while Loop is the
+	// very slice it was parsed from, canonical only while Options is also
+	// unchanged.
+	decoded   *ir.Loop
+	canonical []byte
+	memoLoop  json.RawMessage
+	memoOpts  Options
+}
+
+// sameBytes reports slice identity (not content equality): same length
+// and same backing array start. O(1), which is the point — it guards
+// memo reuse on every Canonical/DecodeLoop call.
+func sameBytes(a, b json.RawMessage) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// loopMemoValid reports whether r.decoded still corresponds to r.Loop.
+func (r *CompileRequest) loopMemoValid() bool {
+	return r.decoded != nil && sameBytes(r.Loop, r.memoLoop)
+}
+
+// canonMemoValid reports whether r.canonical still corresponds to
+// (r.Loop, r.Options).
+func (r *CompileRequest) canonMemoValid() bool {
+	return r.canonical != nil && r.Options == r.memoOpts && sameBytes(r.Loop, r.memoLoop)
+}
+
+// NewDecodedRequest builds a request directly from an already-decoded,
+// already-validated loop, memoizing it. The binary wire codec uses it so
+// a binary-fed request reaches the compiler without any JSON decode —
+// while Canonical()/Hash() still produce exactly the canonical JSON
+// bytes a JSON-fed request produces, keeping binary and JSON peers in
+// one content-addressed ring.
+func NewDecodedRequest(l *ir.Loop, opts Options) (*CompileRequest, error) {
+	canonOpts, err := opts.canonical()
+	if err != nil {
+		return nil, err
+	}
+	return &CompileRequest{Version: Version, Options: canonOpts, decoded: l}, nil
 }
 
 // NewCompileRequest builds a request from an in-memory loop and options.
@@ -175,8 +225,26 @@ func NewCompileRequest(l *ir.Loop, o ltsp.Options) (*CompileRequest, error) {
 	return &CompileRequest{Version: Version, Loop: data, Options: OptionsFrom(o)}, nil
 }
 
-// DecodeLoop parses the embedded loop.
+// DecodeLoop parses the embedded loop. When a decoder memoized the loop
+// (binary requests, or a prior Canonical call), the memo is returned
+// directly and consumed: the caller is about to hand the loop to the
+// compiler, which mutates it, so the memo can be used at most once.
+// Before releasing a memoized loop the canonical bytes are pinned, so a
+// later Canonical/Hash can never observe compiler mutations.
 func (r *CompileRequest) DecodeLoop() (*ir.Loop, error) {
+	if r.loopMemoValid() {
+		l := r.decoded
+		if len(r.Loop) == 0 && !r.canonMemoValid() {
+			// The memoized loop is the only loop representation this
+			// request has (binary decode): pin the canonical bytes before
+			// releasing it to the (mutating) compiler.
+			if _, err := r.Canonical(); err != nil {
+				return nil, err
+			}
+		}
+		r.decoded = nil
+		return l, nil
+	}
 	if len(r.Loop) == 0 {
 		return nil, fmt.Errorf("wire: compile request has no loop")
 	}
@@ -184,14 +252,29 @@ func (r *CompileRequest) DecodeLoop() (*ir.Loop, error) {
 }
 
 // Canonical returns the canonical encoding of the request: version pinned,
-// loop re-encoded through the ir codec, options normalized.
+// loop re-encoded through the ir codec, options normalized. The result is
+// memoized, as is the decoded loop when this call had to parse it — the
+// serving path calls Canonical (for the artifact key) and then
+// DecodeLoop (to compile), and the pair now costs one loop decode, not
+// two.
 func (r *CompileRequest) Canonical() ([]byte, error) {
+	if r.canonMemoValid() {
+		return r.canonical, nil
+	}
 	if r.Version != Version {
 		return nil, fmt.Errorf("wire: unsupported request version %d (want %d)", r.Version, Version)
 	}
-	l, err := r.DecodeLoop()
-	if err != nil {
-		return nil, err
+	l := r.decoded
+	if !r.loopMemoValid() {
+		if len(r.Loop) == 0 {
+			return nil, fmt.Errorf("wire: compile request has no loop")
+		}
+		var err error
+		if l, err = ir.DecodeLoop(r.Loop); err != nil {
+			return nil, err
+		}
+		r.decoded = l
+		r.memoLoop = r.Loop
 	}
 	loopData, err := ir.EncodeLoop(l)
 	if err != nil {
@@ -201,7 +284,14 @@ func (r *CompileRequest) Canonical() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(CompileRequest{Version: Version, Loop: loopData, Options: opts})
+	canon, err := json.Marshal(CompileRequest{Version: Version, Loop: loopData, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	r.canonical = canon
+	r.memoOpts = r.Options
+	r.memoLoop = r.Loop
+	return canon, nil
 }
 
 // Hash returns the content-addressed artifact key of the request: the hex
@@ -220,6 +310,20 @@ func (r *CompileRequest) Hash() (string, error) {
 type CompileItem struct {
 	Loop    json.RawMessage `json:"loop"`
 	Options Options         `json:"options,omitempty"`
+
+	// decoded memoizes a loop an alternate decoder already produced;
+	// Item forwards it into the standalone CompileRequest.
+	decoded *ir.Loop
+}
+
+// NewDecodedItem builds a batch item from an already-decoded loop,
+// memoizing it exactly as NewDecodedRequest does for a single request.
+func NewDecodedItem(l *ir.Loop, opts Options) (CompileItem, error) {
+	canonOpts, err := opts.canonical()
+	if err != nil {
+		return CompileItem{}, err
+	}
+	return CompileItem{Options: canonOpts, decoded: l}, nil
 }
 
 // CompileBatchRequest is the body of POST /v1/compile-batch: a list of
@@ -232,9 +336,15 @@ type CompileBatchRequest struct {
 	Items   []CompileItem `json:"items"`
 }
 
-// Item returns the i-th element as a standalone CompileRequest.
+// Item returns the i-th element as a standalone CompileRequest,
+// forwarding any memoized decode the batch decoder already did.
 func (r *CompileBatchRequest) Item(i int) *CompileRequest {
-	return &CompileRequest{Version: r.Version, Loop: r.Items[i].Loop, Options: r.Items[i].Options}
+	return &CompileRequest{
+		Version: r.Version,
+		Loop:    r.Items[i].Loop,
+		Options: r.Items[i].Options,
+		decoded: r.Items[i].decoded,
+	}
 }
 
 // SimulateRequest is the body of POST /v1/simulate. Exactly one of Hash

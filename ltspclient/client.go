@@ -45,8 +45,10 @@ import (
 
 	"ltsp"
 	"ltsp/internal/cluster"
+	"ltsp/internal/ir"
 	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
 )
 
 // Config parameterizes a Client. The zero value of every field except
@@ -97,6 +99,14 @@ type Config struct {
 	// Seed seeds the jitter source (0 = a fixed default seed). Equal
 	// seeds give identical backoff sequences — tests rely on this.
 	Seed int64
+	// Wire selects the transfer encoding on the v2 endpoints: "json"
+	// (the default) or "binary" (application/x-ltsp-bin). In binary mode
+	// compile, batch, and artifact calls send binary frames and ask for
+	// binary responses; content hashes — and therefore routing, caching,
+	// and dedup — are identical in both modes. A server that answers 415
+	// (one predating the binary format) flips this client back to JSON
+	// permanently: one wasted request, then clean interop.
+	Wire string
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +171,23 @@ type Client struct {
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
 	sleptNs   atomic.Int64
+
+	// jsonFallback latches when a binary request came back 415: the
+	// server predates the wire format, so every later call goes as JSON.
+	jsonFallback atomic.Bool
+}
+
+// useBinary reports whether the next request should go out binary.
+func (c *Client) useBinary() bool {
+	return c.cfg.Wire == "binary" && !c.jsonFallback.Load()
+}
+
+// isUnsupportedMedia matches the 415 a pre-binary server answers a
+// binary frame with.
+func isUnsupportedMedia(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) &&
+		(ae.Code == wire.CodeUnsupportedMedia || ae.Status == http.StatusUnsupportedMediaType)
 }
 
 // New builds a Client. The only required field is Config.BaseURL
@@ -168,6 +195,11 @@ type Client struct {
 func New(cfg Config) (*Client, error) {
 	if cfg.BaseURL == "" && len(cfg.Peers) == 0 {
 		return nil, errors.New("ltspclient: Config.BaseURL or Config.Peers is required")
+	}
+	switch cfg.Wire {
+	case "", "json", "binary":
+	default:
+		return nil, fmt.Errorf("ltspclient: unknown wire encoding %q (use \"json\" or \"binary\")", cfg.Wire)
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -223,26 +255,51 @@ func (c *Client) Stats() Stats {
 // second identical request is hedged after the delay and the first
 // answer wins; the loser's attempt is canceled.
 func (c *Client) Compile(ctx context.Context, req *wire.CompileRequest) (*wire.CompileResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
 	targets := []string{c.base}
 	if c.ring != nil {
 		if hash, herr := req.Hash(); herr == nil {
 			targets = c.targetsFor(hash)
 		}
 	}
+	body, bin, err := c.encodeCompile(req)
+	if err != nil {
+		return nil, err
+	}
 	out := new(wire.CompileResponse)
-	if c.cfg.HedgeDelay > 0 {
-		err = c.hedge(ctx, "/v2/compile", body, out, targets)
-	} else {
-		err = c.doOn(ctx, http.MethodPost, "/v2/compile", body, c.cfg.RequestTimeout, out, targets)
+	post := func(body []byte, bin bool) error {
+		if c.cfg.HedgeDelay > 0 {
+			return c.hedge(ctx, "/v2/compile", body, out, targets, bin)
+		}
+		return c.doOn(ctx, http.MethodPost, "/v2/compile", body, c.cfg.RequestTimeout, out, targets, bin)
+	}
+	err = post(body, bin)
+	if err != nil && bin && isUnsupportedMedia(err) {
+		c.jsonFallback.Store(true)
+		if body, err = json.Marshal(req); err != nil {
+			return nil, err
+		}
+		err = post(body, false)
 	}
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// encodeCompile renders the request in the client's wire encoding. Any
+// hiccup on the binary side (an undecodable loop, an opcode with no wire
+// name) silently degrades to JSON — the server gives such a request the
+// same verdict either way.
+func (c *Client) encodeCompile(req *wire.CompileRequest) (body []byte, bin bool, err error) {
+	if c.useBinary() {
+		if l, lerr := req.DecodeLoop(); lerr == nil {
+			if frame, berr := binary.EncodeCompileRequest(nil, l, req.Options); berr == nil {
+				return frame, true, nil
+			}
+		}
+	}
+	body, err = json.Marshal(req)
+	return body, false, err
 }
 
 // CompileLoop builds the wire request for (loop, options) and submits it
@@ -265,12 +322,8 @@ func (c *Client) CompileLoop(ctx context.Context, l *ltsp.Loop, opts ltsp.Option
 // failing the whole batch.
 func (c *Client) CompileBatch(ctx context.Context, items []wire.CompileItem) (*wire.CompileBatchResponse, error) {
 	if c.ring == nil {
-		body, err := json.Marshal(&wire.CompileBatchRequest{Version: wire.Version, Items: items})
-		if err != nil {
-			return nil, err
-		}
 		out := new(wire.CompileBatchResponse)
-		if err := c.doOn(ctx, http.MethodPost, "/v2/compile-batch", body, c.cfg.BatchTimeout, out, []string{c.base}); err != nil {
+		if err := c.postBatch(ctx, items, []string{c.base}, out); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -307,11 +360,8 @@ func (c *Client) CompileBatch(ctx context.Context, items []wire.CompileItem) (*w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body, err := json.Marshal(&wire.CompileBatchRequest{Version: wire.Version, Items: sh.items})
 			var out wire.CompileBatchResponse
-			if err == nil {
-				err = c.doOn(ctx, http.MethodPost, "/v2/compile-batch", body, c.cfg.BatchTimeout, &out, sh.targets)
-			}
+			err := c.postBatch(ctx, sh.items, sh.targets, &out)
 			for k, i := range sh.idx {
 				switch {
 				case err != nil:
@@ -330,6 +380,53 @@ func (c *Client) CompileBatch(ctx context.Context, items []wire.CompileItem) (*w
 	}
 	wg.Wait()
 	return &wire.CompileBatchResponse{Items: results}, nil
+}
+
+// postBatch sends one batch (the whole batch, or one fleet shard) to its
+// target list in the client's wire encoding, falling back to JSON when a
+// pre-binary server answers 415.
+func (c *Client) postBatch(ctx context.Context, items []wire.CompileItem, targets []string, out *wire.CompileBatchResponse) error {
+	body, bin, err := c.encodeBatch(items)
+	if err != nil {
+		return err
+	}
+	err = c.doOn(ctx, http.MethodPost, "/v2/compile-batch", body, c.cfg.BatchTimeout, out, targets, bin)
+	if err != nil && bin && isUnsupportedMedia(err) {
+		c.jsonFallback.Store(true)
+		if body, err = json.Marshal(&wire.CompileBatchRequest{Version: wire.Version, Items: items}); err != nil {
+			return err
+		}
+		err = c.doOn(ctx, http.MethodPost, "/v2/compile-batch", body, c.cfg.BatchTimeout, out, targets, false)
+	}
+	return err
+}
+
+// encodeBatch renders a batch request in the client's wire encoding,
+// degrading to JSON if any item resists binary encoding (the server
+// judges such items identically in either form).
+func (c *Client) encodeBatch(items []wire.CompileItem) (body []byte, bin bool, err error) {
+	if c.useBinary() {
+		loops := make([]*ir.Loop, 0, len(items))
+		opts := make([]wire.Options, 0, len(items))
+		ok := true
+		for _, it := range items {
+			creq := &wire.CompileRequest{Version: wire.Version, Loop: it.Loop, Options: it.Options}
+			l, lerr := creq.DecodeLoop()
+			if lerr != nil {
+				ok = false
+				break
+			}
+			loops = append(loops, l)
+			opts = append(opts, it.Options)
+		}
+		if ok {
+			if frame, berr := binary.EncodeCompileBatch(nil, loops, opts); berr == nil {
+				return frame, true, nil
+			}
+		}
+	}
+	body, err = json.Marshal(&wire.CompileBatchRequest{Version: wire.Version, Items: items})
+	return body, false, err
 }
 
 // batchCallFailure maps a failed sub-batch call onto its items.
@@ -363,7 +460,7 @@ func (c *Client) Simulate(ctx context.Context, req *wire.SimulateRequest) (*wire
 		}
 	}
 	out := new(wire.SimulateResponse)
-	if err := c.doOn(ctx, http.MethodPost, "/v2/simulate", body, c.cfg.RequestTimeout, out, c.targetsFor(hash)); err != nil {
+	if err := c.doOn(ctx, http.MethodPost, "/v2/simulate", body, c.cfg.RequestTimeout, out, c.targetsFor(hash), false); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -375,7 +472,7 @@ func (c *Client) Simulate(ctx context.Context, req *wire.SimulateRequest) (*wire
 // server produced them from.
 func (c *Client) Trace(ctx context.Context, hash string) (*wire.TraceRawResponse, error) {
 	out := new(wire.TraceRawResponse)
-	if err := c.doOn(ctx, http.MethodGet, "/v2/artifacts/"+hash+"/trace", nil, c.cfg.RequestTimeout, out, c.targetsFor(hash)); err != nil {
+	if err := c.doOn(ctx, http.MethodGet, "/v2/artifacts/"+hash+"/trace", nil, c.cfg.RequestTimeout, out, c.targetsFor(hash), false); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -387,7 +484,10 @@ func (c *Client) Trace(ctx context.Context, hash string) (*wire.TraceRawResponse
 // same endpoint peers use for cache-fill.
 func (c *Client) Artifact(ctx context.Context, hash string) (*wire.ArtifactResponse, error) {
 	out := new(wire.ArtifactResponse)
-	if err := c.doOn(ctx, http.MethodGet, "/v2/artifacts/"+hash, nil, c.cfg.RequestTimeout, out, c.targetsFor(hash)); err != nil {
+	// A binary Accept on a GET needs no 415 fallback: servers that
+	// predate the format ignore the header and answer JSON, and
+	// decodeBody follows the response's Content-Type either way.
+	if err := c.doOn(ctx, http.MethodGet, "/v2/artifacts/"+hash, nil, c.cfg.RequestTimeout, out, c.targetsFor(hash), c.useBinary()); err != nil {
 		return nil, err
 	}
 	if out.Hash != hash {
@@ -409,7 +509,7 @@ func (c *Client) Health(ctx context.Context) (status, version string, err error)
 		Status  string `json:"status"`
 		Version string `json:"version"`
 	}
-	if err := c.once(ctx, http.MethodGet, c.base, "/healthz", nil, c.cfg.RequestTimeout, &out); err != nil {
+	if err := c.once(ctx, http.MethodGet, c.base, "/healthz", nil, c.cfg.RequestTimeout, &out, false); err != nil {
 		return "", "", err
 	}
 	return out.Status, out.Version, nil
@@ -417,20 +517,21 @@ func (c *Client) Health(ctx context.Context) (status, version string, err error)
 
 // do runs the retry loop around once: send, classify, back off, resend.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, attemptTO time.Duration, out any) error {
-	return c.doOn(ctx, method, path, body, attemptTO, out, []string{c.base})
+	return c.doOn(ctx, method, path, body, attemptTO, out, []string{c.base}, false)
 }
 
 // doOn is do with an explicit failover list: attempt k goes to
 // targets[k mod len(targets)], so retries rotate through the replica set
-// before coming back to the primary.
-func (c *Client) doOn(ctx context.Context, method, path string, body []byte, attemptTO time.Duration, out any, targets []string) error {
+// before coming back to the primary. bin marks the body (and the
+// preferred response encoding) as the binary wire format.
+func (c *Client) doOn(ctx context.Context, method, path string, body []byte, attemptTO time.Duration, out any, targets []string, bin bool) error {
 	budget := c.cfg.BackoffBudget
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
-		lastErr = c.once(ctx, method, targets[attempt%len(targets)], path, body, attemptTO, out)
+		lastErr = c.once(ctx, method, targets[attempt%len(targets)], path, body, attemptTO, out, bin)
 		if lastErr == nil {
 			return nil
 		}
@@ -483,7 +584,7 @@ func (c *Client) backoff(attempt int, err error) time.Duration {
 // envelope into an *APIError. When the caller's context carries a trace
 // (WithTrace), the attempt records a client-side span and forwards the
 // trace headers, so the server's spans stitch under this attempt.
-func (c *Client) once(ctx context.Context, method, base, path string, body []byte, attemptTO time.Duration, out any) error {
+func (c *Client) once(ctx context.Context, method, base, path string, body []byte, attemptTO time.Duration, out any, bin bool) error {
 	c.attempts.Add(1)
 	actx, cancel := context.WithTimeout(ctx, attemptTO)
 	defer cancel()
@@ -497,7 +598,14 @@ func (c *Client) once(ctx context.Context, method, base, path string, body []byt
 		return err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		if bin {
+			req.Header.Set("Content-Type", binary.ContentType)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if bin {
+		req.Header.Set("Accept", binary.ContentType)
 	}
 	if deadline, ok := actx.Deadline(); ok {
 		if ms := time.Until(deadline).Milliseconds(); ms > 0 {
@@ -531,9 +639,46 @@ func (c *Client) once(ctx context.Context, method, base, path string, body []byt
 		return apiError(resp, data)
 	}
 	if out != nil {
-		if err := json.Unmarshal(data, out); err != nil {
+		if err := decodeBody(path, resp.Header.Get("Content-Type"), data, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeBody unpacks a 2xx body into out by the server's declared
+// Content-Type: a binary frame through the wire codec for the response
+// types that have one, everything else as JSON. (Error envelopes are
+// always JSON and never reach here.)
+func decodeBody(path, contentType string, data []byte, out any) error {
+	if strings.HasPrefix(contentType, binary.ContentType) {
+		var err error
+		switch v := out.(type) {
+		case *wire.CompileResponse:
+			var r *wire.CompileResponse
+			if r, err = binary.DecodeCompileResponse(data); err == nil {
+				*v = *r
+			}
+		case *wire.CompileBatchResponse:
+			var r *wire.CompileBatchResponse
+			if r, err = binary.DecodeCompileBatchResponse(data); err == nil {
+				*v = *r
+			}
+		case *wire.ArtifactResponse:
+			var r *wire.ArtifactResponse
+			if r, err = binary.DecodeArtifact(data); err == nil {
+				*v = *r
+			}
+		default:
+			err = fmt.Errorf("no binary decoder for %T", out)
+		}
+		if err != nil {
 			return fmt.Errorf("ltspclient: decoding %s response: %w", path, err)
 		}
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("ltspclient: decoding %s response: %w", path, err)
 	}
 	return nil
 }
@@ -571,7 +716,7 @@ func apiError(resp *http.Response, body []byte) error {
 // than re-queueing behind it. Errors don't win — a leg that fails simply
 // leaves the race to the other; only when both legs have failed does
 // hedge return the first leg's error.
-func (c *Client) hedge(ctx context.Context, path string, body []byte, out *wire.CompileResponse, targets []string) error {
+func (c *Client) hedge(ctx context.Context, path string, body []byte, out *wire.CompileResponse, targets []string, bin bool) error {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -588,7 +733,7 @@ func (c *Client) hedge(ctx context.Context, path string, body []byte, out *wire.
 		lspan.SetAttr("leg", strconv.Itoa(n))
 		lspan.SetAttr("target", rotated[0])
 		v := new(wire.CompileResponse)
-		err := c.doOn(telemetry.WithSpan(hctx, tr, lspan), http.MethodPost, path, body, c.cfg.RequestTimeout, v, rotated)
+		err := c.doOn(telemetry.WithSpan(hctx, tr, lspan), http.MethodPost, path, body, c.cfg.RequestTimeout, v, rotated, bin)
 		if err == nil {
 			lspan.SetAttr("outcome", "ok")
 		} else {

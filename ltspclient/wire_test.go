@@ -1,0 +1,150 @@
+package ltspclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ltsp"
+	"ltsp/internal/server"
+	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
+	"ltsp/internal/workload"
+)
+
+// newWireClients builds a real ltspd server plus one JSON-mode and one
+// binary-mode client pointed at it.
+func newWireClients(t *testing.T) (*Client, *Client) {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{}))
+	t.Cleanup(ts.Close)
+	jc, err := New(Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := New(Config{BaseURL: ts.URL, Wire: "binary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jc, bc
+}
+
+func wireTestLoop(t testing.TB) *ltsp.Loop {
+	t.Helper()
+	return workload.All()[0].Loops[0].Gen()
+}
+
+// TestBinaryWireAgainstServer: a binary-mode client gets the same
+// compile, batch, and artifact answers as a JSON-mode client from a real
+// server — same hash, same schedule, integrity intact.
+func TestBinaryWireAgainstServer(t *testing.T) {
+	jc, bc := newWireClients(t)
+	ctx := context.Background()
+	l := wireTestLoop(t)
+	opts := ltsp.Options{}
+
+	jresp, err := jc.CompileLoop(ctx, l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp, err := bc.CompileLoop(ctx, l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jresp.Hash == "" || jresp.Hash != bresp.Hash {
+		t.Fatalf("hash mismatch: json %q vs binary %q", jresp.Hash, bresp.Hash)
+	}
+	// The binary compile is served from the artifact the JSON compile
+	// created, so Cached differs by design; everything else must match.
+	bresp.Cached = jresp.Cached
+	if !reflect.DeepEqual(jresp, bresp) {
+		t.Fatalf("responses differ:\njson:   %+v\nbinary: %+v", jresp, bresp)
+	}
+	if bc.jsonFallback.Load() {
+		t.Fatal("binary client fell back to JSON against a binary-capable server")
+	}
+
+	req, err := wire.NewCompileRequest(l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []wire.CompileItem{{Loop: req.Loop, Options: req.Options}}
+	jb, err := jc.CompileBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := bc.CompileBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bb.Items) != 1 || bb.Items[0].Hash != jb.Items[0].Hash {
+		t.Fatalf("batch mismatch: json %+v vs binary %+v", jb.Items, bb.Items)
+	}
+
+	ja, err := jc.Artifact(ctx, jresp.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := bc.Artifact(ctx, jresp.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja.Hash != ba.Hash || ja.Verify != ba.Verify {
+		t.Fatalf("artifact mismatch: json %+v vs binary %+v", ja, ba)
+	}
+}
+
+// TestBinary415FallsBackToJSON: a server predating the wire format
+// answers a binary frame with 415; the client latches JSON mode, the
+// in-flight call still succeeds, and later calls skip binary entirely.
+func TestBinary415FallsBackToJSON(t *testing.T) {
+	var binaryHits, jsonHits atomic.Int64
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.Header.Get("Content-Type"), binary.ContentType) {
+			binaryHits.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnsupportedMediaType)
+			_ = json.NewEncoder(w).Encode(wire.NewError(wire.CodeUnsupportedMedia, "unknown content type"))
+			return
+		}
+		jsonHits.Add(1)
+		var req wire.CompileRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("fallback body is not JSON: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&wire.CompileResponse{Hash: "abc", Pipelined: true})
+	}
+	client, _ := newClient(t, handler, func(cfg *Config) { cfg.Wire = "binary" })
+
+	l := wireTestLoop(t)
+	resp, err := client.CompileLoop(context.Background(), l, ltsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Hash != "abc" {
+		t.Fatalf("hash = %q after fallback", resp.Hash)
+	}
+	if got := binaryHits.Load(); got != 1 {
+		t.Fatalf("binary attempts = %d, want exactly 1", got)
+	}
+	if !client.jsonFallback.Load() {
+		t.Fatal("jsonFallback not latched after 415")
+	}
+
+	// The latch is sticky: the next call goes straight to JSON.
+	if _, err := client.CompileLoop(context.Background(), l, ltsp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := binaryHits.Load(); got != 1 {
+		t.Fatalf("binary attempts after latch = %d, want still 1", got)
+	}
+	if got := jsonHits.Load(); got != 2 {
+		t.Fatalf("json attempts = %d, want 2", got)
+	}
+}
