@@ -62,7 +62,7 @@ type jsonRecord struct {
 }
 
 func main() {
-	var run = flag.String("run", "all", "experiment to run: all | fig5 | fig7 | fig8 | fig9 | fig10 | casestudy | regstats | compiletime | versioning | sampling | ablation")
+	var run = flag.String("run", "all", "experiment to run: all | fig5 | fig7 | fig8 | fig9 | fig10 | casestudy | regstats | compiletime | versioning | sampling | ablation | oracle-gap")
 	var jsonOut = flag.Bool("json", false, "emit machine-readable JSON results on stdout instead of text")
 	var workers = flag.Int("workers", 0, "evaluation worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
 	var cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -159,6 +159,7 @@ func main() {
 			}
 			return ablationOut{OzQ: ozq, RotReg: rot, RotVsUnroll: rvu}, nil
 		}},
+		{"oracle-gap", func() (fmt.Stringer, error) { return experiments.RunOracleGap() }},
 	}
 
 	var records []jsonRecord

@@ -53,6 +53,7 @@ func main() {
 		tolerant = flag.Bool("tolerant", true, "enable latency-tolerant pipelining")
 		prefetch = flag.Bool("prefetch", true, "enable the software prefetcher")
 		trip     = flag.Float64("trip", 100, "compile-time trip-count estimate")
+		backendF = flag.String("backend", "heuristic", "scheduler backend: heuristic | exact | oracle")
 		serverTo = flag.String("server", "", "submit to a running ltspd daemon at this base URL instead of compiling in-process")
 		loopFile = flag.String("loop-file", "", "read the compile request from this wire-format JSON file (client mode)")
 		dump     = flag.String("dump", "", "write the wire-format compile request to this file ('-' = stdout) and exit")
@@ -95,12 +96,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	backend, err := wire.ParseBackend(*backendF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	opts := ltsp.Options{
 		Mode:            hintMode,
 		Prefetch:        *prefetch,
 		LatencyTolerant: *tolerant,
 		BoostDelinquent: *tolerant,
 		TripEstimate:    *trip,
+		Backend:         backend,
 	}
 
 	if *dump != "" {
@@ -166,15 +173,19 @@ func main() {
 	c, err := core.Pipeline(l, core.Options{
 		LatencyTolerant: *tolerant,
 		BoostDelinquent: *tolerant,
+		Backend:         backend,
 		Trace:           tr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pipeline:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n=== pipeliner ===\n")
+	fmt.Printf("\n=== pipeliner (backend %s) ===\n", c.Backend)
 	fmt.Printf("  Resource II = %d, Recurrence II = %d, achieved II = %d, stages = %d\n",
 		c.ResII, c.BaseRecII, c.FinalII, c.Stages)
+	if c.ProvenII {
+		fmt.Println("  (achieved II is provably optimal)")
+	}
 	if c.LatencyReduced {
 		fmt.Println("  (fallback: non-critical latencies reduced to base for register allocation)")
 	}

@@ -105,3 +105,36 @@ func ExampleRun() {
 	// b[0]: 1
 	// b[7]: 71
 }
+
+// ExampleCompile_backend selects the exact branch-and-bound scheduler.
+// For small loops it proves the achieved II optimal; the heuristic (the
+// default backend, also spelled "") would find the same II here, which
+// is exactly what the oracle backend measures fleet-wide.
+func ExampleCompile_backend() {
+	c, err := ltsp.Compile(copyAddLoop(), ltsp.Options{
+		LatencyTolerant: true,
+		Backend:         ltsp.BackendExact,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("backend:", c.Backend)
+	fmt.Println("proven optimal II:", c.ProvenII)
+	fmt.Println("outcome:", c.Outcome())
+	// Output:
+	// backend: exact
+	// proven optimal II: true
+	// outcome: pipelined
+}
+
+// ExampleCompile_unknownBackend: backend names are validated up front,
+// so a typo is an error rather than a silent fall-through to the
+// default scheduler.
+func ExampleCompile_unknownBackend() {
+	_, err := ltsp.Compile(copyAddLoop(), ltsp.Options{Backend: "simplex"})
+	fmt.Println("err:", err != nil)
+	fmt.Println("known backends:", ltsp.SchedulerBackends())
+	// Output:
+	// err: true
+	// known backends: [exact heuristic oracle]
+}

@@ -9,6 +9,7 @@ import (
 	"ltsp/internal/ir"
 	"ltsp/internal/machine"
 	"ltsp/internal/modsched"
+	"ltsp/internal/sched"
 )
 
 // cancelLoop is a small pipelinable loop for the cancellation tests.
@@ -91,28 +92,28 @@ func TestSearchCancellationStopsClaiming(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	se := &iiSearcher{
-		ctx: ctx,
-		l:   l, m: m, g: g, policy: policy,
-		polLat: polLat, baseLat: baseLat,
-		minII: minII, haveBoost: true,
+	req := &sched.Request{
+		Loop: l, Model: m, Graph: g,
+		PolLat: polLat, BaseLat: baseLat,
+		MinII: minII, MaxII: maxII,
+		HaveBoost: true,
+	}
+	fin := &finisher{l: l, m: m, g: g, policy: policy, polLat: polLat, baseLat: baseLat}
+	backend := sched.Heuristic()
+
+	r := sched.SequentialSearch(backend, ctx, req, nil, fin.finish)
+	if r.Found || r.LastErr != nil {
+		t.Fatalf("sequential under canceled ctx: found=%v err=%v, want not-done with no attempt error", r.Found, r.LastErr)
+	}
+	if r.Attempts != 0 {
+		t.Fatalf("sequential claimed %d attempts after cancellation", r.Attempts)
 	}
 
-	var c Compiled
-	ok, serr := se.searchSequential(&c, nil, maxII)
-	if ok || serr != nil {
-		t.Fatalf("sequential under canceled ctx: ok=%v err=%v, want not-done with no attempt error", ok, serr)
+	r = sched.ParallelSearch(backend, ctx, req, nil, fin.finish, 4)
+	if r.Found || r.LastErr != nil {
+		t.Fatalf("parallel under canceled ctx: found=%v err=%v", r.Found, r.LastErr)
 	}
-	if c.Attempts != 0 {
-		t.Fatalf("sequential claimed %d attempts after cancellation", c.Attempts)
-	}
-
-	var cp Compiled
-	ok, serr = se.searchParallel(&cp, nil, maxII, 4)
-	if ok || serr != nil {
-		t.Fatalf("parallel under canceled ctx: ok=%v err=%v", ok, serr)
-	}
-	if cp.Attempts != 0 {
-		t.Fatalf("parallel claimed %d attempts after cancellation", cp.Attempts)
+	if r.Attempts != 0 {
+		t.Fatalf("parallel claimed %d attempts after cancellation", r.Attempts)
 	}
 }

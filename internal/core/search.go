@@ -1,11 +1,6 @@
 package core
 
 import (
-	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"ltsp/internal/ddg"
 	"ltsp/internal/interp"
 	"ltsp/internal/ir"
@@ -13,250 +8,103 @@ import (
 	"ltsp/internal/modsched"
 	"ltsp/internal/obs"
 	"ltsp/internal/regalloc"
+	"ltsp/internal/sched"
 )
 
 // DefaultParallelism returns the speculative II-search width for callers
-// that want the search as wide as the machine allows: the current
-// GOMAXPROCS setting.
-func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+// that want the search as wide as the machine allows.
+//
+// Deprecated: the II search moved behind the sched.Scheduler interface;
+// use sched.DefaultParallelism. This alias shim delegates and will be
+// removed once external callers migrate.
+func DefaultParallelism() int { return sched.DefaultParallelism() }
 
-// attemptResult is the outcome of the full fallback ladder at one
-// candidate II: the hint-latency attempt plus — when register allocation
-// was the blocker — the reduced-latency retry at the same II.
-type attemptResult struct {
-	done     bool
-	reduced  bool
-	attempts int
-	err      error // last failure recorded at this II
-	prog     *interp.Program
-	sched    *modsched.Schedule
-	asn      *regalloc.Assignment
-	unroll   int
-	loads    []LoadReport
+// kernelPayload carries the compiled artifacts of one completed attempt
+// through the scheduler-agnostic search as sched.Candidate.Payload.
+type kernelPayload struct {
+	prog   *interp.Program
+	asn    *regalloc.Assignment
+	unroll int
+	loads  []LoadReport
 }
 
-// iiSearcher carries the shared inputs of the II search. Every field is
+// finisher runs the post-scheduling pipeline — register allocation and
+// kernel generation — on a schedule the backend produced. Every field is
 // read-only during the search, which is what makes speculative attempts
-// safe: scheduling, register allocation, and code generation never mutate
-// the loop, graph, machine model, or policy, and the graph's cycle memo
-// is warmed (or left untouched) before the search starts.
-type iiSearcher struct {
-	// ctx cancels the search cooperatively: both search modes check it
-	// before claiming another candidate II. A single scheduling attempt
-	// is never interrupted mid-flight, so cancellation granularity is one
-	// (II, latency) attempt.
-	ctx         context.Context
-	l           *ir.Loop
-	m           *machine.Model
-	g           *ddg.Graph
-	policy      *Policy
-	polLat      ddg.LatencyFn
-	baseLat     ddg.LatencyFn
-	minII       int
-	budgetRatio int
-	haveBoost   bool
-	noRotation  bool
+// safe: allocation and code generation never mutate the loop, graph,
+// machine model, or policy.
+type finisher struct {
+	l          *ir.Loop
+	m          *machine.Model
+	g          *ddg.Graph
+	policy     *Policy
+	polLat     ddg.LatencyFn
+	baseLat    ddg.LatencyFn
+	noRotation bool
 }
 
-// tryAt schedules + allocates + generates code at one (II, latency)
-// point, accumulating placement counts and the failure (if any) in res.
-func (se *iiSearcher) tryAt(res *attemptResult, ii int, lat ddg.LatencyFn, reduced bool, tr *obs.Trace) (done, allocFailed bool) {
-	s, ok := modsched.ScheduleAtII(se.m, se.g, ii, lat, modsched.Options{BudgetRatio: se.budgetRatio, Trace: tr})
-	if s != nil {
-		res.attempts += s.Attempts
-	}
-	if !ok {
-		return false, false
+// finish allocates registers and generates the kernel at one (II,
+// latency) point. It reports allocation-class failures (register
+// overflow, structural codegen issues) as AllocFailed so the fallback
+// ladder can retry the same II with reduced latencies.
+func (f *finisher) finish(ii int, s *modsched.Schedule, reduced bool, tr *obs.Trace) sched.Candidate {
+	lat := f.polLat
+	if reduced {
+		lat = f.baseLat
 	}
 	var prog *interp.Program
 	var asn *regalloc.Assignment
 	unroll := 1
-	if se.noRotation {
-		p, u, st, err := genKernelUnrolled(se.m, se.g, s)
+	if f.noRotation {
+		p, u, st, err := genKernelUnrolled(f.m, f.g, s)
 		if err != nil {
 			if tr.On() {
 				tr.Emit(obs.CodegenEvent{II: ii, Err: err.Error()})
 			}
-			res.err = err
-			return false, true
+			return sched.Candidate{Err: err, AllocFailed: true}
 		}
 		prog, unroll = p, u
 		asn = &regalloc.Assignment{Stats: st, StagePredBase: 16}
 	} else {
-		a, err := regalloc.AllocateTraced(se.m, se.g, s, tr, reduced)
+		a, err := regalloc.AllocateTraced(f.m, f.g, s, tr, reduced)
 		if err != nil {
-			res.err = err
-			if _, overflow := err.(*regalloc.OverflowError); overflow {
-				return false, true
-			}
-			return false, false
+			_, overflow := err.(*regalloc.OverflowError)
+			return sched.Candidate{Err: err, AllocFailed: overflow}
 		}
-		p, err := GenKernel(se.l, s, a)
+		p, err := GenKernel(f.l, s, a)
 		if err != nil {
 			// Cross-stage in-place reads and similar structural issues:
 			// treat like an allocation failure and keep searching.
 			if tr.On() {
 				tr.Emit(obs.CodegenEvent{II: ii, Err: err.Error()})
 			}
-			res.err = err
-			return false, true
+			return sched.Candidate{Err: err, AllocFailed: true}
 		}
 		prog, asn = p, a
 	}
-	res.prog, res.sched, res.asn = prog, s, asn
-	res.unroll = unroll
-	res.reduced = reduced
-	res.loads = loadReports(se.m, se.g, s, se.policy, lat)
-	return true, false
+	return sched.Candidate{
+		Done: true,
+		Payload: &kernelPayload{
+			prog:   prog,
+			asn:    asn,
+			unroll: unroll,
+			loads:  loadReports(f.m, f.g, s, f.policy, lat),
+		},
+	}
 }
 
-// attempt runs the fallback ladder at one II: schedule with the
-// hint-derived latencies; when register allocation fails, retry the same
-// II with all non-critical latencies reduced to base. Decision events go
-// to tr — the main trace in the sequential search, a private buffer for a
-// speculative attempt. The result depends only on (ii, shared inputs), so
-// it is identical regardless of which search mode runs it.
-func (se *iiSearcher) attempt(ii int, tr *obs.Trace) attemptResult {
-	res := attemptResult{unroll: 1}
-	if ii > se.minII && tr.On() {
-		tr.Emit(obs.FallbackEvent{Rung: obs.RungRaiseII, II: ii})
-	}
-	done, allocFailed := se.tryAt(&res, ii, se.polLat, false, tr)
-	if done {
-		res.done = true
-		return res
-	}
-	if allocFailed && se.haveBoost {
-		if tr.On() {
-			tr.Emit(obs.FallbackEvent{Rung: obs.RungReduceLatency, II: ii})
-		}
-		if done, _ := se.tryAt(&res, ii, se.baseLat, true, tr); done {
-			res.done = true
-		}
-	}
-	return res
-}
-
-// commit installs the winning attempt into the compilation result.
-func (se *iiSearcher) commit(c *Compiled, ii int, res attemptResult) {
-	c.Program = res.prog
-	c.Schedule = res.sched
-	c.Assignment = res.asn
-	c.loop = se.l
-	c.FinalII = ii
-	c.Stages = res.sched.Stages
-	c.LatencyReduced = res.reduced
-	c.IIBumps = ii - se.minII
-	c.UnrollFactor = res.unroll
-	c.Loads = res.loads
-}
-
-// searchSequential is the paper's search (Sec. 3.3): iterate the II
-// upward from MinII, running the fallback ladder at each step, and stop
-// at the first II the ladder satisfies.
-func (se *iiSearcher) searchSequential(c *Compiled, tr *obs.Trace, maxII int) (bool, error) {
-	var lastErr error
-	for ii := se.minII; ii <= maxII; ii++ {
-		if se.ctx.Err() != nil {
-			return false, lastErr
-		}
-		res := se.attempt(ii, tr)
-		c.Attempts += res.attempts
-		if res.err != nil {
-			lastErr = res.err
-		}
-		if res.done {
-			se.commit(c, ii, res)
-			return true, nil
-		}
-	}
-	return false, lastErr
-}
-
-// searchParallel speculates on several candidate IIs concurrently and
-// commits the lowest feasible one. It reproduces searchSequential
-// bit-identically:
-//
-//   - Workers claim IIs from an atomic counter, so the claimed set is
-//     always a dense prefix [minII, ...] in ascending order.
-//   - Each attempt is independent and deterministic, so its schedule,
-//     events, and failure are exactly what the sequential search would
-//     compute at that II.
-//   - Events are buffered per attempt and appended to the main trace in
-//     II order up to the winner — the order the sequential search emits.
-//   - A worker abandons a claimed II only when a strictly lower II has
-//     already succeeded (the "cancel losers" rule), so every II at or
-//     below the final winner is fully attempted and its attempts/events
-//     are accounted, while IIs beyond the winner are discarded exactly as
-//     the sequential search never reaches them.
-//
-// Placement-attempt totals, fallback rungs, and the final error on total
-// failure (the last error the sequential search would have kept) are all
-// reconstructed from the per-II results.
-func (se *iiSearcher) searchParallel(c *Compiled, tr *obs.Trace, maxII, workers int) (bool, error) {
-	n := maxII - se.minII + 1
-	if workers > n {
-		workers = n
-	}
-	results := make([]attemptResult, n)
-	traces := make([]*obs.Trace, n)
-	var next atomic.Int64
-	var best atomic.Int64 // index of the lowest successful II; n = none yet
-	best.Store(int64(n))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if se.ctx.Err() != nil {
-					return // search canceled: stop claiming IIs
-				}
-				i := int(next.Add(1) - 1)
-				if i >= n || int64(i) > best.Load() {
-					return // out of range, or a lower II already won
-				}
-				var bt *obs.Trace
-				if tr.On() {
-					bt = obs.NewScratch()
-				}
-				res := se.attempt(se.minII+i, bt)
-				results[i] = res
-				traces[i] = bt
-				if res.done {
-					for {
-						cur := best.Load()
-						if int64(i) >= cur || best.CompareAndSwap(cur, int64(i)) {
-							break
-						}
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	win := int(best.Load())
-	last := win
-	if win == n {
-		last = n - 1 // total failure: every II was attempted
-	}
-	var lastErr error
-	for i := 0; i <= last; i++ {
-		c.Attempts += results[i].attempts
-		tr.AppendFrom(traces[i])
-		if results[i].err != nil {
-			lastErr = results[i].err
-		}
-	}
-	// All workers have joined and AppendFrom copied what was merged, so
-	// every per-attempt buffer (merged or discarded) can be recycled.
-	for _, bt := range traces {
-		bt.Recycle()
-	}
-	if win == n {
-		return false, lastErr
-	}
-	se.commit(c, se.minII+win, results[win])
-	return true, nil
+// commit installs the winning search result into the compilation result.
+func (c *Compiled) commit(l *ir.Loop, minII int, r sched.Result) {
+	p := r.Payload.(*kernelPayload)
+	c.Program = p.prog
+	c.Schedule = r.Sched
+	c.Assignment = p.asn
+	c.loop = l
+	c.FinalII = r.II
+	c.Stages = r.Sched.Stages
+	c.LatencyReduced = r.Reduced
+	c.IIBumps = r.II - minII
+	c.UnrollFactor = p.unroll
+	c.Loads = p.loads
+	c.ProvenII = r.Proven
 }

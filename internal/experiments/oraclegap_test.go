@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ltsp/internal/workload"
+)
+
+// TestOracleGapSampled probes a handful of benchmarks — the CI smoke
+// slice of the full RunOracleGap sweep. The heuristic must never beat a
+// proven-optimal exact II, and proven loops must have ExactII ≤ HeurII.
+func TestOracleGapSampled(t *testing.T) {
+	for _, name := range []string{"429.mcf", "181.mcf", "470.lbm"} {
+		b := workload.ByName(name)
+		if b == nil {
+			t.Fatalf("benchmark %s missing from workload", name)
+		}
+		for j := range b.Loops {
+			spec := &b.Loops[j]
+			row, err := evalOracleGap(spec, b.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, spec.Name, err)
+			}
+			if row.Sequential {
+				continue
+			}
+			if row.ExactII > row.HeurII {
+				t.Errorf("%s/%s: exact II %d exceeds heuristic II %d — the heuristic schedule witnesses feasibility at its own II",
+					name, spec.Name, row.ExactII, row.HeurII)
+			}
+			if row.Skipped && row.Proven {
+				t.Errorf("%s/%s: over-budget probe must not claim a proof", name, spec.Name)
+			}
+			if !row.Skipped && row.ExactLife >= 0 && row.HeurII == row.ExactII && row.ExactLife > row.HeurLife {
+				t.Errorf("%s/%s: exact max lifetime %d worse than heuristic %d at the same II — SolveMin must minimize lifetime",
+					name, spec.Name, row.ExactLife, row.HeurLife)
+			}
+		}
+	}
+}
+
+// TestOracleGapTableRenders checks the table renderer aggregates rows
+// per benchmark without running the full sweep.
+func TestOracleGapTableRenders(t *testing.T) {
+	r := &OracleGapResult{
+		Loops: []OracleGapLoop{
+			{Bench: "429.mcf", Loop: "a", HeurII: 4, ExactII: 3, Proven: true, HeurLife: 8, ExactLife: 6},
+			{Bench: "429.mcf", Loop: "b", Sequential: true},
+			{Bench: "470.lbm", Loop: "c", HeurII: 2, ExactII: 2, Skipped: true, ExactLife: -1},
+		},
+		Measured: 1, Proven: 1, WithGap: 1, Skipped: 1, Sequential: 1,
+		IIGapPct: 33.3, LifeGapPct: 33.3,
+	}
+	out := r.String()
+	for _, want := range []string{"429.mcf", "470.lbm", "+33.3%", "1 over budget", "1 sequential"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -405,6 +405,92 @@ func (e OutcomeEvent) human() string {
 	}
 }
 
+// Exact-backend solve statuses reported by ExactEvent.Status.
+const (
+	// ExactFeasible: the branch-and-bound solver found a schedule at
+	// this II (optimal by construction: every lower II was refuted
+	// first, or this II meets the lower bound).
+	ExactFeasible = "feasible"
+	// ExactInfeasible: the solver proved no schedule exists at this II
+	// within its scheduling window.
+	ExactInfeasible = "infeasible"
+	// ExactUnknown: the solver ran out of node budget or deadline before
+	// deciding; the attempt falls back to the heuristic.
+	ExactUnknown = "unknown"
+)
+
+// ExactEvent records one exact branch-and-bound solve at a fixed II.
+type ExactEvent struct {
+	II      int    `json:"ii"`
+	Status  string `json:"status"`
+	Nodes   int64  `json:"nodes"`
+	MaxLife int    `json:"max_life,omitempty"`
+	// LifeProven reports that MaxLife is the provably minimal max
+	// register lifetime at this II (the tiebreak search ran to proof
+	// rather than exhausting its budget).
+	LifeProven bool `json:"life_proven,omitempty"`
+}
+
+// Kind implements Event.
+func (ExactEvent) Kind() string { return "exact" }
+
+func (e ExactEvent) human() string {
+	switch e.Status {
+	case ExactFeasible:
+		proof := "best-effort"
+		if e.LifeProven {
+			proof = "proven minimal"
+		}
+		return fmt.Sprintf("exact: II=%d feasible — max register lifetime %d (%s), %d nodes",
+			e.II, e.MaxLife, proof, e.Nodes)
+	case ExactInfeasible:
+		return fmt.Sprintf("exact: II=%d proven infeasible (%d nodes)", e.II, e.Nodes)
+	default:
+		return fmt.Sprintf("exact: II=%d undecided — budget exhausted (%d nodes)", e.II, e.Nodes)
+	}
+}
+
+// ExactFallbackEvent records the exact backend handing one fixed-II
+// attempt to the heuristic scheduler: the loop exceeded the solver's
+// size budget, or the solve was undecided within its node budget or
+// deadline. The attempt then proceeds exactly as the heuristic backend
+// would run it — a fallback is never an error.
+type ExactFallbackEvent struct {
+	II     int    `json:"ii"`
+	Reason string `json:"reason"`
+}
+
+// Kind implements Event.
+func (ExactFallbackEvent) Kind() string { return "exact-fallback" }
+
+func (e ExactFallbackEvent) human() string {
+	return fmt.Sprintf("exact: II=%d handed to heuristic (%s)", e.II, e.Reason)
+}
+
+// OracleGapEvent records the oracle backend's optimality-gap probe: the
+// heuristic's achieved II and max register lifetime against the exact
+// solver's. ExactII equals the heuristic II when every lower II was
+// refuted; Proven is false when any probe was undecided.
+type OracleGapEvent struct {
+	HeurII    int  `json:"heur_ii"`
+	ExactII   int  `json:"exact_ii"`
+	Proven    bool `json:"proven"`
+	HeurLife  int  `json:"heur_life"`
+	ExactLife int  `json:"exact_life,omitempty"`
+}
+
+// Kind implements Event.
+func (OracleGapEvent) Kind() string { return "oracle-gap" }
+
+func (e OracleGapEvent) human() string {
+	proof := "unproven"
+	if e.Proven {
+		proof = "proven"
+	}
+	return fmt.Sprintf("oracle: heuristic II=%d vs exact II=%d (%s), max lifetime %d vs %d",
+		e.HeurII, e.ExactII, proof, e.HeurLife, e.ExactLife)
+}
+
 func nameSuffix(name string) string {
 	if name == "" {
 		return ""

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"ltsp/internal/ddg"
+	"ltsp/internal/modsched"
+	"ltsp/internal/obs"
+)
+
+// attemptResult is the outcome of the full fallback ladder at one
+// candidate II: the hint-latency attempt plus — when register allocation
+// was the blocker — the reduced-latency retry at the same II.
+type attemptResult struct {
+	done     bool
+	reduced  bool
+	attempts int
+	err      error // last failure recorded at this II
+	sched    *modsched.Schedule
+	payload  any
+}
+
+// tryAt schedules via the backend, then hands the schedule to the
+// caller's Finisher (register allocation + code generation) at one
+// (II, latency) point, accumulating placement counts and the failure
+// (if any) in res.
+func tryAt(s Scheduler, ctx context.Context, req *Request, res *attemptResult, ii int, lat ddg.LatencyFn, reduced bool, tr *obs.Trace, finish Finisher) (done, allocFailed bool) {
+	sc, ok := s.ScheduleAtII(ctx, req, ii, lat, tr)
+	if sc != nil {
+		res.attempts += sc.Attempts
+	}
+	if !ok {
+		return false, false
+	}
+	cand := finish(ii, sc, reduced, tr)
+	if cand.Err != nil {
+		res.err = cand.Err
+	}
+	if !cand.Done {
+		return false, cand.AllocFailed
+	}
+	res.sched = sc
+	res.payload = cand.Payload
+	res.reduced = reduced
+	return true, false
+}
+
+// attempt runs the fallback ladder at one II: schedule with the
+// hint-derived latencies; when register allocation fails, retry the same
+// II with all non-critical latencies reduced to base. Decision events go
+// to tr — the main trace in the sequential search, a private buffer for a
+// speculative attempt. The result depends only on (ii, shared inputs), so
+// it is identical regardless of which search mode runs it.
+func attempt(s Scheduler, ctx context.Context, req *Request, ii int, tr *obs.Trace, finish Finisher) attemptResult {
+	var res attemptResult
+	if ii > req.MinII && tr.On() {
+		tr.Emit(obs.FallbackEvent{Rung: obs.RungRaiseII, II: ii})
+	}
+	done, allocFailed := tryAt(s, ctx, req, &res, ii, req.PolLat, false, tr, finish)
+	if done {
+		res.done = true
+		return res
+	}
+	if allocFailed && req.HaveBoost {
+		if tr.On() {
+			tr.Emit(obs.FallbackEvent{Rung: obs.RungReduceLatency, II: ii})
+		}
+		if done, _ := tryAt(s, ctx, req, &res, ii, req.BaseLat, true, tr, finish); done {
+			res.done = true
+		}
+	}
+	return res
+}
+
+// commit installs the winning attempt into the search result.
+func commit(out *Result, req *Request, ii int, res attemptResult) {
+	out.Found = true
+	out.II = ii
+	out.Sched = res.sched
+	out.Payload = res.payload
+	out.Reduced = res.reduced
+	out.Proven = ii == req.MinII // meets the lower bound
+}
+
+// SequentialSearch is the paper's search (Sec. 3.3): iterate the II
+// upward from MinII, running the fallback ladder at each step, and stop
+// at the first II the ladder satisfies. Backends whose per-II attempts
+// are not independent (or not worth speculating on) use it directly.
+func SequentialSearch(s Scheduler, ctx context.Context, req *Request, tr *obs.Trace, finish Finisher) Result {
+	var out Result
+	var lastErr error
+	for ii := req.MinII; ii <= req.MaxII; ii++ {
+		if ctx.Err() != nil {
+			out.LastErr = lastErr
+			return out
+		}
+		res := attempt(s, ctx, req, ii, tr, finish)
+		out.Attempts += res.attempts
+		if res.err != nil {
+			lastErr = res.err
+		}
+		if res.done {
+			commit(&out, req, ii, res)
+			return out
+		}
+	}
+	out.LastErr = lastErr
+	return out
+}
+
+// ParallelSearch speculates on several candidate IIs concurrently and
+// commits the lowest feasible one. It reproduces SequentialSearch
+// bit-identically:
+//
+//   - Workers claim IIs from an atomic counter, so the claimed set is
+//     always a dense prefix [minII, ...] in ascending order.
+//   - Each attempt is independent and deterministic, so its schedule,
+//     events, and failure are exactly what the sequential search would
+//     compute at that II.
+//   - Events are buffered per attempt and appended to the main trace in
+//     II order up to the winner — the order the sequential search emits.
+//   - A worker abandons a claimed II only when a strictly lower II has
+//     already succeeded (the "cancel losers" rule), so every II at or
+//     below the final winner is fully attempted and its attempts/events
+//     are accounted, while IIs beyond the winner are discarded exactly as
+//     the sequential search never reaches them.
+//
+// Placement-attempt totals, fallback rungs, and the final error on total
+// failure (the last error the sequential search would have kept) are all
+// reconstructed from the per-II results.
+func ParallelSearch(s Scheduler, ctx context.Context, req *Request, tr *obs.Trace, finish Finisher, workers int) Result {
+	n := req.MaxII - req.MinII + 1
+	if workers > n {
+		workers = n
+	}
+	results := make([]attemptResult, n)
+	traces := make([]*obs.Trace, n)
+	var next atomic.Int64
+	var best atomic.Int64 // index of the lowest successful II; n = none yet
+	best.Store(int64(n))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return // search canceled: stop claiming IIs
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n || int64(i) > best.Load() {
+					return // out of range, or a lower II already won
+				}
+				var bt *obs.Trace
+				if tr.On() {
+					bt = obs.NewScratch()
+				}
+				res := attempt(s, ctx, req, req.MinII+i, bt, finish)
+				results[i] = res
+				traces[i] = bt
+				if res.done {
+					for {
+						cur := best.Load()
+						if int64(i) >= cur || best.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var out Result
+	win := int(best.Load())
+	last := win
+	if win == n {
+		last = n - 1 // total failure: every II was attempted
+	}
+	var lastErr error
+	for i := 0; i <= last; i++ {
+		out.Attempts += results[i].attempts
+		tr.AppendFrom(traces[i])
+		if results[i].err != nil {
+			lastErr = results[i].err
+		}
+	}
+	// All workers have joined and AppendFrom copied what was merged, so
+	// every per-attempt buffer (merged or discarded) can be recycled.
+	for _, bt := range traces {
+		bt.Recycle()
+	}
+	if win == n {
+		out.LastErr = lastErr
+		return out
+	}
+	commit(&out, req, req.MinII+win, results[win])
+	return out
+}

@@ -1,0 +1,185 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ltsp"
+	"ltsp/internal/server"
+	"ltsp/internal/wire"
+	"ltsp/internal/wire/binary"
+)
+
+// TestBackendNegotiationMatrix: a backend-bearing request must produce
+// the identical compile result through all four corners of the
+// encoding matrix, and the response must name the backend.
+func TestBackendNegotiationMatrix(t *testing.T) {
+	l := testLoop(t)
+	opts := ltsp.Options{LatencyTolerant: true, Backend: ltsp.BackendExact}
+	jreq, err := wire.NewCompileRequest(l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBody, _ := json.Marshal(jreq)
+	binBody := binFrame(t, testLoop(t), opts)
+
+	var want *wire.CompileResponse
+	for _, tc := range []struct {
+		name        string
+		contentType string
+		accept      string
+		body        []byte
+		binResp     bool
+	}{
+		{"json-json", "application/json", "", jsonBody, false},
+		{"json-binary", "application/json", binary.ContentType, jsonBody, true},
+		{"binary-json", binary.ContentType, "application/json", binBody, false},
+		{"binary-binary", binary.ContentType, binary.ContentType, binBody, true},
+	} {
+		_, ts := newTestServer(t, server.Config{})
+		resp, data := postRaw(t, ts.URL+"/v2/compile", tc.contentType, tc.accept, tc.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d, body %s", tc.name, resp.StatusCode, data)
+		}
+		got := new(wire.CompileResponse)
+		if tc.binResp {
+			got, err = binary.DecodeCompileResponse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else if err := json.Unmarshal(data, got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Backend != "exact" {
+			t.Fatalf("%s: response backend = %q, want exact", tc.name, got.Backend)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: result differs from json-json corner:\nwant %+v\ngot  %+v", tc.name, want, got)
+		}
+	}
+}
+
+// TestUnknownBackendRejected: an unknown backend is an invalid request —
+// 400, the v2 envelope, non-retryable — on both request encodings, and
+// nothing is cached under a hash that could never compile.
+func TestUnknownBackendRejected(t *testing.T) {
+	l := testLoop(t)
+	jreq, err := wire.NewCompileRequest(l, ltsp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jreq.Options.Backend = "simplex"
+	jsonBody, _ := json.Marshal(jreq)
+	binBody, err := binary.EncodeCompileRequest(nil, testLoop(t), wire.Options{Backend: "simplex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, server.Config{})
+	for _, tc := range []struct {
+		name, contentType string
+		body              []byte
+	}{
+		{"json", "application/json", jsonBody},
+		{"binary", binary.ContentType, binBody},
+	} {
+		resp, data := postRaw(t, ts.URL+"/v2/compile", tc.contentType, "", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400; body %s", tc.name, resp.StatusCode, data)
+		}
+		var env wire.ErrorEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatalf("%s: 400 body is not the JSON envelope: %v", tc.name, err)
+		}
+		if env.Error.Code != wire.CodeInvalidRequest {
+			t.Fatalf("%s: code = %q, want %q", tc.name, env.Error.Code, wire.CodeInvalidRequest)
+		}
+		if env.Error.Retryable {
+			t.Fatalf("%s: unknown backend marked retryable", tc.name)
+		}
+		if !strings.Contains(env.Error.Message, "simplex") {
+			t.Fatalf("%s: error does not name the offending backend: %q", tc.name, env.Error.Message)
+		}
+	}
+}
+
+// TestMetricsBackendSplit: compile_outcomes stays aggregate (the frozen
+// surface) while compile_outcomes_by_backend splits the same counts per
+// backend, in both the JSON document and the Prometheus exposition.
+func TestMetricsBackendSplit(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	compile := func(opts ltsp.Options) {
+		t.Helper()
+		req, err := wire.NewCompileRequest(testLoop(t), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(req)
+		resp, data := postRaw(t, ts.URL+"/v2/compile", "application/json", "", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile: status = %d, body %s", resp.StatusCode, data)
+		}
+	}
+	compile(ltsp.Options{LatencyTolerant: true})
+	compile(ltsp.Options{LatencyTolerant: true, Backend: ltsp.BackendExact})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		CompileOutcomes struct {
+			Pipelined int64 `json:"pipelined"`
+		} `json:"compile_outcomes"`
+		ByBackend map[string]struct {
+			Pipelined int64 `json:"pipelined"`
+		} `json:"compile_outcomes_by_backend"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.CompileOutcomes.Pipelined != 2 {
+		t.Fatalf("aggregate pipelined = %d, want 2", m.CompileOutcomes.Pipelined)
+	}
+	if m.ByBackend["heuristic"].Pipelined != 1 || m.ByBackend["exact"].Pipelined != 1 {
+		t.Fatalf("per-backend split = %+v, want heuristic/exact 1 each", m.ByBackend)
+	}
+	var total int64
+	for _, v := range m.ByBackend {
+		total += v.Pipelined
+	}
+	if total != m.CompileOutcomes.Pipelined {
+		t.Fatalf("per-backend counts (%d) do not sum to the aggregate (%d)", total, m.CompileOutcomes.Pipelined)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	raw, err := io.ReadAll(presp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`ltspd_compile_outcomes_total{outcome="pipelined"} 2`,
+		`ltspd_compile_outcomes_by_backend_total{backend="exact",outcome="pipelined"} 1`,
+		`ltspd_compile_outcomes_by_backend_total{backend="heuristic",outcome="pipelined"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -161,6 +162,11 @@ type Metrics struct {
 	OutcomeReducedLatency atomic.Int64
 	OutcomeRaisedII       atomic.Int64
 	OutcomeSequential     atomic.Int64
+	// outcomesByBackend splits the outcome counters by scheduling backend
+	// (heuristic/exact/oracle), lazily keyed by the backend label so a
+	// newly registered backend needs no metrics change. The aggregate
+	// counters above are authoritative; this map is the per-backend view.
+	outcomesByBackend sync.Map // string -> *backendOutcomes
 
 	CompileLatency  Histogram
 	SimulateLatency Histogram
@@ -182,8 +188,31 @@ type Metrics struct {
 	StageVerify    Histogram
 }
 
-// CountOutcome bumps the counter matching an obs.Outcome* string.
-func (m *Metrics) CountOutcome(outcome string) {
+// backendOutcomes is one backend's slice of the outcome counters.
+type backendOutcomes struct {
+	Pipelined      atomic.Int64
+	ReducedLatency atomic.Int64
+	RaisedII       atomic.Int64
+	Sequential     atomic.Int64
+}
+
+func (b *backendOutcomes) count(outcome string) {
+	switch outcome {
+	case obs.OutcomePipelined:
+		b.Pipelined.Add(1)
+	case obs.OutcomeReducedLatency:
+		b.ReducedLatency.Add(1)
+	case obs.OutcomeRaisedII:
+		b.RaisedII.Add(1)
+	case obs.OutcomeSequential:
+		b.Sequential.Add(1)
+	}
+}
+
+// CountOutcome bumps the counter matching an obs.Outcome* string, both
+// in aggregate and under the scheduling backend's label ("" is
+// normalized to "heuristic").
+func (m *Metrics) CountOutcome(backend, outcome string) {
 	switch outcome {
 	case obs.OutcomePipelined:
 		m.OutcomePipelined.Add(1)
@@ -194,6 +223,31 @@ func (m *Metrics) CountOutcome(outcome string) {
 	case obs.OutcomeSequential:
 		m.OutcomeSequential.Add(1)
 	}
+	if backend == "" {
+		backend = "heuristic"
+	}
+	bo, ok := m.outcomesByBackend.Load(backend)
+	if !ok {
+		bo, _ = m.outcomesByBackend.LoadOrStore(backend, &backendOutcomes{})
+	}
+	bo.(*backendOutcomes).count(outcome)
+}
+
+// snapshotByBackend renders the per-backend outcome split; map keys are
+// the backend labels (encoding/json emits them sorted).
+func (m *Metrics) snapshotByBackend() map[string]outcomesJSON {
+	out := map[string]outcomesJSON{}
+	m.outcomesByBackend.Range(func(k, v any) bool {
+		bo := v.(*backendOutcomes)
+		out[k.(string)] = outcomesJSON{
+			Pipelined:      bo.Pipelined.Load(),
+			ReducedLatency: bo.ReducedLatency.Load(),
+			RaisedII:       bo.RaisedII.Load(),
+			Sequential:     bo.Sequential.Load(),
+		}
+		return true
+	})
+	return out
 }
 
 // buildInfoJSON is the /metrics build_info block.
@@ -285,12 +339,15 @@ type metricsJSON struct {
 	VerifyFailures      int64         `json:"verify_failures"`
 	PanicsRecovered     int64         `json:"panics_recovered"`
 	CompileOutcomes     outcomesJSON  `json:"compile_outcomes"`
-	CompileLatency      histogramJSON `json:"compile_latency"`
-	SimulateLatency     histogramJSON `json:"simulate_latency"`
-	BatchLatency        histogramJSON `json:"batch_latency"`
-	Stages              stagesJSON    `json:"stage_latency"`
-	Disk                *diskJSON     `json:"disk,omitempty"`
-	Cluster             *clusterJSON  `json:"cluster,omitempty"`
+	// CompileOutcomesByBackend splits the same counters by scheduling
+	// backend label; absent until the first compilation lands.
+	CompileOutcomesByBackend map[string]outcomesJSON `json:"compile_outcomes_by_backend,omitempty"`
+	CompileLatency           histogramJSON           `json:"compile_latency"`
+	SimulateLatency          histogramJSON           `json:"simulate_latency"`
+	BatchLatency             histogramJSON           `json:"batch_latency"`
+	Stages                   stagesJSON              `json:"stage_latency"`
+	Disk                     *diskJSON               `json:"disk,omitempty"`
+	Cluster                  *clusterJSON            `json:"cluster,omitempty"`
 }
 
 func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSON, uptime time.Duration) metricsJSON {
@@ -337,9 +394,10 @@ func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSO
 			RaisedII:       m.OutcomeRaisedII.Load(),
 			Sequential:     m.OutcomeSequential.Load(),
 		},
-		CompileLatency:  m.CompileLatency.snapshot(),
-		SimulateLatency: m.SimulateLatency.snapshot(),
-		BatchLatency:    m.BatchLatency.snapshot(),
+		CompileOutcomesByBackend: m.snapshotByBackend(),
+		CompileLatency:           m.CompileLatency.snapshot(),
+		SimulateLatency:          m.SimulateLatency.snapshot(),
+		BatchLatency:             m.BatchLatency.snapshot(),
 		Stages: stagesJSON{
 			QueueWait: m.StageQueueWait.snapshot(),
 			MemLookup: m.StageMemLookup.snapshot(),

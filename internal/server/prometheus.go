@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -141,6 +142,29 @@ func writePrometheus(w io.Writer, m *metricsJSON) error {
 		{"sequential", m.CompileOutcomes.Sequential},
 	} {
 		p.printf("ltspd_compile_outcomes_total{outcome=%q} %d\n", oc.k, oc.v)
+	}
+	if len(m.CompileOutcomesByBackend) > 0 {
+		p.printf("# HELP ltspd_compile_outcomes_by_backend_total Compilations by scheduling backend and pipeliner outcome.\n" +
+			"# TYPE ltspd_compile_outcomes_by_backend_total counter\n")
+		backends := make([]string, 0, len(m.CompileOutcomesByBackend))
+		for b := range m.CompileOutcomesByBackend {
+			backends = append(backends, b)
+		}
+		sort.Strings(backends)
+		for _, b := range backends {
+			oc := m.CompileOutcomesByBackend[b]
+			for _, kv := range []struct {
+				k string
+				v int64
+			}{
+				{"pipelined", oc.Pipelined},
+				{"fallback_reduced_latency", oc.ReducedLatency},
+				{"fallback_raised_ii", oc.RaisedII},
+				{"sequential", oc.Sequential},
+			} {
+				p.printf("ltspd_compile_outcomes_by_backend_total{backend=%q,outcome=%q} %d\n", b, kv.k, kv.v)
+			}
+		}
 	}
 
 	p.histogram("ltspd_compile_latency_ms", "Compile request latency (milliseconds).", "", "", m.CompileLatency, true)

@@ -711,6 +711,7 @@ func compileResponse(hash string, cached bool, c *ltsp.Compiled) *CompileRespons
 		Outcome:   c.Outcome(),
 		II:        c.II, Stages: c.Stages,
 		ResII: c.ResII, RecII: c.RecII,
+		Backend: c.Backend, ProvenII: c.ProvenII,
 		Reg: RegStatsJSON{
 			GR: c.Reg.TotalGR(), RotGR: c.Reg.RotGR,
 			FR: c.Reg.TotalFR(), RotFR: c.Reg.RotFR,
@@ -900,7 +901,7 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 			vspan.SetAttr("outcome", "passed")
 			vspan.End()
 		}
-		s.metrics.CountOutcome(c.Outcome())
+		s.metrics.CountOutcome(c.Backend, c.Outcome())
 		a := &Artifact{Compiled: c, Trace: otr, Request: canon,
 			Verify: store.VerifyMeta{Sampled: sampled, Passed: sampled}}
 		// Serialize the artifact once: the serialized sections weight the

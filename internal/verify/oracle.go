@@ -152,12 +152,12 @@ func compareMemory(a, b *interp.Memory, trip int64) error {
 
 // fillMemories lays out a deterministic pseudo-random image for every
 // array the loop walks (any GR setup value that looks like a pointer),
-// identically in both memories. Values are kept small and frequently zero
+// identically in every given memory. Values are kept small and frequently zero
 // so that pointer-chase loads stay near the zero page and data-terminated
 // conditions have a real chance to fire; arithmetic over the fill is still
 // position-dependent, so schedule bugs that permute or drop accesses
 // change the final image.
-func fillMemories(l *ir.Loop, trip int64, stages int, seed int64, memA, memB *interp.Memory) {
+func fillMemories(l *ir.Loop, trip int64, stages int, seed int64, mems ...*interp.Memory) {
 	stride := int64(8)
 	down := false
 	for _, in := range l.Body {
@@ -193,8 +193,9 @@ func fillMemories(l *ir.Loop, trip int64, stages int, seed int64, memA, memB *in
 			if h&0x300 == 0 {
 				v = 0
 			}
-			memA.Store(start+off, 8, v)
-			memB.Store(start+off, 8, v)
+			for _, mem := range mems {
+				mem.Store(start+off, 8, v)
+			}
 		}
 	}
 }

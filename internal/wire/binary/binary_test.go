@@ -32,6 +32,8 @@ var testOptions = []wire.Options{
 	{Mode: "all-l3", TripEstimate: 0.5},
 	{Pipeline: func() *bool { b := true; return &b }()},
 	{Pipeline: func() *bool { b := false; return &b }(), Mode: "all-fp-l2"},
+	{Backend: "exact", LatencyTolerant: true},
+	{Backend: "oracle", Mode: "hlo", Prefetch: true},
 }
 
 // TestRequestRoundTrip: every workload loop survives loop → binary →
@@ -168,6 +170,7 @@ func TestResponseRoundTrip(t *testing.T) {
 	resp := &wire.CompileResponse{
 		Hash: "abc123", Cached: true, Pipelined: true,
 		Outcome: "pipelined", II: 4, Stages: 5, ResII: 3, RecII: 2,
+		Backend: "exact", ProvenII: true,
 		Reg: wire.RegStatsJSON{GR: 12, RotGR: 8, FR: 6, RotFR: 4, PR: 2, RotPR: 1, Spills: 0},
 		Loads: []wire.LoadReportJSON{
 			{ID: 1, Critical: true, BaseLat: 13, SchedLat: 200, ExtraD: 23, ClusterK: 4, Hint: "nt2"},
@@ -301,5 +304,40 @@ func TestInternedStrings(t *testing.T) {
 	}
 	if n := bytes.Count(frame, []byte("nt2")); n != 1 {
 		t.Fatalf("string %q appears %d times in the frame, want 1 (interning broken)", "nt2", n)
+	}
+}
+
+// TestBackendFrameStability: the heuristic backend's canonical binary
+// spelling is flag-absent, so frames from clients that predate the
+// backend field are byte-identical to frames that spell it out — and
+// both hash like a JSON request with no backend.
+func TestBackendFrameStability(t *testing.T) {
+	gen, _ := workload.IntCopyAdd(16)
+	l := gen()
+	bare, err := binary.EncodeCompileRequest(nil, l, wire.Options{LatencyTolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled, err := binary.EncodeCompileRequest(nil, gen(), wire.Options{LatencyTolerant: true, Backend: "heuristic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bare, spelled) {
+		t.Fatal("spelling out the heuristic backend changed the binary frame")
+	}
+
+	exact, err := binary.EncodeCompileRequest(nil, gen(), wire.Options{LatencyTolerant: true, Backend: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bare, exact) {
+		t.Fatal("exact backend not encoded in the binary frame")
+	}
+	req, err := binary.DecodeCompileRequest(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Options.Backend != "exact" {
+		t.Fatalf("backend lost in binary round trip: %q", req.Options.Backend)
 	}
 }

@@ -21,8 +21,11 @@ func FuzzWireCodecEquivalence(f *testing.F) {
 	for _, b := range workload.All() {
 		for i, spec := range b.Loops {
 			opts := ltsp.Options{}
-			if i%2 == 0 {
+			switch i % 3 {
+			case 0:
 				opts = ltsp.Options{Prefetch: true, LatencyTolerant: true, TripEstimate: 100}
+			case 1:
+				opts = ltsp.Options{Backend: ltsp.BackendExact, LatencyTolerant: true}
 			}
 			req, err := wire.NewCompileRequest(spec.Gen(), opts)
 			if err != nil {
@@ -39,6 +42,9 @@ func FuzzWireCodecEquivalence(f *testing.F) {
 	f.Add([]byte(`{"v":1,"loop":{"v":1,"name":"","body":[]},"options":{"pipeline":false,"tripEstimate":-0.0}}`))
 	f.Add([]byte(`{"v":2,"loop":{}}`))
 	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"v":1,"loop":{"v":1,"name":"b","body":[{"op":"add","dsts":["vr0"],"srcs":["vr0","vr1"]}]},"options":{"backend":"oracle"}}`))
+	f.Add([]byte(`{"v":1,"loop":{"v":1,"name":"b","body":[{"op":"add","dsts":["vr0"],"srcs":["vr0","vr1"]}]},"options":{"backend":"heuristic"}}`))
+	f.Add([]byte(`{"v":1,"loop":{"v":1,"name":"b","body":[]},"options":{"backend":"simplex"}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {

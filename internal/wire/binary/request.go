@@ -13,6 +13,7 @@ const (
 	optTrip
 	optPipeline
 	optPipelineTrue
+	optBackend
 )
 
 func encodeOptions(w *writer, o wire.Options) {
@@ -35,10 +36,20 @@ func encodeOptions(w *writer, o wire.Options) {
 			flags |= optPipelineTrue
 		}
 	}
+	// The backend string is carried in its canonical spelling ("" for the
+	// heuristic), and only when non-empty, so heuristic frames are
+	// byte-identical to pre-backend frames.
+	backend := wire.BackendName(o.Backend)
+	if backend != "" {
+		flags |= optBackend
+	}
 	w.byte(flags)
 	w.str(o.Mode)
 	if flags&optTrip != 0 {
 		w.f64(o.TripEstimate)
+	}
+	if flags&optBackend != 0 {
+		w.str(backend)
 	}
 }
 
@@ -56,6 +67,9 @@ func decodeOptions(r *reader) wire.Options {
 	if flags&optPipeline != 0 {
 		v := flags&optPipelineTrue != 0
 		o.Pipeline = &v
+	}
+	if flags&optBackend != 0 {
+		o.Backend = r.str()
 	}
 	return o
 }

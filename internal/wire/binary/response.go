@@ -9,6 +9,8 @@ const (
 	respCached byte = 1 << iota
 	respPipelined
 	respHLO
+	respProvenII
+	respBackend
 )
 
 // BatchItemResult flags.
@@ -34,6 +36,12 @@ func encodeCompileResponse(w *writer, resp *wire.CompileResponse) {
 	}
 	if resp.HLO != nil {
 		flags |= respHLO
+	}
+	if resp.ProvenII {
+		flags |= respProvenII
+	}
+	if resp.Backend != "" {
+		flags |= respBackend
 	}
 	w.byte(flags)
 	w.i64(int64(resp.II))
@@ -61,6 +69,9 @@ func encodeCompileResponse(w *writer, resp *wire.CompileResponse) {
 		w.i64(int64(resp.HLO.IIEst))
 		w.i64(int64(resp.HLO.PrefetchesAdded))
 		w.i64(int64(resp.HLO.HintsSet))
+	}
+	if flags&respBackend != 0 {
+		w.str(resp.Backend)
 	}
 	w.str(resp.Outcome)
 	w.str(resp.Listing)
@@ -105,6 +116,10 @@ func decodeCompileResponse(r *reader) *wire.CompileResponse {
 			PrefetchesAdded: int(r.i64()),
 			HintsSet:        int(r.i64()),
 		}
+	}
+	resp.ProvenII = flags&respProvenII != 0
+	if flags&respBackend != 0 {
+		resp.Backend = r.str()
 	}
 	resp.Outcome = r.str()
 	resp.Listing = r.str()

@@ -22,6 +22,8 @@ func FuzzCompileLoop(f *testing.F) {
 		{16, ltsp.Options{Mode: ltsp.ModeHLO, Prefetch: true, LatencyTolerant: true, TripEstimate: 100}},
 		{64, ltsp.Options{LatencyTolerant: true}},
 		{4, ltsp.Options{}},
+		{8, ltsp.Options{Backend: ltsp.BackendExact}},
+		{8, ltsp.Options{Backend: ltsp.BackendOracle, LatencyTolerant: true}},
 	} {
 		gen, _ := workload.IntCopyAdd(s.size)
 		req, err := wire.NewCompileRequest(gen(), s.opts)
@@ -36,6 +38,7 @@ func FuzzCompileLoop(f *testing.F) {
 	}
 	f.Add([]byte(`{"version":1,"loop":{}}`))
 	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"v":1,"loop":{"v":1,"name":"b","body":[{"op":"add","dsts":["vr0"],"srcs":["vr0","vr1"]}]},"options":{"backend":"simplex"}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var req wire.CompileRequest

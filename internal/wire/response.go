@@ -43,15 +43,20 @@ type CompileResponse struct {
 	Hash string `json:"hash"`
 	// Cached reports whether the artifact came from the cache (including
 	// piggybacking on an identical in-flight compilation).
-	Cached    bool             `json:"cached"`
-	Pipelined bool             `json:"pipelined"`
-	II        int              `json:"ii,omitempty"`
-	Stages    int              `json:"stages,omitempty"`
-	ResII     int              `json:"resII,omitempty"`
-	RecII     int              `json:"recII,omitempty"`
-	Reg       RegStatsJSON     `json:"reg"`
-	Loads     []LoadReportJSON `json:"loads,omitempty"`
-	HLO       *HLOJSON         `json:"hlo,omitempty"`
+	Cached    bool `json:"cached"`
+	Pipelined bool `json:"pipelined"`
+	II        int  `json:"ii,omitempty"`
+	Stages    int  `json:"stages,omitempty"`
+	ResII     int  `json:"resII,omitempty"`
+	RecII     int  `json:"recII,omitempty"`
+	// Backend names the scheduling backend that produced the kernel;
+	// ProvenII reports a provably optimal II (exact backend, or the
+	// MinII lower bound).
+	Backend  string           `json:"backend,omitempty"`
+	ProvenII bool             `json:"provenII,omitempty"`
+	Reg      RegStatsJSON     `json:"reg"`
+	Loads    []LoadReportJSON `json:"loads,omitempty"`
+	HLO      *HLOJSON         `json:"hlo,omitempty"`
 	// Outcome is the pipeliner result class (obs.Outcome*); the full
 	// decision trace is at GET /v2/artifacts/{hash}/trace.
 	Outcome string `json:"outcome"`

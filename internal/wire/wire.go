@@ -19,6 +19,7 @@ import (
 	"ltsp"
 	"ltsp/internal/hlo"
 	"ltsp/internal/ir"
+	"ltsp/internal/sched"
 	"ltsp/internal/sim"
 )
 
@@ -43,6 +44,13 @@ type Options struct {
 	TripEstimate float64 `json:"tripEstimate,omitempty"`
 	// Pipeline forces the pipelining decision; nil = pipeline if possible.
 	Pipeline *bool `json:"pipeline,omitempty"`
+	// Backend selects the scheduling backend: "" or "heuristic" (the
+	// production modulo scheduler), "exact", or "oracle". The canonical
+	// spelling of the heuristic is "" — it vanishes from canonical
+	// encodings, so pre-backend artifact hashes are unchanged — while
+	// exact and oracle requests hash distinctly and cached artifacts
+	// never cross backends.
+	Backend string `json:"backend,omitempty"`
 }
 
 // ModeName returns the canonical wire spelling of an HLO hint mode
@@ -75,6 +83,28 @@ func ParseMode(s string) (hlo.HintMode, error) {
 	return 0, fmt.Errorf("wire: unknown hint mode %q", s)
 }
 
+// BackendName returns the canonical wire spelling of a scheduler backend
+// (the heuristic is spelled "" so it vanishes from canonical encodings).
+func BackendName(s string) string {
+	if s == sched.BackendHeuristic {
+		return ""
+	}
+	return s
+}
+
+// ParseBackend parses a wire backend spelling into its canonical form.
+// Names must be registered with the scheduler registry; resubmitting an
+// unknown name cannot succeed, so the error is non-retryable.
+func ParseBackend(s string) (string, error) {
+	if s == "" || s == sched.BackendHeuristic {
+		return "", nil
+	}
+	if _, err := sched.New(s); err != nil {
+		return "", fmt.Errorf("wire: unknown scheduler backend %q (have %v)", s, sched.Backends())
+	}
+	return s, nil
+}
+
 // OptionsFrom converts library compile options to their wire form.
 func OptionsFrom(o ltsp.Options) Options {
 	return Options{
@@ -84,12 +114,17 @@ func OptionsFrom(o ltsp.Options) Options {
 		BoostDelinquent: o.BoostDelinquent,
 		TripEstimate:    o.TripEstimate,
 		Pipeline:        o.Pipeline,
+		Backend:         BackendName(o.Backend),
 	}
 }
 
 // ToOptions converts wire options to library compile options.
 func (w Options) ToOptions() (ltsp.Options, error) {
 	mode, err := ParseMode(w.Mode)
+	if err != nil {
+		return ltsp.Options{}, err
+	}
+	backend, err := ParseBackend(w.Backend)
 	if err != nil {
 		return ltsp.Options{}, err
 	}
@@ -108,6 +143,7 @@ func (w Options) ToOptions() (ltsp.Options, error) {
 		BoostDelinquent: w.BoostDelinquent,
 		TripEstimate:    w.TripEstimate,
 		Pipeline:        w.Pipeline,
+		Backend:         backend,
 	}, nil
 }
 

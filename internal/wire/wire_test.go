@@ -116,3 +116,52 @@ func TestSimOptionsDefaults(t *testing.T) {
 		t.Fatalf("overrides not applied: %+v", cfg)
 	}
 }
+
+// TestBackendHashCanonicalization: the canonical wire spelling of the
+// heuristic backend is the empty string, so requests that predate the
+// backend field keep their artifact hashes; exact and oracle hash
+// distinctly so cached artifacts never cross backends; unknown names
+// fail before anything is cached.
+func TestBackendHashCanonicalization(t *testing.T) {
+	gen, _ := workload.IntCopyAdd(64)
+	base, err := wire.NewCompileRequest(gen(), ltsp.Options{LatencyTolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := func(backend string) string {
+		r := *base
+		r.Options.Backend = backend
+		h, err := r.Hash()
+		if err != nil {
+			t.Fatalf("backend %q: %v", backend, err)
+		}
+		return h
+	}
+	if hash("") != hash("heuristic") {
+		t.Fatal("heuristic spelling leaks into the artifact hash")
+	}
+	he, ex, or := hash(""), hash("exact"), hash("oracle")
+	if he == ex || he == or || ex == or {
+		t.Fatalf("backends must hash distinctly: heuristic %s exact %s oracle %s", he, ex, or)
+	}
+	bad := *base
+	bad.Options.Backend = "simplex"
+	if _, err := bad.Hash(); err == nil {
+		t.Fatal("unknown backend hashed — it would poison the artifact cache")
+	}
+	if _, err := bad.Options.ToOptions(); err == nil {
+		t.Fatal("unknown backend accepted by ToOptions")
+	}
+
+	// OptionsFrom canonicalizes the spelling on the way out.
+	if w := wire.OptionsFrom(ltsp.Options{Backend: ltsp.BackendHeuristic}); w.Backend != "" {
+		t.Fatalf("OptionsFrom kept non-canonical heuristic spelling %q", w.Backend)
+	}
+	if w := wire.OptionsFrom(ltsp.Options{Backend: ltsp.BackendExact}); w.Backend != "exact" {
+		t.Fatalf("OptionsFrom lost the exact backend: %q", w.Backend)
+	}
+	out, err := wire.Options{Backend: "exact"}.ToOptions()
+	if err != nil || out.Backend != ltsp.BackendExact {
+		t.Fatalf("backend round trip: %+v, %v", out, err)
+	}
+}

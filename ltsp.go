@@ -35,6 +35,7 @@ import (
 	"ltsp/internal/machine"
 	"ltsp/internal/obs"
 	"ltsp/internal/regalloc"
+	"ltsp/internal/sched"
 	"ltsp/internal/sim"
 	"ltsp/internal/verify"
 )
@@ -202,6 +203,14 @@ type Options struct {
 	// bit-identical across settings. DefaultParallelism() returns the
 	// GOMAXPROCS-derived width.
 	Parallelism int
+	// Backend selects the scheduling backend by name: BackendHeuristic
+	// (or "", the default) for the production iterative modulo
+	// scheduler, BackendExact for the branch-and-bound optimal pipeliner
+	// (small loops; falls back to the heuristic per-II beyond its size
+	// budget), or BackendOracle for the heuristic schedule plus an exact
+	// optimality-gap probe recorded in the trace. Unknown names fail the
+	// compilation. See SchedulerBackends.
+	Backend string
 	// Trace, when non-nil, collects the compiler's full decision trace
 	// (classification, hint translation, II search, fallback ladder,
 	// allocation); nil disables collection with zero overhead. See
@@ -222,7 +231,24 @@ func NewTrace() *Trace { return obs.New() }
 
 // DefaultParallelism returns the GOMAXPROCS-derived width for the
 // pipeliner's speculative II search (Options.Parallelism).
-func DefaultParallelism() int { return core.DefaultParallelism() }
+func DefaultParallelism() int { return sched.DefaultParallelism() }
+
+// Scheduler backend names for Options.Backend.
+const (
+	// BackendHeuristic is the production iterative modulo scheduler with
+	// the speculative/sequential II search (the default).
+	BackendHeuristic = sched.BackendHeuristic
+	// BackendExact is the branch-and-bound optimal pipeliner for small
+	// loops: it proves II-optimality and minimizes max register lifetime.
+	BackendExact = sched.BackendExact
+	// BackendOracle compiles with the heuristic and measures its
+	// optimality gap against the exact solver.
+	BackendOracle = sched.BackendOracle
+)
+
+// SchedulerBackends returns the names of every selectable scheduling
+// backend, sorted.
+func SchedulerBackends() []string { return sched.Backends() }
 
 // Compiled is the result of compiling one loop.
 type Compiled struct {
@@ -246,6 +272,13 @@ type Compiled struct {
 	// (pipelined only).
 	LatencyReduced bool
 	IIBumps        int
+	// Backend names the scheduling backend the compilation selected
+	// ("heuristic", "exact", or "oracle") — stamped on sequential
+	// fallbacks too, so telemetry can always attribute the outcome.
+	Backend string
+	// ProvenII reports that II is provably optimal: it meets the MinII
+	// lower bound, or the exact backend refuted every lower II.
+	ProvenII bool
 
 	core  *core.Compiled
 	loop  *ir.Loop // HLO-processed source loop, retained for verification
@@ -291,6 +324,13 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Compiled, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Validate the backend up front: an unknown name is a caller error,
+	// not "pipelining infeasible", so it must never degrade to the
+	// sequential-schedule fallback.
+	backend, err := sched.New(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
 	m := opts.Model
 	if m == nil {
 		m = machine.Itanium2()
@@ -304,7 +344,9 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Compiled, erro
 	if err != nil {
 		return nil, err
 	}
-	out := &Compiled{HLO: rep, loop: l, model: m}
+	// The backend is stamped on every result — including sequential
+	// fallbacks — so service telemetry can always attribute the outcome.
+	out := &Compiled{HLO: rep, loop: l, model: m, Backend: backend.Name()}
 	pipeline := opts.Pipeline == nil || *opts.Pipeline
 	var pipeErr error
 	if pipeline {
@@ -313,6 +355,7 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Compiled, erro
 			LatencyTolerant: opts.LatencyTolerant,
 			BoostDelinquent: opts.BoostDelinquent,
 			Parallelism:     opts.Parallelism,
+			Backend:         opts.Backend,
 			Trace:           opts.Trace,
 		})
 		if err == nil {
@@ -324,6 +367,8 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Compiled, erro
 			out.Reg = c.Assignment.Stats
 			out.LatencyReduced = c.LatencyReduced
 			out.IIBumps = c.IIBumps
+			out.Backend = c.Backend
+			out.ProvenII = c.ProvenII
 			out.core = c
 			if opts.Verify {
 				if verr := out.Verify(); verr != nil {
