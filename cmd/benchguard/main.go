@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"ltsp"
+	"ltsp/internal/cluster"
 	"ltsp/internal/experiments"
 	"ltsp/internal/ir"
 	"ltsp/internal/server"
@@ -61,6 +62,10 @@ type Baseline struct {
 	// CacheHitAllocs is heap allocations per hot-path compile cache hit
 	// (testing.AllocsPerRun over the server's HTTP surface).
 	CacheHitAllocs float64 `json:"cache_hit_allocs,omitempty"`
+	// ProvenanceAppendNsOp is one provenance-chain append on the compile
+	// path (sync index update + queue handoff); gated at an absolute <1%
+	// of compile_loop_ns_op, recorded here for trend tracking.
+	ProvenanceAppendNsOp float64 `json:"provenance_append_ns_op,omitempty"`
 	// Cores records GOMAXPROCS at measurement time: compile_time_seconds
 	// scales with it, so cross-machine comparisons need the context.
 	Cores int    `json:"cores"`
@@ -311,6 +316,75 @@ func measureDiskHit(reps, iters int) float64 {
 	return median(samples)
 }
 
+// measureProvenanceAppend returns the median ns per provenance-chain
+// append — the synchronous cost the tamper-evidence layer adds to every
+// artifact creation. The durable chained write happens on a background
+// writer; what is measured here is exactly what the compile path pays:
+// the in-memory index update plus the queue handoff.
+func measureProvenanceAppend(reps, iters int) float64 {
+	dir, err := os.MkdirTemp("", "benchguard-prov")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	// Queue sized to the iteration count so no append ever takes the
+	// (cheaper) overflow-drop path and distorts the measurement.
+	prov, err := store.OpenLog(dir, store.LogOptions{QueueDepth: iters + 1})
+	if err != nil {
+		fatal(err)
+	}
+	defer prov.Close()
+
+	// Distinct hashes, precomputed outside the timed loop: the steady
+	// state is one fresh artifact per append, not re-stamping one hash.
+	hashes := make([]string, 1024)
+	for i := range hashes {
+		hashes[i] = fmt.Sprintf("%064x", i)
+	}
+	sum := strings.Repeat("cd", 32)
+	samples := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			prov.Append(hashes[i%len(hashes)], store.SourceCompile, sum)
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds())/float64(iters))
+		// Drain between repetitions so a backed-up writer never turns
+		// queue pressure from one rep into noise in the next.
+		prov.Barrier()
+	}
+	if st := prov.Stats(); st.Dropped != 0 {
+		fatal(fmt.Errorf("provenance benchmark dropped %d records; queue sizing bug", st.Dropped))
+	}
+	return median(samples)
+}
+
+// measureHealthAllocs returns heap allocations per request-path health
+// consultation: one atomic ring load plus the per-replica Eligible
+// checks a hedged fill performs before dialing. The prober and the
+// membership poller run off the request path; this is the part every
+// request pays, and it must stay allocation-free.
+func measureHealthAllocs() float64 {
+	h := cluster.NewHealth(cluster.HealthConfig{Seed: 1})
+	h.SetPeers([]string{"a", "b", "c"})
+	h.ReportFailure("b") // a mixed map, not the all-alive fast case
+	m := cluster.NewMembership(cluster.MembershipConfig{
+		Source: cluster.StaticSource{{ID: "a", Addr: "ua"}, {ID: "b", Addr: "ub"}, {ID: "c", Addr: "uc"}},
+		Self:   cluster.Peer{ID: "a", Addr: "ua"},
+		Health: h,
+	})
+	defer m.Close()
+	return testing.AllocsPerRun(2000, func() {
+		ring := m.Ring()
+		if ring.Len() == 0 {
+			fatal(fmt.Errorf("membership lost its ring"))
+		}
+		if !h.Eligible("a") || !h.Eligible("b") || !h.Eligible("c") {
+			fatal(fmt.Errorf("unexpectedly ineligible peer"))
+		}
+	})
+}
+
 // guardSink defeats dead-code elimination in the decode measurements.
 var guardSink any
 
@@ -524,8 +598,10 @@ func main() {
 	reqRatio := measureRequestDecodeRatio(*loopReps)
 	artRatio := measureArtifactDecodeRatio(*loopReps, 2000)
 	hitAllocs := measureCacheHitAllocs()
-	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op, verify %.0f ns/op, cache_hit %.1f ns/op, disk_hit %.0f ns/op, untraced %.1f ns/op, traced %.0f ns/op, req_decode_ratio %.1fx, artifact_decode_ratio %.1fx, cache_hit_allocs %.0f (workers %d, cores %d)\n",
-		loopNs, ctSec, shedNs, verifyNs, hitNs, diskNs, untracedNs, tracedNs, reqRatio, artRatio, hitAllocs, experiments.Workers(), runtime.GOMAXPROCS(0))
+	provNs := measureProvenanceAppend(*loopReps, 20000)
+	healthAllocs := measureHealthAllocs()
+	fmt.Printf("measured: compile_loop %.0f ns/op, compile_time %.3f s, shed_admit %.1f ns/op, verify %.0f ns/op, cache_hit %.1f ns/op, disk_hit %.0f ns/op, untraced %.1f ns/op, traced %.0f ns/op, req_decode_ratio %.1fx, artifact_decode_ratio %.1fx, cache_hit_allocs %.0f, provenance_append %.1f ns/op, health_allocs %.0f (workers %d, cores %d)\n",
+		loopNs, ctSec, shedNs, verifyNs, hitNs, diskNs, untracedNs, tracedNs, reqRatio, artRatio, hitAllocs, provNs, healthAllocs, experiments.Workers(), runtime.GOMAXPROCS(0))
 
 	// The admission-control decision sits on every request's path, so it
 	// is gated absolutely against this run's own compile measurement: the
@@ -607,6 +683,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The provenance chain records every artifact creation, so its append
+	// sits on every uncached compile's path. The durable chained write is
+	// asynchronous by design; the synchronous slice measured here may not
+	// add more than 1% to a compile.
+	if maxProv := loopNs * 0.01; provNs > maxProv {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: provenance_append %.1f ns/op exceeds 1%% of compile_loop (%.1f ns)\n", provNs, maxProv)
+		os.Exit(1)
+	}
+
+	// The health layer is consulted on every hedged fill's request path
+	// (ring load + per-replica eligibility). Probing and ejection happen
+	// off-path; the on-path consultation must not allocate at all.
+	if healthAllocs != 0 {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: health hot path allocates %.0f times per consultation, want 0\n", healthAllocs)
+		os.Exit(1)
+	}
+
 	// The prerendered hot path exists to make cache hits allocation-free;
 	// the budget below covers only the HTTP skeleton that is per-request
 	// by construction (request ID, context tagging, writer wrappers).
@@ -619,14 +714,15 @@ func main() {
 
 	if *write {
 		b := Baseline{
-			CompileLoopNsOp:     loopNs,
-			CompileTimeSec:      ctSec,
-			DiskHitNsOp:         diskNs,
-			RequestDecodeRatio:  reqRatio,
-			ArtifactDecodeRatio: artRatio,
-			CacheHitAllocs:      hitAllocs,
-			Cores:               runtime.GOMAXPROCS(0),
-			Note:                "written by cmd/benchguard -write; refresh deliberately, not to silence the gate",
+			CompileLoopNsOp:      loopNs,
+			CompileTimeSec:       ctSec,
+			DiskHitNsOp:          diskNs,
+			RequestDecodeRatio:   reqRatio,
+			ArtifactDecodeRatio:  artRatio,
+			CacheHitAllocs:       hitAllocs,
+			ProvenanceAppendNsOp: provNs,
+			Cores:                runtime.GOMAXPROCS(0),
+			Note:                 "written by cmd/benchguard -write; refresh deliberately, not to silence the gate",
 		}
 		data, _ := json.MarshalIndent(b, "", "  ")
 		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
@@ -651,7 +747,7 @@ func main() {
 	fail := false
 	check := func(name string, got, want float64) {
 		if want <= 0 {
-			fmt.Printf("%-22s baseline missing, skipped\n", name)
+			fmt.Printf("%-24s baseline missing, skipped\n", name)
 			return
 		}
 		regPct := (got/want - 1) * 100
@@ -660,11 +756,12 @@ func main() {
 			verdict = "REGRESSION"
 			fail = true
 		}
-		fmt.Printf("%-22s %12.1f vs baseline %12.1f  (%+6.1f%%)  %s\n", name, got, want, regPct, verdict)
+		fmt.Printf("%-24s %12.1f vs baseline %12.1f  (%+6.1f%%)  %s\n", name, got, want, regPct, verdict)
 	}
 	check("compile_loop_ns_op", loopNs, base.CompileLoopNsOp)
 	check("compile_time_seconds", ctSec*1000, base.CompileTimeSec*1000)
 	check("disk_hit_ns_op", diskNs, base.DiskHitNsOp)
+	check("provenance_append_ns_op", provNs, base.ProvenanceAppendNsOp)
 	if fail {
 		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.0f%% threshold\n", *threshold)
 		os.Exit(1)

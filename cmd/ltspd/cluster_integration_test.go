@@ -29,6 +29,7 @@ import (
 
 	"ltsp/internal/cluster"
 	"ltsp/internal/ir"
+	"ltsp/internal/store"
 	"ltsp/internal/telemetry"
 	"ltsp/internal/wire"
 	"ltsp/ltspclient"
@@ -68,6 +69,8 @@ func TestClusterIntegration(t *testing.T) {
 			"-peers", peerFlag,
 			"-self", peers[i].ID,
 			"-replication", "2",
+			"-anti-entropy-interval", "300ms",
+			"-peer-probe-interval", "300ms",
 			"-log-text", "-log-level", "warn",
 		)
 		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
@@ -263,6 +266,141 @@ func TestClusterIntegration(t *testing.T) {
 	getJSON(t, peers[0].Addr+"/metrics", &ma)
 	if ma.DiskHits < 1 {
 		t.Fatalf("restarted node a disk_hits = %d, want >= 1", ma.DiskHits)
+	}
+
+	// Self-healing: kill c, write a batch that c co-owns on the surviving
+	// owners, restart c, and prove anti-entropy repopulates it — with
+	// every node pinning each artifact under the same provenance checksum.
+	var healReqs []*wire.CompileRequest
+	var healHashes []string
+	var healOwners []cluster.Peer // the surviving owner to compile on
+	for k := int64(0); k < 4096 && len(healReqs) < 3; k++ {
+		r, h := exampleRequest(t, 9100+k)
+		owners := ring.Owners(h, 2)
+		if len(owners) == 2 && ownersContain(owners, "c") && owners[0].ID != "c" {
+			healReqs, healHashes = append(healReqs, r), append(healHashes, h)
+			healOwners = append(healOwners, owners[0])
+		}
+	}
+	if len(healReqs) < 3 {
+		t.Fatal("fewer than three loop variants co-owned by c")
+	}
+	stopNode(2)
+	for i, r := range healReqs {
+		var who int
+		for j, p := range peers {
+			if p.ID == healOwners[i].ID {
+				who = j
+			}
+		}
+		postJSON(t, peers[who].Addr+"/v2/compile", r, &cr)
+		if cr.Hash != healHashes[i] {
+			t.Fatalf("heal-batch compile %d: hash %s, want %s", i, cr.Hash, healHashes[i])
+		}
+	}
+	startNode(2)
+
+	// Anti-entropy on the restarted node pulls everything it co-owns.
+	type provDoc struct {
+		Checksum   string `json:"checksum"`
+		Present    bool   `json:"present"`
+		Consistent bool   `json:"consistent"`
+		HeadSeq    uint64 `json:"head_seq"`
+	}
+	provOn := func(node int, hash string) (provDoc, bool) {
+		resp, err := http.Get(peers[node].Addr + "/v2/provenance/" + hash)
+		if err != nil {
+			return provDoc{}, false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return provDoc{}, false
+		}
+		var d provDoc
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			return provDoc{}, false
+		}
+		return d, true
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		healed := 0
+		for _, h := range healHashes {
+			if d, ok := provOn(2, h); ok && d.Present && d.Consistent {
+				healed++
+			}
+		}
+		if healed == len(healHashes) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted node c reconverged only %d/%d artifacts", healed, len(healHashes))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	var mc struct {
+		Cluster struct {
+			SyncPulls int64 `json:"sync_pulls"`
+		} `json:"cluster"`
+	}
+	getJSON(t, peers[2].Addr+"/metrics", &mc)
+	if mc.Cluster.SyncPulls < int64(len(healHashes)) {
+		t.Fatalf("node c sync_pulls = %d, want >= %d", mc.Cluster.SyncPulls, len(healHashes))
+	}
+	// Every node holding a record for a healed hash pins the same
+	// checksum; c holds all of them.
+	for _, h := range healHashes {
+		var want string
+		holders := 0
+		for n := 0; n < nodes; n++ {
+			d, ok := provOn(n, h)
+			if !ok {
+				continue
+			}
+			holders++
+			if want == "" {
+				want = d.Checksum
+			} else if d.Checksum != want {
+				t.Fatalf("hash %s: node %d checksum %q diverges from %q", h[:12], n, d.Checksum, want)
+			}
+		}
+		if holders < 2 {
+			t.Fatalf("hash %s: only %d nodes hold a provenance record", h[:12], holders)
+		}
+	}
+
+	// Stop the fleet cleanly, then verify each node's on-disk provenance
+	// chain end to end — records, links, Merkle batch roots.
+	for i := range procs {
+		if procs[i] != nil {
+			stopNode(i)
+		}
+	}
+	for i := range dirs {
+		if err := store.VerifyDir(dirs[i], 0); err != nil {
+			t.Fatalf("node %s provenance chain: %v", peers[i].ID, err)
+		}
+	}
+	// CI uploads node a's chain as a build artifact when LTSP_PROV_OUT
+	// names a directory.
+	if out := os.Getenv("LTSP_PROV_OUT"); out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range []string{store.LogPath(dirs[0]), store.RootsPath(dirs[0])} {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				t.Fatal(err)
+			}
+			dst := filepath.Join(out, filepath.Base(src))
+			if err := os.WriteFile(dst, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("provenance artifact written to %s (%d bytes)", dst, len(data))
+		}
 	}
 }
 

@@ -15,10 +15,23 @@
 // GET /v2/artifacts/{hash} — before compiling locally. See the README
 // "Running a cluster" section for a 3-node quickstart.
 //
+// The cluster self-heals: -peers-file or -peers-dns replace the static
+// list with a live membership source (atomic ring swaps, per-peer
+// health ejection tuned by -peer-fail-threshold/-peer-probe-interval),
+// read-repair pushes under-replicated artifacts to their owners within
+// -repair-budget, and anti-entropy digest sync (-anti-entropy-interval)
+// reconverges a node after an outage. Every artifact creation is
+// recorded in a hash-chained Merkle-batched provenance log (-provenance,
+// on by default with -data-dir); poisoned cache entries are quarantined
+// instead of served, and GET /v2/provenance/{hash} exposes the verdict.
+// See the README "Self-healing cluster" and "Provenance" sections.
+//
 // Endpoints (see internal/server and the README "Service" section):
 //
 //	POST /v2/compile   POST /v2/compile-batch   POST /v2/simulate
 //	GET  /v2/artifacts/{hash}   GET /v2/artifacts/{hash}/trace
+//	PUT  /v2/artifacts/{hash}   GET /v2/provenance/{hash}
+//	GET  /v2/sync/digest   GET /v2/sync/keys
 //	GET  /v2/requests/{trace-id}   GET /debug/requests
 //	GET  /healthz      GET /metrics
 //
@@ -74,10 +87,18 @@ func main() {
 		storeFsync   = flag.Bool("store-fsync", false, "fsync artifact writes (durability over write latency)")
 		storeScan    = flag.Duration("store-scan-interval", time.Minute, "background store scan interval, reconciling external changes and enforcing the budget (0 = off)")
 		peerList     = flag.String("peers", "", "comma-separated cluster membership incl. this node: addr or id=addr (empty = single node)")
+		peersFile    = flag.String("peers-file", "", "peers file for dynamic membership, re-read every -resolve-interval: one addr or id=addr per line, #-comments allowed (mutually exclusive with -peers-dns)")
+		peersDNS     = flag.String("peers-dns", "", "DNS SRV name for dynamic membership, e.g. _ltspd._tcp.ltspd.svc (mutually exclusive with -peers-file)")
+		resolveEvery = flag.Duration("resolve-interval", 3*time.Second, "poll interval for -peers-file / -peers-dns membership refresh")
 		self         = flag.String("self", "", "this node's peer ID on the ring (required with -peers; must match one entry)")
 		replication  = flag.Int("replication", 2, "replica-set size for artifact ownership")
 		peerTO       = flag.Duration("peer-timeout", 2*time.Second, "budget for one whole peer cache-fill (all hedged legs)")
 		peerHedge    = flag.Duration("peer-hedge-delay", 50*time.Millisecond, "stagger before hedging a peer fill to the next replica")
+		peerFails    = flag.Int("peer-fail-threshold", 3, "consecutive failures before a peer is ejected as dead")
+		peerProbe    = flag.Duration("peer-probe-interval", 2*time.Second, "active /healthz probe interval for dead peers (0 = passive re-admission only)")
+		repairBudget = flag.Float64("repair-budget", server.DefaultRepairBudget, "read-repair budget in repairs/second pushed to under-replicated peers (0 = off)")
+		antiEntropy  = flag.Duration("anti-entropy-interval", 30*time.Second, "background anti-entropy digest-exchange interval (0 = off)")
+		provenanceOn = flag.Bool("provenance", true, "record a tamper-evident provenance chain of artifact creations (requires -data-dir)")
 		drainRetry   = flag.Duration("drain-retry-after", time.Second, "Retry-After hint sent with 503 draining responses")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		logText      = flag.Bool("log-text", false, "log in text form instead of JSON")
@@ -122,6 +143,44 @@ func main() {
 		)
 	}
 
+	// The provenance chain rides on the persistent store: without a disk
+	// entry to cross-check, a chain record has nothing to quarantine.
+	var prov *store.Log
+	if *provenanceOn && st != nil {
+		var err error
+		prov, err = store.OpenLog(*dataDir, store.LogOptions{Fsync: *storeFsync})
+		if err != nil {
+			// A broken chain means the log was rewritten, reordered or
+			// truncated on disk. Refuse to extend it silently: move the
+			// evidence aside loudly and start a fresh chain.
+			logger.Error("provenance chain verification failed; quarantining the old chain",
+				slog.String("err", err.Error()))
+			for _, p := range []string{store.LogPath(*dataDir), store.RootsPath(*dataDir)} {
+				if _, serr := os.Stat(p); serr == nil {
+					if rerr := os.Rename(p, p+".corrupt"); rerr != nil {
+						fmt.Fprintf(os.Stderr, "ltspd: quarantining %s: %v\n", p, rerr)
+						os.Exit(1)
+					}
+					logger.Warn("provenance file quarantined", slog.String("moved", p+".corrupt"))
+				}
+			}
+			prov, err = store.OpenLog(*dataDir, store.LogOptions{Fsync: *storeFsync})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ltspd: reopening provenance log: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		stats := prov.Stats()
+		logger.Info("provenance chain open",
+			slog.Uint64("records", stats.Records),
+			slog.Int("batches", stats.Batches),
+		)
+	}
+
+	if *peersFile != "" && *peersDNS != "" {
+		fmt.Fprintln(os.Stderr, "ltspd: -peers-file and -peers-dns are mutually exclusive")
+		os.Exit(2)
+	}
 	var peers []cluster.Peer
 	if *peerList != "" {
 		var err error
@@ -151,6 +210,31 @@ func main() {
 			slog.Int("replication", *replication),
 		)
 	}
+	var resolver cluster.Source
+	switch {
+	case *peersFile != "":
+		resolver = cluster.FileSource{Path: *peersFile}
+	case *peersDNS != "":
+		resolver = cluster.DNSSource{Name: *peersDNS}
+	}
+	if resolver != nil {
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "ltspd: dynamic membership requires -self (this node's peer ID)")
+			os.Exit(2)
+		}
+		if initial, err := resolver.Resolve(); err != nil {
+			// Not fatal: the poller keeps retrying, and the ring holds self
+			// until the source first answers.
+			logger.Warn("initial membership resolve failed", slog.String("err", err.Error()))
+		} else {
+			peers = initial
+		}
+		logger.Info("dynamic membership",
+			slog.String("self", *self),
+			slog.String("source", *peersFile+*peersDNS),
+			slog.Duration("interval", *resolveEvery),
+		)
+	}
 
 	// On the command line 0 means "off" (Config treats 0 as "use the
 	// default", which is right for embedders but surprising for a flag).
@@ -160,27 +244,37 @@ func main() {
 	if *traceSample == 0 {
 		*traceSample = -1
 	}
+	if *repairBudget == 0 {
+		*repairBudget = -1
+	}
 	srv := server.New(server.Config{
-		PoolSize:        *pool,
-		CacheCapacity:   *cacheCap,
-		CompileTimeout:  *compileTO,
-		SimulateTimeout: *simTO,
-		QueueTimeout:    *queueTO,
-		MaxBodyBytes:    *maxBodyBytes,
-		ShedDisabled:    *shedOff,
-		DrainRetryAfter: *drainRetry,
-		VerifySample:    *verifySample,
-		ReproDir:        *reproDir,
-		Store:           st,
-		Peers:           peers,
-		Self:            *self,
-		Replication:     *replication,
-		PeerTimeout:     *peerTO,
-		PeerHedgeDelay:  *peerHedge,
-		Logger:          logger,
-		TraceSample:     *traceSample,
-		TraceRing:       *traceRing,
-		TraceSlow:       *traceSlow,
+		PoolSize:            *pool,
+		CacheCapacity:       *cacheCap,
+		CompileTimeout:      *compileTO,
+		SimulateTimeout:     *simTO,
+		QueueTimeout:        *queueTO,
+		MaxBodyBytes:        *maxBodyBytes,
+		ShedDisabled:        *shedOff,
+		DrainRetryAfter:     *drainRetry,
+		VerifySample:        *verifySample,
+		ReproDir:            *reproDir,
+		Store:               st,
+		Provenance:          prov,
+		Peers:               peers,
+		Resolver:            resolver,
+		ResolveInterval:     *resolveEvery,
+		Self:                *self,
+		Replication:         *replication,
+		PeerTimeout:         *peerTO,
+		PeerHedgeDelay:      *peerHedge,
+		PeerFailThreshold:   *peerFails,
+		PeerProbeInterval:   *peerProbe,
+		RepairBudget:        *repairBudget,
+		AntiEntropyInterval: *antiEntropy,
+		Logger:              logger,
+		TraceSample:         *traceSample,
+		TraceRing:           *traceRing,
+		TraceSlow:           *traceSlow,
 	})
 	var handlerRoot http.Handler = srv
 	if *pprofOn {
@@ -218,6 +312,7 @@ func main() {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("serve failed", slog.String("err", err.Error()))
+			prov.Close()
 			if st != nil {
 				st.Close()
 			}
@@ -237,6 +332,7 @@ func main() {
 		// missed the last interval still sees the totals.
 		logger.Info("drained", slog.Any("metrics", srv.MetricsSnapshot()))
 	}
+	prov.Close()
 	if st != nil {
 		st.Close()
 	}

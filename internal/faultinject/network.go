@@ -1,0 +1,167 @@
+package faultinject
+
+// Network-level fault injection: partitions and slow links between
+// named peers, applied at the http.RoundTripper layer. Where Injector
+// perturbs a single server's responses, Network models the fabric
+// between a set of ltspd nodes — a partitioned pair sees
+// connection-refused-style transport errors in both directions, a slow
+// pair sees a deterministic per-pair delay — so cluster tests can cut a
+// three-node ring in half mid-batch, heal it, and assert anti-entropy
+// reconverges, all without real sockets misbehaving.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Network is a registry of peers and the injected faults between them.
+// It is safe for concurrent use; fault changes (Partition, Heal,
+// SlowPair) take effect on the next request through any Transport.
+type Network struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	peers map[string]string // peer ID -> base URL (scheme://host:port)
+	cut   map[pair]bool
+	slow  map[pair]time.Duration
+}
+
+type pair struct{ a, b string }
+
+// pairOf normalizes an unordered peer pair (faults are symmetric).
+func pairOf(a, b string) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// NewNetwork creates a fault fabric. seed drives the deterministic
+// jitter SlowPair adds around its base delay (0 = fixed default seed).
+func NewNetwork(seed int64) *Network {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		rng:   rand.New(rand.NewSource(seed)),
+		peers: make(map[string]string),
+		cut:   make(map[pair]bool),
+		slow:  make(map[pair]time.Duration),
+	}
+}
+
+// Register maps a peer ID to its base URL so Transports can attribute
+// outbound requests to a destination peer.
+func (n *Network) Register(id, baseURL string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = strings.TrimRight(baseURL, "/")
+}
+
+// Partition cuts the link between two peers, both directions.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[pairOf(a, b)] = true
+}
+
+// Heal restores the link between two peers.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, pairOf(a, b))
+}
+
+// HealAll restores every cut link and clears every slow link.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut = make(map[pair]bool)
+	n.slow = make(map[pair]time.Duration)
+}
+
+// SlowPair makes the link between two peers slow: every request over it
+// is delayed by d plus deterministic seeded jitter in [0, d/2].
+func (n *Network) SlowPair(a, b string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.slow[pairOf(a, b)] = d
+}
+
+// route classifies one request from self to the peer owning url,
+// returning whether the link is cut and how long to delay. Requests to
+// unregistered destinations pass through untouched.
+func (n *Network) route(self, url string) (cut bool, delay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var dest string
+	for id, base := range n.peers {
+		if strings.HasPrefix(url, base+"/") || url == base {
+			dest = id
+			break
+		}
+	}
+	if dest == "" || dest == self {
+		return false, 0
+	}
+	p := pairOf(self, dest)
+	if n.cut[p] {
+		return true, 0
+	}
+	if d := n.slow[p]; d > 0 {
+		jitter := time.Duration(0)
+		if half := int64(d / 2); half > 0 {
+			jitter = time.Duration(n.rng.Int63n(half + 1))
+		}
+		return false, d + jitter
+	}
+	return false, 0
+}
+
+// PartitionError is the transport error a cut link produces — the
+// moral equivalent of connection refused, distinguishable in test
+// assertions.
+type PartitionError struct{ From, URL string }
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("faultinject: network partition: %s cannot reach %s", e.From, e.URL)
+}
+
+// transport applies the fabric's faults to requests sent by one peer.
+type transport struct {
+	net  *Network
+	self string
+	base http.RoundTripper
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the fabric's
+// view from self: requests over cut links fail with *PartitionError
+// before touching the wire, requests over slow links are delayed
+// (respecting the request context). Give each node's peer http.Client
+// one of these.
+func (n *Network) Transport(self string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{net: n, self: self, base: base}
+}
+
+func (t *transport) RoundTrip(r *http.Request) (*http.Response, error) {
+	cut, delay := t.net.route(t.self, r.URL.String())
+	if cut {
+		return nil, &PartitionError{From: t.self, URL: r.URL.String()}
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return nil, r.Context().Err()
+		}
+	}
+	return t.base.RoundTrip(r)
+}

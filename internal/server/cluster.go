@@ -42,14 +42,25 @@ import (
 // forwards reqID plus the trace headers so the peer's logs and spans
 // stitch to this request.
 func (s *Server) peerFill(ctx context.Context, hash string, tr *telemetry.Trace, parent *telemetry.Span, reqID string) *store.Entry {
-	owners := s.ring.Owners(hash, s.cfg.Replication)
+	ring := s.ring()
+	if ring == nil {
+		return nil
+	}
+	owners := ring.Owners(hash, s.cfg.Replication)
 	targets := make([]cluster.Peer, 0, len(owners))
 	for _, p := range owners {
-		if p.ID != s.cfg.Self {
+		// Known-dead replicas are skipped outright — a hedged leg against
+		// a peer that failed its last FailThreshold requests only burns the
+		// hedge budget. Eligible grants a dead peer one trial request once
+		// its backoff expires, which is how it earns probation back.
+		if p.ID != s.cfg.Self && s.health.Eligible(p.ID) {
 			targets = append(targets, p)
 		}
 	}
 	if len(targets) == 0 {
+		// Every replica is dead (or this node is the set): count the miss
+		// so fill accounting still adds up per request.
+		s.metrics.PeerMisses.Add(1)
 		return nil
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
@@ -76,6 +87,17 @@ func (s *Server) peerFill(ctx context.Context, hash string, tr *telemetry.Trace,
 			lstart := time.Now()
 			e, err := s.fetchArtifact(ctx, p, hash, tr, lspan, reqID)
 			s.metrics.StagePeerLeg.Observe(time.Since(lstart))
+			// Health accounting: a completed exchange (hit or clean miss)
+			// is a success; a transport/status failure counts toward
+			// ejection — unless the flight context ended, which says
+			// nothing about the peer.
+			if err != nil {
+				if ctx.Err() == nil {
+					s.health.ReportFailure(p.ID)
+				}
+			} else {
+				s.health.ReportSuccess(p.ID)
+			}
 			switch {
 			case err != nil:
 				lspan.SetAttr("outcome", "error")
@@ -245,15 +267,24 @@ func thinArtifact(e *store.Entry) (*Artifact, error) {
 }
 
 // persist writes an entry through to the disk store, best-effort: a
-// failed write is logged and the artifact stays memory-only.
-func (s *Server) persist(e *store.Entry) {
+// failed write is logged and the artifact stays memory-only. source
+// names how the entry came to exist (store.SourceCompile, peer fill,
+// read-repair, anti-entropy); every successful write is recorded in the
+// provenance chain under it, pinning the entry's checksum, and then
+// offered to the read-repair scheduler so under-replicated peers catch
+// up.
+func (s *Server) persist(e *store.Entry, source string) {
 	if s.store == nil {
 		return
 	}
 	if err := s.store.Put(e); err != nil {
 		s.metrics.DiskWriteErrors.Add(1)
 		s.logger.Warn("artifact persist failed", "hash", e.Hash[:12], "err", err)
+		return
 	}
+	// Put stamped e.Checksum; the provenance record pins it.
+	s.prov.Append(e.Hash, source, e.Checksum)
+	s.scheduleRepair(e)
 }
 
 // artifactWire renders a cached artifact as the transfer envelope,
@@ -308,6 +339,16 @@ func artifactSections(hash string, art *Artifact) (respJSON, traceJSON json.RawM
 // path's metrics.
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
+	if r.Method == http.MethodHead {
+		// Existence probe (the read-repair scheduler uses it to decide
+		// whether a replica needs a push) — no envelope, no counters.
+		if _, ok := s.cache.Peek(hash); ok || (s.store != nil && s.store.Contains(hash)) {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusNotFound)
+		}
+		return
+	}
 	s.metrics.ArtifactRequests.Add(1)
 	if art, ok := s.cache.Peek(hash); ok && len(art.Request) > 0 {
 		ar, err := artifactWire(hash, art)
@@ -318,7 +359,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		s.logger.Warn("artifact render failed", "hash", hash[:min(12, len(hash))], "err", err)
 	}
 	if s.store != nil {
-		if e, err := s.store.Get(hash); err == nil {
+		if e, err := s.storeGet(hash); err == nil {
 			s.writeArtifact(w, r, wireFromEntry(e))
 			return
 		}

@@ -127,6 +127,31 @@ type Metrics struct {
 	PeerHits   atomic.Int64
 	PeerMisses atomic.Int64
 	PeerErrors atomic.Int64
+	// Read-repair layer: RepairRuns counts repair evaluations scheduled
+	// after an artifact creation; RepairPushes counts entries actually
+	// replicated to an under-replicated peer; RepairSkipped counts peers
+	// skipped because they already held the entry (or were dead);
+	// RepairDropped counts repairs the token budget refused; RepairErrors
+	// counts failed pushes.
+	RepairRuns    atomic.Int64
+	RepairPushes  atomic.Int64
+	RepairSkipped atomic.Int64
+	RepairDropped atomic.Int64
+	RepairErrors  atomic.Int64
+	// Anti-entropy layer: SyncRuns counts sync rounds (whole-membership
+	// digest exchanges); SyncPulls counts artifacts pulled because a
+	// replica peer held an owned key this node lacked; SyncErrors counts
+	// failed digest/key/pull requests.
+	SyncRuns   atomic.Int64
+	SyncPulls  atomic.Int64
+	SyncErrors atomic.Int64
+	// Provenance layer: ProvenanceFailures counts store entries that no
+	// longer matched their provenance record and were quarantined (deleted,
+	// never served); ProvenanceMismatches counts sync keys whose remote
+	// checksum disagreed with this node's provenance record (config drift
+	// or a poisoned peer — the entry is not pulled).
+	ProvenanceFailures   atomic.Int64
+	ProvenanceMismatches atomic.Int64
 	// ArtifactRequests counts GET /v2/artifacts/{hash} serves (peer
 	// cache-fill traffic arriving at this node). Materializations counts
 	// thin artifacts recompiled on demand for the simulate path.
@@ -281,13 +306,36 @@ type diskJSON struct {
 
 // clusterJSON is the /metrics "cluster" section.
 type clusterJSON struct {
-	Self        string        `json:"self"`
-	Peers       int           `json:"peers"` // ring size
-	Replication int           `json:"replication"`
-	PeerHits    int64         `json:"peer_hits"`
-	PeerMisses  int64         `json:"peer_misses"`
-	PeerErrors  int64         `json:"peer_errors"`
-	FillLatency histogramJSON `json:"fill_latency"`
+	Self        string `json:"self"`
+	Peers       int    `json:"peers"` // ring size
+	Replication int    `json:"replication"`
+	// Health prober / membership accounting.
+	PeersAlive    int           `json:"peers_alive"`
+	PeersDead     int           `json:"peers_dead"`
+	RingSwaps     int64         `json:"ring_swaps"`
+	ResolveErrors int64         `json:"resolve_errors"`
+	PeerHits      int64         `json:"peer_hits"`
+	PeerMisses    int64         `json:"peer_misses"`
+	PeerErrors    int64         `json:"peer_errors"`
+	RepairRuns    int64         `json:"repair_runs"`
+	RepairPushes  int64         `json:"repair_pushes"`
+	RepairSkipped int64         `json:"repair_skipped"`
+	RepairDropped int64         `json:"repair_dropped"`
+	RepairErrors  int64         `json:"repair_errors"`
+	SyncRuns      int64         `json:"sync_runs"`
+	SyncPulls     int64         `json:"sync_pulls"`
+	SyncErrors    int64         `json:"sync_errors"`
+	FillLatency   histogramJSON `json:"fill_latency"`
+}
+
+// provenanceJSON is the /metrics "provenance" section: the tamper-evident
+// creation log's own accounting plus the quarantine counters.
+type provenanceJSON struct {
+	Records        int64 `json:"records"`
+	Batches        int   `json:"batches"`
+	Dropped        int64 `json:"dropped"`
+	Failures       int64 `json:"failures"`
+	PeerMismatches int64 `json:"peer_mismatches"`
 }
 
 // stagesJSON is the /metrics "stage_latency" block: one histogram per
@@ -348,9 +396,10 @@ type metricsJSON struct {
 	Stages                   stagesJSON              `json:"stage_latency"`
 	Disk                     *diskJSON               `json:"disk,omitempty"`
 	Cluster                  *clusterJSON            `json:"cluster,omitempty"`
+	Provenance               *provenanceJSON         `json:"provenance,omitempty"`
 }
 
-func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSON, uptime time.Duration) metricsJSON {
+func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSON, prov *provenanceJSON, uptime time.Duration) metricsJSON {
 	return metricsJSON{
 		BuildInfo: buildInfoJSON{
 			Version: buildinfo.Version,
@@ -406,7 +455,8 @@ func (m *Metrics) snapshot(cache CacheStats, disk *diskJSON, cluster *clusterJSO
 			Compile:   m.StageCompile.snapshot(),
 			Verify:    m.StageVerify.snapshot(),
 		},
-		Disk:    disk,
-		Cluster: cluster,
+		Disk:       disk,
+		Cluster:    cluster,
+		Provenance: prov,
 	}
 }

@@ -192,6 +192,26 @@ func writePrometheus(w io.Writer, m *metricsJSON) error {
 		p.counter("ltspd_peer_errors_total", "Individual failed peer fetches.", m.Cluster.PeerErrors)
 		p.histogram("ltspd_peer_fill_latency_ms", "Successful peer cache-fill latency (milliseconds).",
 			"", "", m.Cluster.FillLatency, true)
+		p.gauge("ltspd_cluster_peers", "Peers in the consistent-hash ring.", float64(m.Cluster.Peers))
+		p.gauge("ltspd_cluster_peers_alive", "Ring peers currently considered alive.", float64(m.Cluster.PeersAlive))
+		p.gauge("ltspd_cluster_peers_dead", "Ring peers ejected by health tracking.", float64(m.Cluster.PeersDead))
+		p.counter("ltspd_cluster_ring_swaps_total", "Atomic ring replacements from membership changes.", m.Cluster.RingSwaps)
+		p.counter("ltspd_cluster_resolve_errors_total", "Membership source resolutions that failed.", m.Cluster.ResolveErrors)
+		p.counter("ltspd_cluster_repair_runs_total", "Read-repair rounds launched.", m.Cluster.RepairRuns)
+		p.counter("ltspd_cluster_repair_pushes_total", "Artifacts pushed to under-replicated peers.", m.Cluster.RepairPushes)
+		p.counter("ltspd_cluster_repair_skipped_total", "Read-repair probes that found the replica already present.", m.Cluster.RepairSkipped)
+		p.counter("ltspd_cluster_repair_dropped_total", "Read-repair rounds dropped by the token budget.", m.Cluster.RepairDropped)
+		p.counter("ltspd_cluster_repair_errors_total", "Failed read-repair probes or pushes.", m.Cluster.RepairErrors)
+		p.counter("ltspd_cluster_sync_runs_total", "Anti-entropy rounds run.", m.Cluster.SyncRuns)
+		p.counter("ltspd_cluster_sync_pulls_total", "Artifacts pulled by anti-entropy.", m.Cluster.SyncPulls)
+		p.counter("ltspd_cluster_sync_errors_total", "Failed anti-entropy exchanges.", m.Cluster.SyncErrors)
+	}
+	if m.Provenance != nil {
+		p.counter("ltspd_provenance_records_total", "Records appended to the provenance chain.", m.Provenance.Records)
+		p.gauge("ltspd_provenance_batches", "Completed Merkle batches in the provenance chain.", float64(m.Provenance.Batches))
+		p.counter("ltspd_provenance_dropped_total", "Provenance records lost to queue overflow.", m.Provenance.Dropped)
+		p.counter("ltspd_provenance_failures_total", "Store entries quarantined for diverging from their provenance record.", m.Provenance.Failures)
+		p.counter("ltspd_provenance_peer_mismatches_total", "Anti-entropy checksum disagreements with peers.", m.Provenance.PeerMismatches)
 	}
 	if m.Disk != nil {
 		p.gauge("ltspd_store_entries", "Artifacts in the persistent store.", float64(m.Disk.Entries))

@@ -1,0 +1,212 @@
+package server
+
+// Read-repair: after this node creates an artifact — a local compile, a
+// peer cache-fill written through, an anti-entropy pull, or a disk serve
+// of a hash it owns — it asynchronously replicates the entry to members
+// of the hash's replica set that do not hold it yet. Repairs are
+// fire-and-forget goroutines registered on the server's work group (so
+// Shutdown drains them) and bounded by a token-bucket budget so a burst
+// of cache misses cannot turn into a burst of cluster traffic.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ltsp/internal/cluster"
+	"ltsp/internal/store"
+	"ltsp/internal/telemetry"
+)
+
+// DefaultRepairBudget is the default read-repair budget in repairs per
+// second. A repair costs each probed peer one HEAD and at most one PUT
+// of an artifact envelope, so 8/s keeps background replication traffic
+// far below serving traffic while still reconverging a freshly restarted
+// replica in seconds under ordinary load.
+const DefaultRepairBudget = 8
+
+// repairer is a lazy-refill token bucket: take() spends one token,
+// tokens refill continuously at rate per second up to burst.
+type repairer struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newRepairer(rate float64) *repairer {
+	burst := rate
+	if burst < 1 {
+		burst = 1
+	}
+	return &repairer{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+func (r *repairer) take() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	r.tokens += now.Sub(r.last).Seconds() * r.rate
+	r.last = now
+	if r.tokens > r.burst {
+		r.tokens = r.burst
+	}
+	if r.tokens < 1 {
+		return false
+	}
+	r.tokens--
+	return true
+}
+
+// scheduleRepair evaluates an artifact creation for read-repair and, when
+// the replica set has members that might lack the entry, spends one
+// budget token and launches the repair goroutine. It never blocks the
+// caller: the hot path pays a ring read, a health filter and a token
+// check.
+func (s *Server) scheduleRepair(e *store.Entry) {
+	if s.repair == nil {
+		return
+	}
+	ring := s.ring()
+	if ring == nil {
+		return
+	}
+	owners := ring.Owners(e.Hash, s.cfg.Replication)
+	targets := make([]cluster.Peer, 0, len(owners))
+	for _, p := range owners {
+		if p.ID != s.cfg.Self && s.health.Eligible(p.ID) {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	if !s.repair.take() {
+		s.metrics.RepairDropped.Add(1)
+		return
+	}
+	s.metrics.RepairRuns.Add(1)
+	s.work.Add(1)
+	go func() {
+		defer s.work.Done()
+		s.repairRun(e, targets)
+	}()
+}
+
+// repairRun probes each replica-set target and pushes the entry to the
+// ones that lack it. Each run records a read_repair span timeline in the
+// trace registry, so repair activity is observable next to request
+// traces.
+func (s *Server) repairRun(e *store.Entry, targets []cluster.Peer) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
+	defer cancel()
+	tr := telemetry.New("")
+	root := tr.Start("read_repair", nil)
+	root.SetAttr("hash", e.Hash[:min(12, len(e.Hash))])
+	pushed, skipped, failed := 0, 0, 0
+	for _, p := range targets {
+		span := tr.Start("repair_peer", root)
+		span.SetAttr("peer", p.ID)
+		has, err := s.hasArtifact(ctx, p, e.Hash)
+		switch {
+		case err != nil:
+			failed++
+			s.metrics.RepairErrors.Add(1)
+			if ctx.Err() == nil {
+				s.health.ReportFailure(p.ID)
+			}
+			span.SetAttr("outcome", "probe_error")
+		case has:
+			skipped++
+			s.metrics.RepairSkipped.Add(1)
+			s.health.ReportSuccess(p.ID)
+			span.SetAttr("outcome", "replicated")
+		default:
+			if err := s.putArtifact(ctx, p, e); err != nil {
+				failed++
+				s.metrics.RepairErrors.Add(1)
+				if ctx.Err() == nil {
+					s.health.ReportFailure(p.ID)
+				}
+				span.SetAttr("outcome", "push_error")
+				s.logger.Debug("read-repair push failed", "hash", e.Hash[:12], "peer", p.ID, "err", err)
+			} else {
+				pushed++
+				s.metrics.RepairPushes.Add(1)
+				s.health.ReportSuccess(p.ID)
+				span.SetAttr("outcome", "pushed")
+			}
+		}
+		span.End()
+	}
+	root.SetAttr("pushed", fmt.Sprintf("%d", pushed))
+	root.SetAttr("replicated", fmt.Sprintf("%d", skipped))
+	root.End()
+	tr.Finish("read_repair "+e.Hash[:min(12, len(e.Hash))], statusForRepair(failed))
+	s.traces.Record(tr)
+}
+
+func statusForRepair(failed int) int {
+	if failed > 0 {
+		return http.StatusBadGateway
+	}
+	return http.StatusOK
+}
+
+// hasArtifact probes whether a peer already holds an artifact (HEAD on
+// the artifact endpoint). A 404 is a definitive "no"; any other non-200
+// answer is an error.
+func (s *Server) hasArtifact(ctx context.Context, p cluster.Peer, hash string) (bool, error) {
+	url := strings.TrimRight(p.Addr, "/") + "/v2/artifacts/" + hash
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("peer %s: HEAD status %d", p.ID, resp.StatusCode)
+	}
+}
+
+// putArtifact pushes one artifact envelope to a peer (the read-repair
+// transfer). The receiver re-verifies integrity and never overwrites an
+// existing entry, so a push can only add a missing replica.
+func (s *Server) putArtifact(ctx context.Context, p cluster.Peer, e *store.Entry) error {
+	body, err := json.Marshal(wireFromEntry(e))
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(p.Addr, "/") + "/v2/artifacts/" + e.Hash
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("peer %s: PUT status %d", p.ID, resp.StatusCode)
+	}
+	return nil
+}

@@ -122,10 +122,47 @@ type Config struct {
 	// (cmd/ltspd, tests) owns opening and closing it.
 	Store *store.Store
 	// Peers is the cluster membership, including this node; empty
-	// disables cluster mode. Self is this node's peer ID (must match an
-	// entry in Peers to claim ownership of its ring arcs).
+	// disables cluster mode (unless Resolver is set). Self is this
+	// node's peer ID (must match an entry in Peers to claim ownership
+	// of its ring arcs).
 	Peers []cluster.Peer
 	Self  string
+	// Resolver, when non-nil, supplies dynamic membership (file-watch,
+	// DNS-SRV, or any cluster.Source); the server polls it every
+	// ResolveInterval (default 3s) and swaps the hash ring atomically on
+	// change. Peers may then be empty — Self still names this node, and
+	// it is always part of the membership. Without a Resolver the static
+	// Peers list is the membership, unpolled.
+	Resolver        cluster.Source
+	ResolveInterval time.Duration
+	// PeerFailThreshold is the consecutive-failure count that ejects a
+	// peer from hedged fill/repair/sync target sets (default 3); ejected
+	// peers are retried on a jittered exponential backoff and re-admitted
+	// through probation. PeerProbeInterval, when > 0, additionally runs
+	// an active /healthz prober over dead peers so re-admission does not
+	// spend a client request (cmd/ltspd defaults it on; embedders and
+	// tests stay goroutine-free by default).
+	PeerFailThreshold int
+	PeerProbeInterval time.Duration
+	// RepairBudget is the read-repair token budget in repairs/second:
+	// after this node creates an artifact (compile, peer fill, disk
+	// serve of an owned hash), it asynchronously replicates the entry to
+	// replica-set members that lack it, spending one token per repair.
+	// 0 means DefaultRepairBudget; negative disables read-repair.
+	RepairBudget float64
+	// AntiEntropyInterval, when > 0, runs the background anti-entropy
+	// loop: every interval (and immediately after startup and after
+	// every membership change) this node exchanges range digests of its
+	// owned keys with replica peers and pulls whatever it is missing.
+	// <= 0 disables the loop; SyncOnce remains available to embedders.
+	AntiEntropyInterval time.Duration
+	// Provenance, when non-nil, is the tamper-evident artifact creation
+	// log: every compile, peer fill, read-repair receipt and anti-entropy
+	// pull is appended, and every disk read is cross-checked against the
+	// chain — an entry that no longer matches its provenance record is
+	// quarantined, never served. The caller owns opening and closing it,
+	// like Store.
+	Provenance *store.Log
 	// Replication is the replica-set size used for ownership decisions
 	// and peer cache-fill fan-out (default 2, clamped to the peer count
 	// by the ring).
@@ -196,6 +233,15 @@ func (c Config) withDefaults() Config {
 	if c.PeerHedgeDelay <= 0 {
 		c.PeerHedgeDelay = 50 * time.Millisecond
 	}
+	if c.ResolveInterval <= 0 {
+		c.ResolveInterval = 3 * time.Second
+	}
+	if c.PeerFailThreshold <= 0 {
+		c.PeerFailThreshold = 3
+	}
+	if c.RepairBudget == 0 {
+		c.RepairBudget = DefaultRepairBudget
+	}
 	if c.VerifySample == 0 {
 		c.VerifySample = DefaultVerifySample
 	}
@@ -225,8 +271,11 @@ const DefaultTraceSample = 0.01
 type Server struct {
 	cfg      Config
 	cache    *ArtifactCache
-	store    *store.Store  // nil when persistence is disabled
-	ring     *cluster.Ring // nil when cluster mode is disabled
+	store    *store.Store        // nil when persistence is disabled
+	member   *cluster.Membership // nil when cluster mode is disabled
+	health   *cluster.Health     // nil when cluster mode is disabled
+	prov     *store.Log          // nil when provenance is disabled
+	repair   *repairer           // nil when read-repair (or cluster mode) is disabled
 	peerHTTP *http.Client
 	metrics  *Metrics
 	shed     *Shedder
@@ -240,9 +289,26 @@ type Server struct {
 	hot      hotCache
 	draining atomic.Bool
 	work     sync.WaitGroup
+	// Background machinery (anti-entropy loop; the membership poller and
+	// prober live inside member): syncPoke wakes the anti-entropy loop
+	// out of turn (startup, membership change), bgStop stops it.
+	syncPoke chan struct{}
+	bgStop   chan struct{}
+	bgOnce   sync.Once
+	bgWait   sync.WaitGroup
 	// verifyTick drives deterministic verification sampling: the first
 	// compilation and every ~1/VerifySample-th after it are verified.
 	verifyTick atomic.Uint64
+}
+
+// ring returns the current hash-ring snapshot (nil when cluster mode is
+// disabled). Callers load it once per operation; membership changes swap
+// the pointer atomically underneath.
+func (s *Server) ring() *cluster.Ring {
+	if s.member == nil {
+		return nil
+	}
+	return s.member.Ring()
 }
 
 // testCompileHook, when non-nil, runs on the decoded loop inside the
@@ -308,12 +374,50 @@ func New(cfg Config) *Server {
 	}
 	s.cache = NewArtifactCache(cfg.CacheCapacity, s.metrics)
 	s.store = cfg.Store
-	if len(cfg.Peers) > 0 {
-		s.ring = cluster.New(cluster.Static(cfg.Peers), cfg.VNodes)
-	}
+	s.prov = cfg.Provenance
 	s.peerHTTP = cfg.PeerHTTP
 	if s.peerHTTP == nil {
 		s.peerHTTP = &http.Client{}
+	}
+	s.syncPoke = make(chan struct{}, 1)
+	s.bgStop = make(chan struct{})
+	if len(cfg.Peers) > 0 || cfg.Resolver != nil {
+		s.health = cluster.NewHealth(cluster.HealthConfig{
+			FailThreshold: cfg.PeerFailThreshold,
+		})
+		src := cfg.Resolver
+		if src == nil {
+			src = cluster.StaticSource(cfg.Peers)
+		}
+		self := cluster.Peer{ID: cfg.Self}
+		for _, p := range cfg.Peers {
+			if p.ID == cfg.Self {
+				self = p
+			}
+		}
+		s.member = cluster.NewMembership(cluster.MembershipConfig{
+			Source:   src,
+			Self:     self,
+			VNodes:   cfg.VNodes,
+			Interval: cfg.ResolveInterval,
+			Health:   s.health,
+			Logger:   logger,
+			// A membership change wakes the anti-entropy loop out of turn:
+			// arcs this node just gained may have artifacts to pull.
+			OnChange: func(*cluster.Ring) { s.pokeSync() },
+		})
+		if cfg.Resolver != nil {
+			s.member.Start()
+		}
+		if cfg.PeerProbeInterval > 0 {
+			s.member.StartProber(cfg.PeerProbeInterval, cfg.PeerTimeout, cluster.HTTPProbe(s.peerHTTP))
+		}
+		if cfg.RepairBudget > 0 {
+			s.repair = newRepairer(cfg.RepairBudget)
+		}
+		if cfg.AntiEntropyInterval > 0 {
+			s.startAntiEntropy(cfg.AntiEntropyInterval)
+		}
 	}
 	// /v1 and /v2 share handlers: v2 is the documented resilient surface,
 	// v1 stays wire-compatible for existing clients.
@@ -324,6 +428,10 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET "+v+"/artifacts/{hash}", s.handleArtifact)
 		s.mux.HandleFunc("GET "+v+"/artifacts/{hash}/trace", s.handleTrace)
 	}
+	s.mux.HandleFunc("PUT /v2/artifacts/{hash}", s.handleArtifactPut)
+	s.mux.HandleFunc("GET /v2/sync/digest", s.handleSyncDigest)
+	s.mux.HandleFunc("GET /v2/sync/keys", s.handleSyncKeys)
+	s.mux.HandleFunc("GET /v2/provenance/{hash}", s.handleProvenance)
 	s.mux.HandleFunc("GET /v2/requests/{trace}", s.handleRequestTrace)
 	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -356,18 +464,66 @@ func (s *Server) snapshotJSON() metricsJSON {
 		}
 	}
 	var clus *clusterJSON
-	if s.ring != nil {
+	if ring := s.ring(); ring != nil {
+		alive, dead := s.health.Counts()
 		clus = &clusterJSON{
-			Self:        s.cfg.Self,
-			Peers:       s.ring.Len(),
-			Replication: s.cfg.Replication,
-			PeerHits:    s.metrics.PeerHits.Load(),
-			PeerMisses:  s.metrics.PeerMisses.Load(),
-			PeerErrors:  s.metrics.PeerErrors.Load(),
-			FillLatency: s.metrics.PeerFillLatency.snapshot(),
+			Self:          s.cfg.Self,
+			Peers:         ring.Len(),
+			Replication:   s.cfg.Replication,
+			PeersAlive:    alive,
+			PeersDead:     dead,
+			RingSwaps:     int64(s.member.Swaps()),
+			ResolveErrors: int64(s.member.ResolveErrors()),
+			PeerHits:      s.metrics.PeerHits.Load(),
+			PeerMisses:    s.metrics.PeerMisses.Load(),
+			PeerErrors:    s.metrics.PeerErrors.Load(),
+			RepairRuns:    s.metrics.RepairRuns.Load(),
+			RepairPushes:  s.metrics.RepairPushes.Load(),
+			RepairSkipped: s.metrics.RepairSkipped.Load(),
+			RepairDropped: s.metrics.RepairDropped.Load(),
+			RepairErrors:  s.metrics.RepairErrors.Load(),
+			SyncRuns:      s.metrics.SyncRuns.Load(),
+			SyncPulls:     s.metrics.SyncPulls.Load(),
+			SyncErrors:    s.metrics.SyncErrors.Load(),
+			FillLatency:   s.metrics.PeerFillLatency.snapshot(),
 		}
 	}
-	return s.metrics.snapshot(s.cache.Stats(), disk, clus, time.Since(s.start))
+	var prov *provenanceJSON
+	if s.prov != nil {
+		st := s.prov.Stats()
+		prov = &provenanceJSON{
+			Records:        int64(st.Records),
+			Batches:        st.Batches,
+			Dropped:        int64(st.Dropped),
+			Failures:       s.metrics.ProvenanceFailures.Load(),
+			PeerMismatches: s.metrics.ProvenanceMismatches.Load(),
+		}
+	}
+	return s.metrics.snapshot(s.cache.Stats(), disk, clus, prov, time.Since(s.start))
+}
+
+// storeGet reads an entry from the persistent store and cross-checks it
+// against the provenance chain. An entry whose section checksum no
+// longer matches its latest provenance record has been rewritten in
+// place behind the store's back (the store's own integrity check passes
+// on a consistently restamped entry — the chain is what pins the
+// original): it is quarantined — deleted, counted in
+// provenance_failures — and reported corrupt so the caller refills or
+// recompiles instead of serving it.
+func (s *Server) storeGet(hash string) (*store.Entry, error) {
+	e, err := s.store.Get(hash)
+	if err != nil {
+		return nil, err
+	}
+	if want, ok := s.prov.Latest(hash); ok && want != e.Checksum {
+		s.store.Delete(hash)
+		s.metrics.ProvenanceFailures.Add(1)
+		s.logger.Warn("provenance mismatch: store entry quarantined",
+			"hash", hash[:min(12, len(hash))], "recorded", want[:min(12, len(want))],
+			"found", e.Checksum[:min(12, len(e.Checksum))])
+		return nil, fmt.Errorf("%w: entry diverges from its provenance record", store.ErrCorrupt)
+	}
+	return e, nil
 }
 
 // Cache exposes the artifact cache (tests and embedders).
@@ -460,10 +616,13 @@ func (s *Server) logRequest(ctx context.Context, id, traceID string, r *http.Req
 	s.logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
 }
 
-// Shutdown stops accepting new work and waits for in-flight work to
-// finish or ctx to expire.
+// Shutdown stops accepting new work, stops the background machinery
+// (anti-entropy loop, membership poller, health prober), and waits for
+// in-flight work — including scheduled read-repair pushes — to finish
+// or ctx to expire.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopBackground()
 	done := make(chan struct{})
 	go func() {
 		s.work.Wait()
@@ -475,6 +634,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Close stops the background machinery without draining requests —
+// embedders and tests that never started serving call it instead of
+// Shutdown. Safe to call multiple times, and alongside Shutdown.
+func (s *Server) Close() {
+	s.stopBackground()
+}
+
+func (s *Server) stopBackground() {
+	s.bgOnce.Do(func() { close(s.bgStop) })
+	if s.member != nil {
+		s.member.Close()
+	}
+	s.bgWait.Wait()
 }
 
 // encBufPool recycles response-encode buffers: rendering a response
@@ -802,9 +976,15 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 			dspan := tr.Start("disk_read", parent)
 			dstart := time.Now()
 			var hit *Artifact
-			if e, derr := s.store.Get(hash); derr == nil {
+			if e, derr := s.storeGet(hash); derr == nil {
 				if a, aerr := thinArtifact(e); aerr == nil {
 					hit = a
+					// Serving an owned hash from disk is a read-repair
+					// opportunity: peers in the replica set that restarted
+					// empty get the entry pushed.
+					if ring := s.ring(); ring != nil && ring.IsOwner(s.cfg.Self, hash, s.cfg.Replication) {
+						s.scheduleRepair(e)
+					}
 				} else {
 					s.logger.Warn("disk artifact unusable", "hash", hash[:12], "err", aerr)
 				}
@@ -824,7 +1004,7 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 		// hash, its members have probably compiled (or will compile) it —
 		// ask them before burning a local compile, and write a fill through
 		// to disk so it survives restarts.
-		if s.ring != nil && !s.ring.IsOwner(s.cfg.Self, hash, s.cfg.Replication) {
+		if ring := s.ring(); ring != nil && !ring.IsOwner(s.cfg.Self, hash, s.cfg.Replication) {
 			pspan := tr.Start("peer_fill", parent)
 			e := s.peerFill(fctx, hash, tr, pspan, reqID)
 			if e != nil {
@@ -836,7 +1016,7 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 			if e != nil {
 				if a, aerr := thinArtifact(e); aerr == nil {
 					wspan := tr.Start("write_through", parent)
-					s.persist(e)
+					s.persist(e, store.SourcePeerFill)
 					wspan.End()
 					return a, nil
 				} else {
@@ -925,7 +1105,7 @@ func (s *Server) compileCached(ctx context.Context, req *wire.CompileRequest) (*
 			a.CreatedUnix = entry.CreatedUnix
 			a.Size = store.EncodedSize(entry)
 			wspan := tr.Start("write_through", parent)
-			s.persist(entry)
+			s.persist(entry, store.SourceCompile)
 			wspan.End()
 		} else {
 			s.logger.Warn("artifact serialization failed", "hash", hash[:12],
@@ -1083,7 +1263,7 @@ func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (any, 
 		if !ok && s.store != nil {
 			// Memory miss: fall through to the persistent store and warm
 			// the memory cache with the thin artifact.
-			if e, derr := s.store.Get(req.Hash); derr == nil {
+			if e, derr := s.storeGet(req.Hash); derr == nil {
 				if a, aerr := thinArtifact(e); aerr == nil {
 					s.metrics.DiskHits.Add(1)
 					s.cache.Add(req.Hash, a)
@@ -1174,7 +1354,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	art, ok := s.cache.Peek(hash)
 	if !ok && s.store != nil {
-		if e, err := s.store.Get(hash); err == nil {
+		if e, err := s.storeGet(hash); err == nil {
 			if a, aerr := thinArtifact(e); aerr == nil {
 				s.metrics.DiskHits.Add(1)
 				s.cache.Add(hash, a)

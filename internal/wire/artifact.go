@@ -91,3 +91,19 @@ func HashOf(canonical []byte) string {
 	sum := sha256.Sum256(canonical)
 	return hex.EncodeToString(sum[:])
 }
+
+// ValidHash reports whether s has the shape of an artifact key: exactly
+// 64 lowercase hex characters. Cluster endpoints validate pushed and
+// synced hashes with it before touching the store.
+func ValidHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package wire
+
+// Anti-entropy and provenance wire types (cluster-internal surface).
+//
+// GET /v2/sync/digest?owner=ID returns SyncDigestResponse: a compact
+// per-bucket digest of the artifacts this node holds that the named
+// owner's ring position makes it responsible for. Buckets partition the
+// key space by the first hex byte of the artifact hash (256 buckets);
+// a requester compares bucket digests against its own and lists only
+// the mismatched buckets via GET /v2/sync/keys?owner=ID&bucket=XX,
+// then pulls whatever it is missing through the ordinary artifact
+// endpoint. The response also carries the responder's provenance chain
+// head and latest Merkle batch root, so peers exchange tamper-evidence
+// anchors with every sync round.
+
+// SyncBucket is one non-empty digest bucket.
+type SyncBucket struct {
+	// Bucket is the first hex byte of the hashes it covers (0..255).
+	Bucket int `json:"bucket"`
+	// Count is how many owned artifacts fall in the bucket.
+	Count int `json:"count"`
+	// Digest is a truncated sha256 over the sorted "hash checksum"
+	// lines of the bucket — equal digests mean equal bucket contents.
+	Digest string `json:"digest"`
+}
+
+// SyncDigestResponse is the GET /v2/sync/digest document.
+type SyncDigestResponse struct {
+	Version int    `json:"v"`
+	Self    string `json:"self"`  // responder's peer ID
+	Owner   string `json:"owner"` // the owner the digest was computed for
+	// Replication echoes the responder's replica-set size; a mismatch
+	// with the requester's is a config drift worth logging.
+	Replication int          `json:"replication"`
+	Buckets     []SyncBucket `json:"buckets,omitempty"`
+	// Provenance chain anchors.
+	ProvenanceSeq  uint64 `json:"provenance_seq,omitempty"`
+	ProvenanceHead string `json:"provenance_head,omitempty"`
+	ProvenanceRoot string `json:"provenance_root,omitempty"` // latest Merkle batch root
+	ProvenanceN    int    `json:"provenance_batches,omitempty"`
+}
+
+// SyncKey is one artifact the responder holds for the requested owner.
+type SyncKey struct {
+	Hash string `json:"hash"`
+	// Checksum is the store entry's section checksum as recorded in the
+	// responder's provenance log ("" when the responder has no record,
+	// e.g. entries created before provenance was enabled).
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// SyncKeysResponse is the GET /v2/sync/keys document.
+type SyncKeysResponse struct {
+	Version int       `json:"v"`
+	Self    string    `json:"self"`
+	Owner   string    `json:"owner"`
+	Bucket  int       `json:"bucket"`
+	Keys    []SyncKey `json:"keys,omitempty"`
+}
+
+// ProvenanceRecordJSON is one provenance chain record as served by
+// GET /v2/provenance/{hash}.
+type ProvenanceRecordJSON struct {
+	Seq      uint64 `json:"seq"`
+	TimeUnix int64  `json:"t"`
+	Source   string `json:"source"`
+	Checksum string `json:"checksum"`
+	Prev     string `json:"prev,omitempty"`
+	Sum      string `json:"sum"`
+}
+
+// ProvenanceResponse is the GET /v2/provenance/{hash} document: the
+// artifact's recent provenance records plus the node's chain anchors,
+// and whether the artifact's current store entry still matches its
+// latest record (present reports whether the entry exists at all).
+type ProvenanceResponse struct {
+	Version int    `json:"v"`
+	Hash    string `json:"hash"`
+	Self    string `json:"self,omitempty"`
+	// Checksum is the latest recorded entry checksum for the hash.
+	Checksum string                 `json:"checksum"`
+	Records  []ProvenanceRecordJSON `json:"records,omitempty"`
+	// Present / Consistent: whether the store currently holds the entry
+	// and whether it matches the provenance record (a false Consistent
+	// means the entry was quarantined by this very request).
+	Present    bool `json:"present"`
+	Consistent bool `json:"consistent"`
+	// Chain anchors (same values the sync digest carries).
+	HeadSeq  uint64 `json:"head_seq"`
+	HeadSum  string `json:"head_sum,omitempty"`
+	Root     string `json:"root,omitempty"`
+	RootsLen int    `json:"batches,omitempty"`
+}

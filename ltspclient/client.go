@@ -502,6 +502,23 @@ func (c *Client) Artifact(ctx context.Context, hash string) (*wire.ArtifactRespo
 	return out, nil
 }
 
+// Provenance fetches an artifact's tamper-evidence document: its recent
+// provenance-chain records, the latest recorded entry checksum, whether
+// the serving node's store copy still matches it, and the node's chain
+// anchors (head and latest Merkle batch root). Fleet-aware clients are
+// routed to the hash's owning replica, the node whose chain most likely
+// holds the compile record.
+func (c *Client) Provenance(ctx context.Context, hash string) (*wire.ProvenanceResponse, error) {
+	out := new(wire.ProvenanceResponse)
+	if err := c.doOn(ctx, http.MethodGet, "/v2/provenance/"+hash, nil, c.cfg.RequestTimeout, out, c.targetsFor(hash), false); err != nil {
+		return nil, err
+	}
+	if out.Hash != hash {
+		return nil, fmt.Errorf("ltspclient: server returned provenance for %s, not %s", out.Hash, hash)
+	}
+	return out, nil
+}
+
 // Health reports the server's /healthz status ("ok" or "draining") and
 // build version. Health does not retry: it is itself the probe.
 func (c *Client) Health(ctx context.Context) (status, version string, err error) {

@@ -290,3 +290,43 @@ func TestHealthDoesNotRetry(t *testing.T) {
 		t.Fatalf("health probed %d times, want 1", calls.Load())
 	}
 }
+
+// TestProvenanceFetch: the provenance document round-trips, and a
+// response for the wrong hash is rejected.
+func TestProvenanceFetch(t *testing.T) {
+	hash := "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	served := wire.ProvenanceResponse{
+		Version: wire.Version, Hash: hash, Checksum: "deadbeef",
+		Records: []wire.ProvenanceRecordJSON{{Seq: 1, Source: "compile", Checksum: "deadbeef", Sum: "s1"}},
+		Present: true, Consistent: true, HeadSeq: 1, HeadSum: "s1",
+	}
+	client, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/provenance/"+hash {
+			writeEnvelope(w, http.StatusNotFound, wire.CodeNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&served)
+	}, nil)
+	pr, err := client.Provenance(context.Background(), hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Present || !pr.Consistent || pr.Checksum != "deadbeef" || len(pr.Records) != 1 {
+		t.Fatalf("provenance = %+v", pr)
+	}
+	if pr.Records[0].Source != "compile" {
+		t.Fatalf("record source = %q", pr.Records[0].Source)
+	}
+
+	// A lying server (wrong hash in the document) is rejected.
+	lying, _ := newClient(t, func(w http.ResponseWriter, r *http.Request) {
+		doc := served
+		doc.Hash = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&doc)
+	}, nil)
+	if _, err := lying.Provenance(context.Background(), hash); err == nil {
+		t.Fatal("mismatched provenance hash not rejected")
+	}
+}
